@@ -1,0 +1,88 @@
+// Shared plumbing for the table/figure bench binaries: a standard CLI
+// (test counts, seed, app filter, CSV output), app iteration, and common
+// plan constructions.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/common/cli.hpp"
+#include "easycrash/common/table.hpp"
+#include "easycrash/core/workflow.hpp"
+#include "easycrash/crash/campaign.hpp"
+
+namespace easycrash::bench {
+
+/// Standard options shared by every campaign-driven bench binary.
+inline void addCampaignOptions(CliParser& cli, int defaultTests = 120) {
+  cli.addInt("tests", defaultTests, "crash tests per campaign");
+  cli.addInt("seed", 1, "master seed");
+  cli.addString("apps", "all", "comma-separated benchmark filter or 'all'");
+  cli.addFlag("csv", "emit CSV instead of an aligned table");
+  cli.addDouble("ts", 0.35,
+                "runtime-overhead budget t_s (paper: 0.03 at Class-C scale; the"
+                " scaled-down problems compress work-per-persist ~10x, see"
+                " DESIGN.md and bench_ablation_ts)");
+}
+
+[[nodiscard]] inline std::vector<apps::BenchmarkEntry> selectedApps(
+    const CliParser& cli) {
+  const std::string filter = cli.getString("apps");
+  std::vector<apps::BenchmarkEntry> out;
+  for (const auto& entry : apps::allBenchmarks()) {
+    if (filter == "all" || filter.find(entry.name) != std::string::npos) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] inline crash::CampaignConfig campaignConfig(const CliParser& cli) {
+  crash::CampaignConfig config;
+  config.numTests = static_cast<int>(cli.getInt("tests"));
+  config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+  return config;
+}
+
+[[nodiscard]] inline core::WorkflowConfig workflowConfig(const CliParser& cli) {
+  core::WorkflowConfig config;
+  config.testsPerCampaign = static_cast<int>(cli.getInt("tests"));
+  config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+  config.regionConfig.ts = cli.getDouble("ts");
+  return config;
+}
+
+inline void printResult(const CliParser& cli, const Table& table,
+                        const std::string& title) {
+  if (cli.getFlag("csv")) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout, title);
+  }
+}
+
+/// Plan that persists `objects` once per activation of every region (the
+/// paper's Figure 4(b) style "persist at region Rk" configuration uses a
+/// single-region variant of this).
+[[nodiscard]] inline runtime::PersistencePlan atRegionEndPlan(
+    const crash::GoldenStats& golden, runtime::PointId region,
+    std::vector<runtime::ObjectId> objects) {
+  runtime::PersistencePlan plan;
+  runtime::PersistDirective directive;
+  directive.objects = std::move(objects);
+  const auto endsIt = golden.regionIterationEnds.find(region);
+  const auto mainIt = golden.regionIterationEnds.find(runtime::kMainLoopEnd);
+  const double mainIters =
+      mainIt != golden.regionIterationEnds.end() ? double(mainIt->second) : 1.0;
+  const double ends =
+      endsIt != golden.regionIterationEnds.end() ? double(endsIt->second) : 1.0;
+  directive.everyN = static_cast<std::uint32_t>(
+      std::max(1.0, ends / std::max(1.0, mainIters)));
+  plan.points[region] = std::move(directive);
+  return plan;
+}
+
+}  // namespace easycrash::bench

@@ -1,0 +1,58 @@
+// Capacity-planning example: should your HPC system enable EasyCrash?
+//
+// Implements the decision procedure of the paper's §8 "Determining how/when
+// to use EasyCrash": given the system MTBF, checkpoint cost and a measured
+// (or estimated) application recomputability, compute the threshold tau and
+// the efficiency gain.
+//
+// Build & run:   ./build/examples/efficiency_planner --mtbf 12 --tchk 320 --r 0.8
+#include <iostream>
+
+#include "easycrash/common/cli.hpp"
+#include "easycrash/common/table.hpp"
+#include "easycrash/sysmodel/efficiency.hpp"
+
+namespace ec = easycrash;
+using ec::sysmodel::SystemParams;
+
+int main(int argc, char** argv) {
+  ec::CliParser cli("EasyCrash deployment planner");
+  cli.addDouble("mtbf", 12.0, "system mean time between failures, hours");
+  cli.addDouble("tchk", 320.0, "checkpoint write time, seconds");
+  cli.addDouble("r", 0.82, "application recomputability with EasyCrash");
+  cli.addDouble("ts", 0.02, "EasyCrash runtime overhead");
+  cli.addDouble("data-gb", 64.0, "data reloaded from NVM on an EC restart, GB");
+  if (!cli.parse(argc, argv)) return 0;
+
+  SystemParams params;
+  params.mtbfHours = cli.getDouble("mtbf");
+  params.tChkSeconds = cli.getDouble("tchk");
+  params.nvmRecoveryGB = cli.getDouble("data-gb");
+  const double r = cli.getDouble("r");
+  const double ts = cli.getDouble("ts");
+
+  const auto without = ec::sysmodel::efficiencyWithoutEasyCrash(params);
+  const auto with = ec::sysmodel::efficiencyWithEasyCrash(params, r, ts);
+  const double tau = ec::sysmodel::recomputabilityThreshold(params, ts);
+  const double mc = ec::sysmodel::simulateEfficiency(params, r, ts, 7, 0.2);
+
+  ec::Table table({"quantity", "value"});
+  table.row().cell("checkpoint interval w/o EC (Young)").cell(
+      ec::formatDouble(without.checkpointInterval, 0) + " s");
+  table.row().cell("checkpoint interval w/ EC").cell(
+      ec::formatDouble(with.checkpointInterval, 0) + " s");
+  table.row().cell("efficiency w/o EasyCrash").cellPercent(without.efficiency);
+  table.row().cell("efficiency w/ EasyCrash").cellPercent(with.efficiency);
+  table.row().cell("Monte-Carlo cross-check").cellPercent(mc);
+  table.row().cell("recomputability threshold tau").cellPercent(tau);
+  table.print(std::cout, "EasyCrash deployment planner");
+
+  if (r > tau) {
+    std::cout << "verdict: ENABLE EasyCrash (R = " << ec::formatDouble(100 * r, 1)
+              << "% clears tau = " << ec::formatDouble(100 * tau, 1) << "%)\n";
+  } else {
+    std::cout << "verdict: keep plain C/R (R = " << ec::formatDouble(100 * r, 1)
+              << "% is below tau = " << ec::formatDouble(100 * tau, 1) << "%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,234 @@
+// CG — conjugate gradient kernel (NPB CG analogue).
+//
+// Solves A x = b for a sparse SPD matrix (2-D 5-point Laplacian plus a
+// diagonal shift) with a periodically-restarted conjugate gradient: every
+// kRestartEvery iterations the residual and search direction are recomputed
+// exactly from x, which is what gives CG its paper-observed behaviour — a
+// crash perturbs the Krylov recurrences, but the next explicit restart
+// re-anchors them to x and convergence resumes, typically costing extra
+// iterations (Table 1: 9.1 extra on average; response class S2).
+//
+// Code regions (6, Table 1): R1 explicit residual restart, R2 direction
+// update, R3 sparse mat-vec, R4 x update, R5 r update, R6 norm/bookkeeping.
+#include <cmath>
+#include <vector>
+
+#include "easycrash/apps/app_base.hpp"
+#include "easycrash/apps/registry.hpp"
+
+namespace easycrash::apps {
+namespace {
+
+using runtime::RegionScope;
+using runtime::Runtime;
+using runtime::TrackedArray;
+using runtime::TrackedScalar;
+using runtime::VerifyOutcome;
+
+class CgApp final : public AppBase {
+ public:
+  static constexpr int kGrid = 40;             // kGrid^2 unknowns
+  static constexpr int kRows = kGrid * kGrid;  // 1600
+  static constexpr int kRestartEvery = 5;      // explicit CG restart period
+  static constexpr int kNominalIterations = 40;
+  static constexpr double kConvergeTol = 1.0e-8;  // on ||r||/||b||
+  static constexpr double kVerifyTol = 1.0e-6;    // on true ||b-Ax||/||b||
+
+  CgApp() : AppBase("cg", "Sparse linear algebra") {}
+
+  void setup(Runtime& rt) override {
+    rt.declareRegionCount(6);
+    const int nnz = countNonZeros();
+    vals_ = TrackedArray<double>(rt, "a_vals", nnz, /*candidate=*/false, true);
+    cols_ = TrackedArray<std::int32_t>(rt, "a_cols", nnz, /*candidate=*/false, true);
+    rowPtr_ = TrackedArray<std::int32_t>(rt, "a_rowptr", kRows + 1,
+                                         /*candidate=*/false, true);
+    b_ = TrackedArray<double>(rt, "b", kRows, /*candidate=*/false, true);
+    x_ = TrackedArray<double>(rt, "x", kRows, /*candidate=*/true);
+    r_ = TrackedArray<double>(rt, "r", kRows, /*candidate=*/true);
+    p_ = TrackedArray<double>(rt, "p", kRows, /*candidate=*/true);
+    q_ = TrackedArray<double>(rt, "q", kRows, /*candidate=*/true);
+    rho_ = TrackedScalar<double>(rt, "rho", /*candidate=*/true);
+    rnorm_ = TrackedScalar<double>(rt, "rnorm", /*candidate=*/true);
+  }
+
+  void initialize(Runtime& rt) override {
+    (void)rt;
+    buildMatrix();
+    // b = A * x_exact for a deterministic x_exact, so the system has a known
+    // solution and the acceptance verification can use the true residual.
+    AppLcg lcg(777);
+    std::vector<double> xExact(kRows);
+    for (int i = 0; i < kRows; ++i) xExact[i] = lcg.nextDouble() - 0.5;
+    bNorm_ = 0.0;
+    for (int row = 0; row < kRows; ++row) {
+      double sum = 0.0;
+      for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
+        sum += vals_.get(k) * xExact[cols_.get(k)];
+      }
+      b_.set(row, sum);
+      bNorm_ += sum * sum;
+    }
+    bNorm_ = std::sqrt(bNorm_);
+    for (int i = 0; i < kRows; ++i) {
+      x_.set(i, 0.0);
+      r_.set(i, 0.0);
+      p_.set(i, 0.0);
+      q_.set(i, 0.0);
+    }
+    rho_.set(0.0);
+    rnorm_.set(1.0);
+  }
+
+  void iterate(Runtime& rt, int iteration) override {
+    {  // R1: periodic explicit restart r = b - A x; p = r.
+      RegionScope region(rt, 0);
+      if ((iteration - 1) % kRestartEvery == 0) {
+        double rho = 0.0;
+        for (int row = 0; row < kRows; ++row) {
+          double ax = 0.0;
+          for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
+            ax += vals_.get(k) * x_.get(cols_.get(k));
+          }
+          const double ri = b_.get(row) - ax;
+          r_.set(row, ri);
+          p_.set(row, ri);
+          rho += ri * ri;
+        }
+        rho_.set(rho);
+        region.iterationEnd();
+      }
+    }
+    {  // R2: direction update p = r + beta p (skipped right after a restart).
+      RegionScope region(rt, 1);
+      if ((iteration - 1) % kRestartEvery != 0) {
+        double rho = 0.0;
+        for (int i = 0; i < kRows; ++i) {
+          const double ri = r_.get(i);
+          rho += ri * ri;
+        }
+        const double rhoOld = rho_.get();
+        const double beta = rhoOld > 0.0 ? rho / rhoOld : 0.0;
+        for (int i = 0; i < kRows; ++i) p_.set(i, r_.get(i) + beta * p_.get(i));
+        rho_.set(rho);
+        region.iterationEnd();
+      }
+    }
+    double pq = 0.0;
+    {  // R3: q = A p (the dominant sparse mat-vec).
+      RegionScope region(rt, 2);
+      for (int row = 0; row < kRows; ++row) {
+        double sum = 0.0;
+        for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
+          sum += vals_.get(k) * p_.get(cols_.get(k));
+        }
+        q_.set(row, sum);
+        pq += p_.get(row) * sum;
+        region.iterationEnd();
+      }
+    }
+    const double rho = rho_.get();
+    const double alpha = (pq != 0.0 && std::isfinite(pq)) ? rho / pq : 0.0;
+    {  // R4: x += alpha p.
+      RegionScope region(rt, 3);
+      for (int i = 0; i < kRows; ++i) x_[i] += alpha * p_.get(i);
+      region.iterationEnd();
+    }
+    {  // R5: r -= alpha q.
+      RegionScope region(rt, 4);
+      for (int i = 0; i < kRows; ++i) r_[i] -= alpha * q_.get(i);
+      region.iterationEnd();
+    }
+    {  // R6: residual norm bookkeeping.
+      RegionScope region(rt, 5);
+      double ss = 0.0;
+      for (int i = 0; i < kRows; ++i) {
+        const double ri = r_.get(i);
+        ss += ri * ri;
+      }
+      rnorm_.set(std::sqrt(ss) / bNorm_);
+      region.iterationEnd();
+    }
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return kNominalIterations; }
+
+  [[nodiscard]] bool converged(Runtime& rt, int iteration) override {
+    (void)rt;
+    (void)iteration;
+    const double rn = rnorm_.peek();
+    return std::isfinite(rn) && rn <= kConvergeTol;
+  }
+
+  [[nodiscard]] VerifyOutcome verify(Runtime& rt) override {
+    (void)rt;
+    // True residual against the original system (not the recurrence value).
+    double ss = 0.0;
+    for (int row = 0; row < kRows; ++row) {
+      double ax = 0.0;
+      for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
+        ax += vals_.get(k) * x_.get(cols_.get(k));
+      }
+      const double d = b_.get(row) - ax;
+      ss += d * d;
+    }
+    VerifyOutcome out;
+    out.metric = std::sqrt(ss) / bNorm_;
+    out.pass = std::isfinite(out.metric) && out.metric <= kVerifyTol;
+    out.detail = "||b-Ax||/||b|| = " + std::to_string(out.metric);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static int countNonZeros() {
+    int nnz = 0;
+    for (int j = 0; j < kGrid; ++j) {
+      for (int i = 0; i < kGrid; ++i) {
+        nnz += 1;  // diagonal
+        if (i > 0) ++nnz;
+        if (i < kGrid - 1) ++nnz;
+        if (j > 0) ++nnz;
+        if (j < kGrid - 1) ++nnz;
+      }
+    }
+    return nnz;
+  }
+
+  void buildMatrix() {
+    // 5-point Laplacian plus small shift: SPD with condition number giving
+    // restarted-CG convergence in ~kNominalIterations iterations.
+    int k = 0;
+    for (int j = 0; j < kGrid; ++j) {
+      for (int i = 0; i < kGrid; ++i) {
+        const int row = j * kGrid + i;
+        rowPtr_.set(row, k);
+        const auto put = [&](int col, double v) {
+          cols_.set(k, col);
+          vals_.set(k, v);
+          ++k;
+        };
+        if (j > 0) put(row - kGrid, -1.0);
+        if (i > 0) put(row - 1, -1.0);
+        put(row, 4.0 + kShift);
+        if (i < kGrid - 1) put(row + 1, -1.0);
+        if (j < kGrid - 1) put(row + kGrid, -1.0);
+      }
+    }
+    rowPtr_.set(kRows, k);
+  }
+
+  static constexpr double kShift = 1.0;
+
+  TrackedArray<double> vals_, b_, x_, r_, p_, q_;
+  TrackedArray<std::int32_t> cols_, rowPtr_;
+  TrackedScalar<double> rho_, rnorm_;
+  double bNorm_ = 1.0;
+};
+
+}  // namespace
+
+runtime::AppFactory makeCg() {
+  return [] { return std::make_unique<CgApp>(); };
+}
+
+}  // namespace easycrash::apps

@@ -1,0 +1,56 @@
+// Shared utilities for instrumented mini-app benchmarks.
+//
+// Every app re-implements the algorithmic skeleton of its paper counterpart
+// (main computation loop, first-level inner-loop code regions, data objects,
+// acceptance verification) at a problem size scaled together with the cache
+// hierarchy so that footprint >> LLC, the invariant the paper's Section 4.1
+// establishes for its benchmark selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "easycrash/runtime/app.hpp"
+#include "easycrash/runtime/tracked.hpp"
+
+namespace easycrash::apps {
+
+/// Deterministic 64-bit LCG used by apps to generate synthetic inputs and
+/// per-iteration update streams. Stateless usage (seed derived from the
+/// iteration number) keeps restarts reproducible without persisting RNG
+/// state.
+class AppLcg {
+ public:
+  explicit constexpr AppLcg(std::uint64_t seed) noexcept
+      : state_(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL) {}
+
+  constexpr std::uint64_t next() noexcept {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() noexcept {
+    return static_cast<double>(next() & ((1ULL << 40) - 1)) * 0x1.0p-40;
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t nextBelow(std::uint64_t bound) noexcept { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Convenience base storing AppInfo.
+class AppBase : public runtime::IApp {
+ public:
+  AppBase(std::string name, std::string description)
+      : info_{std::move(name), std::move(description)} {}
+
+  [[nodiscard]] const runtime::AppInfo& info() const override { return info_; }
+
+ private:
+  runtime::AppInfo info_;
+};
+
+}  // namespace easycrash::apps

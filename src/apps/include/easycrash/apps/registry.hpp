@@ -1,0 +1,45 @@
+// Registry of the 11 instrumented benchmarks (paper Table 1).
+//
+// Each entry provides a factory producing a fresh application instance; a
+// fresh instance is created for every (re)run of a crash test so that no host
+// state leaks between simulated executions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "easycrash/runtime/app.hpp"
+
+namespace easycrash::apps {
+
+struct BenchmarkEntry {
+  std::string name;
+  std::string description;  ///< Table 1 "Description"
+  runtime::AppFactory factory;
+};
+
+/// All benchmarks, in the paper's Table 1 order:
+/// cg, mg, ft, is, bt, lu, sp, ep, botsspar, lulesh, kmeans.
+[[nodiscard]] const std::vector<BenchmarkEntry>& allBenchmarks();
+
+/// Factory lookup by name; throws std::runtime_error for unknown names.
+[[nodiscard]] const BenchmarkEntry& findBenchmark(const std::string& name);
+
+/// The subset evaluated with EasyCrash in the paper's Section 6 (EP is
+/// excluded there: its recomputability stays ~0 even with EasyCrash).
+[[nodiscard]] std::vector<std::string> evaluatedBenchmarkNames();
+
+// Individual factories (exposed for tests and focused studies).
+[[nodiscard]] runtime::AppFactory makeCg();
+[[nodiscard]] runtime::AppFactory makeMg();
+[[nodiscard]] runtime::AppFactory makeFt();
+[[nodiscard]] runtime::AppFactory makeIs();
+[[nodiscard]] runtime::AppFactory makeBt();
+[[nodiscard]] runtime::AppFactory makeLu();
+[[nodiscard]] runtime::AppFactory makeSp();
+[[nodiscard]] runtime::AppFactory makeEp();
+[[nodiscard]] runtime::AppFactory makeBotsspar();
+[[nodiscard]] runtime::AppFactory makeLulesh();
+[[nodiscard]] runtime::AppFactory makeKmeans();
+
+}  // namespace easycrash::apps

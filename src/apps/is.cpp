@@ -1,0 +1,197 @@
+// IS — integer bucket sort (NPB IS analogue).
+//
+// Maintains a bucket histogram / cursor structure incrementally while a
+// stream of key updates arrives each main-loop iteration. The histogram C is
+// small and hot (the paper's 4KB critical data object): it lives in the
+// cache, so after a crash its NVM copy is generations old — inconsistent
+// with the keys — and the incremental maintenance then walks out of bounds,
+// the simulated analogue of the segmentation faults the paper reports for IS
+// (Table 1: restart "N/A (segfault)"). Persisting C (cheap, 4KB) repairs it.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "easycrash/apps/app_base.hpp"
+#include "easycrash/apps/registry.hpp"
+
+namespace easycrash::apps {
+namespace {
+
+using runtime::AppInterrupt;
+using runtime::RegionScope;
+using runtime::Runtime;
+using runtime::TrackedArray;
+using runtime::TrackedScalar;
+using runtime::VerifyOutcome;
+
+class IsApp final : public AppBase {
+ public:
+  static constexpr int kKeys = 16384;     // 64KB of int32 keys
+  static constexpr int kBuckets = 1024;   // 4KB histogram (the critical DO)
+  static constexpr int kUpdatesPerIter = 96;
+  static constexpr int kIterations = 10;  // paper: 10
+
+  IsApp() : AppBase("is", "Graph traversal (sorting)") {}
+
+  void setup(Runtime& rt) override {
+    rt.declareRegionCount(8);
+    keys_ = TrackedArray<std::int32_t>(rt, "key_array", kKeys, /*candidate=*/true);
+    rank_ = TrackedArray<std::int32_t>(rt, "key_rank", kKeys, /*candidate=*/true);
+    hist_ = TrackedArray<std::int32_t>(rt, "bucket_hist", kBuckets, /*candidate=*/true);
+    prefix_ = TrackedArray<std::int32_t>(rt, "bucket_prefix", kBuckets + 1,
+                                         /*candidate=*/false);
+    chk_ = TrackedScalar<double>(rt, "spot_check", /*candidate=*/true);
+  }
+
+  void initialize(Runtime& rt) override {
+    (void)rt;
+    AppLcg lcg(31337);
+    for (int b = 0; b < kBuckets; ++b) hist_.set(b, 0);
+    for (int i = 0; i < kKeys; ++i) {
+      const auto key = static_cast<std::int32_t>(lcg.nextBelow(kBuckets));
+      keys_.set(i, key);
+      hist_[key] += 1;
+    }
+    for (int b = 0; b <= kBuckets; ++b) prefix_.set(b, 0);
+    computePrefix();
+    for (int i = 0; i < kKeys; ++i) {
+      rank_.set(i, prefix_.get(keys_.get(i)));
+    }
+    chk_.set(0.0);
+  }
+
+  void iterate(Runtime& rt, int iteration) override {
+    AppLcg lcg(9000 + iteration);  // stateless per-iteration update stream
+    std::vector<std::int32_t> idx(kUpdatesPerIter), newKey(kUpdatesPerIter);
+
+    {  // R1: generate this iteration's key-update stream.
+      RegionScope region(rt, 0);
+      for (int u = 0; u < kUpdatesPerIter; ++u) {
+        idx[u] = static_cast<std::int32_t>(lcg.nextBelow(kKeys));
+        newKey[u] = static_cast<std::int32_t>(lcg.nextBelow(kBuckets));
+        region.iterationEnd();
+      }
+    }
+    {  // R2: apply updates to keys and the incremental histogram.
+      RegionScope region(rt, 1);
+      for (int u = 0; u < kUpdatesPerIter; ++u) {
+        const std::int32_t old = keys_.get(idx[u]);
+        if (old < 0 || old >= kBuckets) {
+          throw AppInterrupt{"IS: corrupted key used as bucket index"};
+        }
+        hist_[old] -= 1;
+        if (hist_.get(old) < 0) {
+          throw AppInterrupt{"IS: bucket histogram underflow"};
+        }
+        hist_[newKey[u]] += 1;
+        keys_.set(idx[u], newKey[u]);
+        region.iterationEnd();
+      }
+    }
+    {  // R3: bucket prefix sums (key ranking offsets).
+      RegionScope region(rt, 2);
+      computePrefix();
+      region.iterationEnd();
+    }
+    {  // R4: re-rank the updated keys using the cursor structure.
+      RegionScope region(rt, 3);
+      for (int u = 0; u < kUpdatesPerIter; ++u) {
+        const std::int32_t key = keys_.get(idx[u]);
+        const std::int32_t pos = prefix_.get(key);
+        if (pos < 0 || pos >= kKeys) {
+          throw AppInterrupt{"IS: rank position out of range (segfault)"};
+        }
+        rank_.set(idx[u], pos);
+        prefix_[key] += 1;  // cursor advance within the bucket
+        region.iterationEnd();
+      }
+    }
+    {  // R5: total-count invariant check (NPB partial verification).
+      RegionScope region(rt, 4);
+      std::int64_t total = 0;
+      for (int b = 0; b < kBuckets; ++b) total += hist_.get(b);
+      if (total != kKeys) {
+        throw AppInterrupt{"IS: histogram total diverged (segfault)"};
+      }
+      region.iterationEnd();
+    }
+    {  // R6: sampled bucket bound checks.
+      RegionScope region(rt, 5);
+      for (int s = 0; s < 64; ++s) {
+        const int b = (s * 97 + iteration * 13) % kBuckets;
+        const std::int32_t c = hist_.get(b);
+        if (c < 0 || c > kKeys) {
+          throw AppInterrupt{"IS: bucket count out of range"};
+        }
+        region.iterationEnd();
+      }
+    }
+    {  // R7: running spot-check accumulator.
+      RegionScope region(rt, 6);
+      double sum = chk_.get();
+      for (int s = 0; s < 128; ++s) {
+        const int i = (s * 211 + iteration * 61) % kKeys;
+        sum += static_cast<double>(keys_.get(i)) * (s + 1);
+      }
+      chk_.set(sum);
+      region.iterationEnd();
+    }
+    {  // R8: sampled rank sanity (ranks must stay inside the array).
+      RegionScope region(rt, 7);
+      for (int s = 0; s < 64; ++s) {
+        const int i = (s * 173 + iteration * 29) % kKeys;
+        const std::int32_t rk = rank_.get(i);
+        if (rk < 0 || rk >= kKeys) {
+          throw AppInterrupt{"IS: rank table corrupted"};
+        }
+        region.iterationEnd();
+      }
+    }
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return kIterations; }
+
+  [[nodiscard]] VerifyOutcome verify(Runtime& rt) override {
+    (void)rt;
+    // Full verification: the histogram must match a recount of the keys and
+    // sampled ranks must be consistent with the bucket layout.
+    std::vector<std::int32_t> recount(kBuckets, 0);
+    for (int i = 0; i < kKeys; ++i) {
+      const std::int32_t key = keys_.peek(i);
+      if (key < 0 || key >= kBuckets) {
+        return VerifyOutcome{false, 0.0, "corrupted key"};
+      }
+      ++recount[key];
+    }
+    int mismatched = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (recount[b] != hist_.peek(b)) ++mismatched;
+    }
+    VerifyOutcome out;
+    out.metric = static_cast<double>(mismatched);
+    out.pass = mismatched == 0 && std::isfinite(chk_.peek());
+    out.detail = std::to_string(mismatched) + " bucket(s) inconsistent with keys";
+    return out;
+  }
+
+ private:
+  void computePrefix() {
+    std::int32_t acc = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      prefix_.set(b, acc);
+      acc += hist_.get(b);
+    }
+    prefix_.set(kBuckets, acc);
+  }
+
+  TrackedArray<std::int32_t> keys_, rank_, hist_, prefix_;
+  TrackedScalar<double> chk_;
+};
+
+}  // namespace
+
+runtime::AppFactory makeIs() {
+  return [] { return std::make_unique<IsApp>(); };
+}
+
+}  // namespace easycrash::apps

@@ -1,0 +1,214 @@
+// kmeans — Lloyd's clustering (Rodinia kmeans analogue).
+//
+// One code region (Table 1): the assign-and-update loop over all points. The
+// only state that matters across iterations is the tiny centroid array (the
+// paper's 20-byte critical data object): it is so hot that its NVM copy
+// after a bare crash is essentially the initial guess, and the restarted run
+// must redo the whole convergence — about half the nominal iteration count
+// extra on average (Table 1: 18.2 extra of 36), which the paper's strict
+// "no extra iterations" recomputability definition counts as failure.
+// Persisting the centroids is almost free and repairs exactly this.
+#include <cmath>
+#include <vector>
+
+#include "easycrash/apps/app_base.hpp"
+#include "easycrash/apps/registry.hpp"
+
+namespace easycrash::apps {
+namespace {
+
+using runtime::RegionScope;
+using runtime::Runtime;
+using runtime::TrackedArray;
+using runtime::TrackedScalar;
+using runtime::VerifyOutcome;
+
+class KmeansApp final : public AppBase {
+ public:
+  static constexpr int kPoints = 3584;
+  static constexpr int kDim = 2;
+  static constexpr int kClusters = 3;
+  static constexpr int kNominalIterations = 36;  // matches the paper's count
+  static constexpr double kShiftEps = 2.0e-5;    // convergence on centroid move
+  static constexpr double kSseSlack = 1.02;      // verify: SSE within 2% of ref
+
+  KmeansApp() : AppBase("kmeans", "Data mining") {}
+
+  void setup(Runtime& rt) override {
+    rt.declareRegionCount(1);
+    points_ = TrackedArray<double>(rt, "points", kPoints * kDim,
+                                   /*candidate=*/false, /*readOnly=*/true);
+    centroids_ = TrackedArray<double>(rt, "centroids", kClusters * kDim,
+                                      /*candidate=*/true);
+    membership_ = TrackedArray<std::int32_t>(rt, "membership", kPoints,
+                                             /*candidate=*/true);
+    accum_ = TrackedArray<double>(rt, "accum", kClusters * (kDim + 1),
+                                  /*candidate=*/false);
+    shift_ = TrackedScalar<double>(rt, "shift", /*candidate=*/true);
+  }
+
+  void initialize(Runtime& rt) override {
+    (void)rt;
+    AppLcg lcg(1234);
+    // Three elongated, overlapping clusters: Lloyd's converges slowly, which
+    // reproduces the paper's ~36-iteration schedule.
+    const double cx[kClusters] = {0.33, 0.5, 0.67};
+    const double cy[kClusters] = {0.5, 0.5, 0.5};
+    referenceSse_ = 0.0;
+    for (int i = 0; i < kPoints; ++i) {
+      const int c = i % kClusters;
+      const double gx = gaussianish(lcg), gy = gaussianish(lcg);
+      points_.set(i * kDim + 0, cx[c] + 0.14 * gx);
+      points_.set(i * kDim + 1, cy[c] + 0.45 * gy);
+      membership_.set(i, 0);
+    }
+    // Deliberately poor initial centroids (all in one corner): the march to
+    // the solution takes the nominal schedule.
+    for (int c = 0; c < kClusters; ++c) {
+      centroids_.set(c * kDim + 0, 0.05 + 0.015 * c);
+      centroids_.set(c * kDim + 1, 0.05 + 0.010 * c);
+    }
+    for (int i = 0; i < kClusters * (kDim + 1); ++i) accum_.set(i, 0.0);
+    shift_.set(1.0);
+  }
+
+  void iterate(Runtime& rt, int iteration) override {
+    (void)iteration;
+    RegionScope region(rt, 0);
+    for (int i = 0; i < kClusters * (kDim + 1); ++i) accum_.set(i, 0.0);
+    double sse = 0.0;
+    for (int i = 0; i < kPoints; ++i) {
+      double best = 1.0e300;
+      int bestC = 0;
+      for (int c = 0; c < kClusters; ++c) {
+        double d2 = 0.0;
+        for (int d = 0; d < kDim; ++d) {
+          const double diff = points_.get(i * kDim + d) - centroids_.get(c * kDim + d);
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          bestC = c;
+        }
+      }
+      membership_.set(i, bestC);
+      for (int d = 0; d < kDim; ++d) {
+        accum_[bestC * (kDim + 1) + d] += points_.get(i * kDim + d);
+      }
+      accum_[bestC * (kDim + 1) + kDim] += 1.0;
+      sse += best;
+      region.iterationEnd();
+    }
+    // Centroid update + movement measurement.
+    double shift = 0.0;
+    for (int c = 0; c < kClusters; ++c) {
+      const double count = accum_.get(c * (kDim + 1) + kDim);
+      if (count <= 0.0) continue;
+      for (int d = 0; d < kDim; ++d) {
+        const double updated = accum_.get(c * (kDim + 1) + d) / count;
+        const double diff = updated - centroids_.get(c * kDim + d);
+        shift += diff * diff;
+        centroids_.set(c * kDim + d, updated);
+      }
+    }
+    shift_.set(std::sqrt(shift));
+    lastSse_ = sse;
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return kNominalIterations; }
+
+  [[nodiscard]] bool converged(Runtime& rt, int iteration) override {
+    (void)rt;
+    (void)iteration;
+    const double s = shift_.peek();
+    return std::isfinite(s) && s <= kShiftEps;
+  }
+
+  [[nodiscard]] VerifyOutcome verify(Runtime& rt) override {
+    (void)rt;
+    // Reference SSE: run Lloyd's to convergence on the host from the same
+    // deterministic initialisation (the known-good clustering quality).
+    const double ref = referenceSseValue();
+    VerifyOutcome out;
+    out.metric = lastSse_ / ref;
+    out.pass = std::isfinite(lastSse_) && lastSse_ <= ref * kSseSlack &&
+               shift_.peek() <= kShiftEps * 10.0;
+    out.detail = "SSE ratio vs reference = " + std::to_string(out.metric);
+    return out;
+  }
+
+ private:
+  static double gaussianish(AppLcg& lcg) {
+    // Sum of uniforms (Irwin-Hall) as a light-weight normal approximation.
+    double s = 0.0;
+    for (int t = 0; t < 4; ++t) s += lcg.nextDouble();
+    return (s - 2.0) * std::sqrt(3.0);
+  }
+
+  /// Host-side replication of the data generation + Lloyd's to convergence.
+  [[nodiscard]] double referenceSseValue() const {
+    if (referenceSse_ > 0.0) return referenceSse_;
+    AppLcg lcg(1234);
+    const double cx[kClusters] = {0.33, 0.5, 0.67};
+    const double cy[kClusters] = {0.5, 0.5, 0.5};
+    std::vector<double> pts(kPoints * kDim);
+    for (int i = 0; i < kPoints; ++i) {
+      const int c = i % kClusters;
+      AppLcg& l = lcg;
+      const double gx = gaussianish(l), gy = gaussianish(l);
+      pts[i * kDim + 0] = cx[c] + 0.14 * gx;
+      pts[i * kDim + 1] = cy[c] + 0.45 * gy;
+    }
+    std::vector<double> cen{0.05, 0.05, 0.065, 0.06, 0.08, 0.07};
+    double sse = 0.0;
+    for (int it = 0; it < 4 * kNominalIterations; ++it) {
+      std::vector<double> acc(kClusters * (kDim + 1), 0.0);
+      sse = 0.0;
+      for (int i = 0; i < kPoints; ++i) {
+        double best = 1.0e300;
+        int bestC = 0;
+        for (int c = 0; c < kClusters; ++c) {
+          double d2 = 0.0;
+          for (int d = 0; d < kDim; ++d) {
+            const double diff = pts[i * kDim + d] - cen[c * kDim + d];
+            d2 += diff * diff;
+          }
+          if (d2 < best) {
+            best = d2;
+            bestC = c;
+          }
+        }
+        for (int d = 0; d < kDim; ++d) acc[bestC * (kDim + 1) + d] += pts[i * kDim + d];
+        acc[bestC * (kDim + 1) + kDim] += 1.0;
+        sse += best;
+      }
+      double shift = 0.0;
+      for (int c = 0; c < kClusters; ++c) {
+        const double count = acc[c * (kDim + 1) + kDim];
+        if (count <= 0.0) continue;
+        for (int d = 0; d < kDim; ++d) {
+          const double updated = acc[c * (kDim + 1) + d] / count;
+          shift += (updated - cen[c * kDim + d]) * (updated - cen[c * kDim + d]);
+          cen[c * kDim + d] = updated;
+        }
+      }
+      if (std::sqrt(shift) <= kShiftEps) break;
+    }
+    referenceSse_ = sse;
+    return referenceSse_;
+  }
+
+  TrackedArray<double> points_, centroids_, accum_;
+  TrackedArray<std::int32_t> membership_;
+  TrackedScalar<double> shift_;
+  double lastSse_ = 0.0;
+  mutable double referenceSse_ = 0.0;
+};
+
+}  // namespace
+
+runtime::AppFactory makeKmeans() {
+  return [] { return std::make_unique<KmeansApp>(); };
+}
+
+}  // namespace easycrash::apps

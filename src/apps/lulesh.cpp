@@ -1,0 +1,245 @@
+// LULESH — Lagrangian shock-hydrodynamics proxy (LLNL LULESH analogue).
+//
+// A 1-D staggered-grid Lagrangian hydro scheme: nodal positions/velocities
+// and element energies/pressures march through force calculation, motion
+// update, EOS evaluation and time-step control — the paper's four code
+// regions. Acceptance verification uses physics: total (kinetic + internal)
+// energy conservation within a tolerance plus a positive-volume check; a
+// tangled mesh (negative volume, the classic LULESH abort) raises the
+// simulated segfault. Crash tears break energy conservation permanently —
+// hydro has no restoring force toward the exact conserved value — but small
+// tears stay inside the tolerance, giving LULESH its intermediate intrinsic
+// recomputability.
+#include <cmath>
+#include <vector>
+
+#include "easycrash/apps/app_base.hpp"
+#include "easycrash/apps/registry.hpp"
+
+namespace easycrash::apps {
+namespace {
+
+using runtime::AppInterrupt;
+using runtime::RegionScope;
+using runtime::Runtime;
+using runtime::TrackedArray;
+using runtime::TrackedScalar;
+using runtime::VerifyOutcome;
+
+class LuleshApp final : public AppBase {
+ public:
+  static constexpr int kElems = 3072;          // elements; nodes = kElems + 1
+  static constexpr int kIterations = 30;       // time steps (paper: 3517)
+  static constexpr double kDt = 2.0e-5;
+  static constexpr double kGamma = 1.4;        // ideal-gas EOS
+  static constexpr double kViscosity = 0.10;   // artificial viscosity strength
+  static constexpr double kTrajectoryTol = 1.0e-10;  // band vs. reference replay
+  static constexpr double kEnergyTol = 1.0e-3;       // physics sanity bound
+
+  LuleshApp() : AppBase("lulesh", "Hydrodynamics modeling") {}
+
+  void setup(Runtime& rt) override {
+    rt.declareRegionCount(4);
+    x_ = TrackedArray<double>(rt, "node_x", kElems + 1, /*candidate=*/true);
+    v_ = TrackedArray<double>(rt, "node_v", kElems + 1, /*candidate=*/true);
+    e_ = TrackedArray<double>(rt, "elem_e", kElems, /*candidate=*/true);
+    p_ = TrackedArray<double>(rt, "elem_p", kElems, /*candidate=*/true);
+    q_ = TrackedArray<double>(rt, "elem_q", kElems, /*candidate=*/true);
+    f_ = TrackedArray<double>(rt, "node_f", kElems + 1, /*candidate=*/false);
+    mass_ = TrackedArray<double>(rt, "elem_mass", kElems, /*candidate=*/false, true);
+    etotal_ = TrackedScalar<double>(rt, "e_total", /*candidate=*/true);
+  }
+
+  void initialize(Runtime& rt) override {
+    (void)rt;
+    e0_ = 0.0;
+    AppLcg lcg(6174);
+    for (int i = 0; i <= kElems; ++i) {
+      x_.set(i, static_cast<double>(i) / kElems);
+      // Acoustic-wave bath: every node moves every step, so a crash tear
+      // anywhere in the domain perturbs the energy balance.
+      const double phase = 2.0 * M_PI * 3.0 * i / kElems;
+      v_.set(i, (i == 0 || i == kElems)
+                    ? 0.0
+                    : 0.08 * std::sin(phase) + 0.02 * (lcg.nextDouble() - 0.5));
+      f_.set(i, 0.0);
+    }
+    for (int k = 0; k < kElems; ++k) {
+      // Sedov-like deposition on top of a warm background.
+      const double energy =
+          (k < kElems / 64) ? 1.0 : 0.1 + 0.05 * lcg.nextDouble();
+      e_.set(k, energy);
+      mass_.set(k, 1.0 / kElems);
+      const double vol = 1.0 / kElems;
+      const double rho = mass_.peek(k) / vol;
+      p_.set(k, (kGamma - 1.0) * rho * energy);
+      q_.set(k, 0.0);
+      const double ke = 0.25 * (1.0 / kElems) *
+                        (v_.peek(k) * v_.peek(k) + v_.peek(k + 1) * v_.peek(k + 1));
+      e0_ += energy * mass_.peek(k) + ke;
+    }
+    etotal_.set(e0_);
+  }
+
+  void iterate(Runtime& rt, int iteration) override {
+    (void)iteration;
+    {  // R1: nodal force calculation from pressure + artificial viscosity.
+      RegionScope region(rt, 0);
+      for (int i = 1; i < kElems; ++i) {
+        f_.set(i, (p_.get(i - 1) + q_.get(i - 1)) - (p_.get(i) + q_.get(i)));
+      }
+      f_.set(0, 0.0);
+      f_.set(kElems, 0.0);
+      region.iterationEnd();
+    }
+    {  // R2: velocity and position update (leapfrog).
+      RegionScope region(rt, 1);
+      for (int i = 0; i <= kElems; ++i) {
+        const double nodeMass = 1.0 / kElems;
+        v_[i] += kDt * f_.get(i) / nodeMass;
+        x_[i] += kDt * v_.get(i);
+      }
+      region.iterationEnd();
+    }
+    {  // R3: EOS update — volume work and artificial viscosity.
+      RegionScope region(rt, 2);
+      for (int k = 0; k < kElems; ++k) {
+        const double vol = x_.get(k + 1) - x_.get(k);
+        if (vol <= 0.0 || !std::isfinite(vol)) {
+          throw AppInterrupt{"LULESH: negative element volume (mesh tangled)"};
+        }
+        const double dv = kDt * (v_.get(k + 1) - v_.get(k));
+        const double work = (p_.get(k) + q_.get(k)) * dv;
+        e_[k] -= work / mass_.get(k);
+        const double rho = mass_.get(k) / vol;
+        p_.set(k, std::max(0.0, (kGamma - 1.0) * rho * e_.get(k)));
+        const double dvel = v_.get(k + 1) - v_.get(k);
+        q_.set(k, dvel < 0.0 ? kViscosity * rho * dvel * dvel : 0.0);
+      }
+      region.iterationEnd();
+    }
+    {  // R4: time-step control diagnostics + running energy total.
+      RegionScope region(rt, 3);
+      double total = 0.0;
+      for (int k = 0; k < kElems; ++k) {
+        const double ke = 0.25 * (1.0 / kElems) *
+                          (v_.get(k) * v_.get(k) + v_.get(k + 1) * v_.get(k + 1));
+        total += e_.get(k) * mass_.get(k) + ke;
+      }
+      etotal_.set(total);
+      region.iterationEnd();
+    }
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return kIterations; }
+
+  [[nodiscard]] VerifyOutcome verify(Runtime& rt) override {
+    (void)rt;
+    // Acceptance verification: the final state must match the reference
+    // trajectory (host replay of the identical arithmetic) within a tight
+    // band, the mesh must be intact, and total energy must be sane.
+    const HostState& ref = referenceState();
+    double worst = 0.0;
+    for (int k = 0; k < kElems; ++k) {
+      worst = std::max(worst, std::abs(e_.peek(k) - ref.e[k]));
+      worst = std::max(worst, std::abs(x_.peek(k) - ref.x[k]));
+      worst = std::max(worst, std::abs(v_.peek(k) - ref.v[k]));
+    }
+    double total = 0.0;
+    for (int k = 0; k < kElems; ++k) {
+      const double ke = 0.25 * (1.0 / kElems) *
+                        (v_.peek(k) * v_.peek(k) + v_.peek(k + 1) * v_.peek(k + 1));
+      total += e_.peek(k) * mass_.peek(k) + ke;
+    }
+    bool meshOk = true;
+    for (int i = 0; i < kElems; ++i) {
+      if (x_.peek(i + 1) <= x_.peek(i)) {
+        meshOk = false;
+        break;
+      }
+    }
+    VerifyOutcome out;
+    out.metric = worst;
+    const double drift = std::abs(total - e0_) / e0_;
+    out.pass = meshOk && std::isfinite(worst) && worst <= kTrajectoryTol &&
+               drift <= kEnergyTol;
+    out.detail = "max |state - reference| = " + std::to_string(worst) +
+                 ", energy drift = " + std::to_string(drift) +
+                 (meshOk ? "" : " (mesh tangled)");
+    return out;
+  }
+
+ private:
+  struct HostState {
+    std::vector<double> x, v, e, p, q, f;
+  };
+
+  static void hostInit(HostState& s) {
+    AppLcg lcg(6174);
+    s.x.resize(kElems + 1);
+    s.v.resize(kElems + 1);
+    s.f.assign(kElems + 1, 0.0);
+    s.e.resize(kElems);
+    s.p.resize(kElems);
+    s.q.assign(kElems, 0.0);
+    for (int i = 0; i <= kElems; ++i) {
+      s.x[i] = static_cast<double>(i) / kElems;
+      const double phase = 2.0 * M_PI * 3.0 * i / kElems;
+      s.v[i] = (i == 0 || i == kElems)
+                   ? 0.0
+                   : 0.08 * std::sin(phase) + 0.02 * (lcg.nextDouble() - 0.5);
+    }
+    for (int k = 0; k < kElems; ++k) {
+      const double energy = (k < kElems / 64) ? 1.0 : 0.1 + 0.05 * lcg.nextDouble();
+      s.e[k] = energy;
+      s.p[k] = (kGamma - 1.0) * (1.0) * energy;  // rho = 1 initially
+    }
+  }
+
+  /// Host replica of iterate() — identical arithmetic in identical order.
+  static void hostIterate(HostState& s) {
+    for (int i = 1; i < kElems; ++i) {
+      s.f[i] = (s.p[i - 1] + s.q[i - 1]) - (s.p[i] + s.q[i]);
+    }
+    s.f[0] = 0.0;
+    s.f[kElems] = 0.0;
+    for (int i = 0; i <= kElems; ++i) {
+      const double nodeMass = 1.0 / kElems;
+      s.v[i] = s.v[i] + kDt * s.f[i] / nodeMass;
+      s.x[i] = s.x[i] + kDt * s.v[i];
+    }
+    for (int k = 0; k < kElems; ++k) {
+      const double vol = s.x[k + 1] - s.x[k];
+      const double dv = kDt * (s.v[k + 1] - s.v[k]);
+      const double work = (s.p[k] + s.q[k]) * dv;
+      const double mass = 1.0 / kElems;
+      s.e[k] = s.e[k] - work / mass;
+      const double rho = mass / vol;
+      s.p[k] = std::max(0.0, (kGamma - 1.0) * rho * s.e[k]);
+      const double dvel = s.v[k + 1] - s.v[k];
+      s.q[k] = dvel < 0.0 ? kViscosity * rho * dvel * dvel : 0.0;
+    }
+  }
+
+  [[nodiscard]] static const HostState& referenceState() {
+    static const HostState ref = [] {
+      HostState s;
+      hostInit(s);
+      for (int it = 1; it <= kIterations; ++it) hostIterate(s);
+      return s;
+    }();
+    return ref;
+  }
+
+  TrackedArray<double> x_, v_, e_, p_, q_, f_, mass_;
+  TrackedScalar<double> etotal_;
+  double e0_ = 0.0;
+};
+
+}  // namespace
+
+runtime::AppFactory makeLulesh() {
+  return [] { return std::make_unique<LuleshApp>(); };
+}
+
+}  // namespace easycrash::apps

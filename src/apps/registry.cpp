@@ -1,0 +1,39 @@
+#include "easycrash/apps/registry.hpp"
+
+#include <stdexcept>
+
+namespace easycrash::apps {
+
+const std::vector<BenchmarkEntry>& allBenchmarks() {
+  static const std::vector<BenchmarkEntry> benchmarks = {
+      {"cg", "Sparse linear algebra", makeCg()},
+      {"mg", "Structured grids", makeMg()},
+      {"ft", "Spectral method", makeFt()},
+      {"is", "Graph traversal (sorting)", makeIs()},
+      {"bt", "Dense linear algebra", makeBt()},
+      {"lu", "Dense linear algebra", makeLu()},
+      {"sp", "Dense linear algebra", makeSp()},
+      {"ep", "Monte Carlo", makeEp()},
+      {"botsspar", "Sparse linear algebra", makeBotsspar()},
+      {"lulesh", "Hydrodynamics modeling", makeLulesh()},
+      {"kmeans", "Data mining", makeKmeans()},
+  };
+  return benchmarks;
+}
+
+const BenchmarkEntry& findBenchmark(const std::string& name) {
+  for (const auto& entry : allBenchmarks()) {
+    if (entry.name == name) return entry;
+  }
+  throw std::runtime_error("unknown benchmark: " + name);
+}
+
+std::vector<std::string> evaluatedBenchmarkNames() {
+  std::vector<std::string> names;
+  for (const auto& entry : allBenchmarks()) {
+    if (entry.name != "ep") names.push_back(entry.name);
+  }
+  return names;
+}
+
+}  // namespace easycrash::apps

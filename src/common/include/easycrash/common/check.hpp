@@ -1,0 +1,32 @@
+// Lightweight precondition / invariant checking.
+//
+// EC_CHECK is always on (simulator correctness depends on it); failures throw
+// std::logic_error so crash-test campaigns can distinguish simulator bugs from
+// simulated application failures (which use their own exception types).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace easycrash {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line,
+                                     const std::string& message) {
+  std::ostringstream os;
+  os << "EC_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace easycrash
+
+#define EC_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) ::easycrash::checkFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define EC_CHECK_MSG(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) ::easycrash::checkFailed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

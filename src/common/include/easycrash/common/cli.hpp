@@ -1,0 +1,51 @@
+// Minimal command-line option parsing for bench and example binaries.
+//
+// Supports "--name value" and "--name=value" forms plus boolean flags.
+// Unknown options raise an error listing the registered options, so every
+// bench binary gets a usable --help for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace easycrash {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string description);
+
+  /// Register an option with a default value and help text.
+  void addString(const std::string& name, std::string defaultValue, std::string help);
+  void addInt(const std::string& name, std::int64_t defaultValue, std::string help);
+  void addDouble(const std::string& name, double defaultValue, std::string help);
+  void addFlag(const std::string& name, std::string help);
+
+  /// Parse argv. Returns false (after printing usage) if --help was given.
+  /// Throws std::runtime_error on unknown options or malformed values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& getString(const std::string& name) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& name) const;
+  [[nodiscard]] double getDouble(const std::string& name) const;
+  [[nodiscard]] bool getFlag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { String, Int, Double, Flag };
+  struct Option {
+    Kind kind;
+    std::string value;  // textual form; flags use "0"/"1"
+    std::string defaultValue;
+    std::string help;
+  };
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace easycrash

@@ -1,0 +1,117 @@
+#include "easycrash/common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EC_CHECK(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  EC_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  EC_CHECK_MSG(rows_.back().size() < header_.size(), "too many cells in row");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(formatDouble(value, precision));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(unsigned long long value) { return cell(std::to_string(value)); }
+
+Table& Table::cellPercent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << v << ' ';
+    }
+    os << "|\n";
+  };
+
+  if (!title.empty()) os << title << '\n';
+  rule();
+  line(header_);
+  rule();
+  for (const auto& r : rows_) line(r);
+  rule();
+}
+
+void Table::printCsv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const std::string& v = cells[c];
+      if (v.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : v) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << v;
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024, kMiB = kKiB * 1024, kGiB = kMiB * 1024;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= kGiB) {
+    os << static_cast<double>(bytes) / static_cast<double>(kGiB) << "GB";
+  } else if (bytes >= kMiB) {
+    os << static_cast<double>(bytes) / static_cast<double>(kMiB) << "MB";
+  } else if (bytes >= kKiB) {
+    os << static_cast<double>(bytes) / static_cast<double>(kKiB) << "KB";
+  } else {
+    os << bytes << 'B';
+    return os.str();
+  }
+  return os.str();
+}
+
+std::string formatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace easycrash

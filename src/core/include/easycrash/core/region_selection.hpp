@@ -1,0 +1,70 @@
+// Critical-code-region selection (paper §5.2).
+//
+// Formulation: pick persist points (regions or the main-loop end) and flush
+// frequencies so that the total estimated runtime overhead stays below t_s
+// (Equation 3) while application recomputability is maximised; EasyCrash is
+// worth enabling only when the predicted Y' exceeds the system-efficiency
+// threshold tau (Equation 4). Recomputability under a reduced frequency x
+// follows the paper's linear interpolation (Equation 5), and the choice
+// problem is the paper's 0/1 (here: multi-choice) knapsack, solved by
+// dynamic programming on a discretised weight grid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "easycrash/runtime/persistence_plan.hpp"
+
+namespace easycrash::core {
+
+struct RegionSelectionConfig {
+  double ts = 0.35;  ///< runtime-overhead budget (the paper uses 3% at Class-C
+                     ///< scale; scaled-down problems compress work-per-persist
+                     ///< roughly tenfold, see DESIGN.md — benches sweep this
+                     ///< knob, bench_ablation_ts quantifies the sensitivity)
+  double tau = 0.0;  ///< recomputability threshold from the system model
+  std::vector<std::uint32_t> frequencies = {1, 2, 4, 8, 16, 32, 64};
+  double weightResolution = 1.0e-4;  ///< knapsack weight grid (0.01%)
+};
+
+/// Per-persist-point model inputs, all derived from two crash campaigns and
+/// the golden run (paper §5.2 "How to use the algorithm").
+struct RegionModelInput {
+  runtime::PointId point = runtime::kMainLoopEnd;
+  double timeShare = 0.0;           ///< a_k
+  double baseRecomputability = 0;   ///< c_k (campaign without persistence)
+  double maxRecomputability = 0;    ///< c_k^max (campaign persisting everywhere)
+  std::uint64_t iterationEnds = 0;  ///< loop iterations per execution
+};
+
+struct RegionChoice {
+  runtime::PointId point = runtime::kMainLoopEnd;
+  std::uint32_t everyN = 1;
+  double costFraction = 0.0;   ///< l_k at this frequency
+  double predictedCk = 0.0;    ///< c_k^x from Equation 5
+  double gain = 0.0;           ///< a_k * (c_k^x - c_k)
+};
+
+struct RegionSelectionResult {
+  std::vector<RegionChoice> chosen;
+  double baseY = 0.0;       ///< Equation 1 over the inputs
+  double predictedY = 0.0;  ///< Equation 2 with the chosen plan
+  double totalCostFraction = 0.0;
+  bool meetsTau = false;    ///< Equation 4
+};
+
+/// Solve the selection problem. `flushOncePerExecNs(point)` must give the
+/// estimated cost of one persistence operation at that point, and
+/// `baseExecNs` the golden execution time, both under the same time model.
+[[nodiscard]] RegionSelectionResult selectRegions(
+    const std::vector<RegionModelInput>& inputs,
+    const std::map<runtime::PointId, double>& flushOnceNs, double baseExecNs,
+    const RegionSelectionConfig& config);
+
+/// Estimate c_k^max from a measurement at reduced frequency x by inverting
+/// Equation 5 (clamped to [measured, 1]).
+[[nodiscard]] double extrapolateMaxRecomputability(double cBase, double cMeasured,
+                                                   std::uint32_t measuredEveryN);
+
+}  // namespace easycrash::core

@@ -1,0 +1,113 @@
+#include "easycrash/core/region_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::core {
+
+double extrapolateMaxRecomputability(double cBase, double cMeasured,
+                                     std::uint32_t measuredEveryN) {
+  // Equation 5: c^x = (c^max - c) / x + c  =>  c^max = c + x (c^x - c).
+  const double extrapolated =
+      cBase + static_cast<double>(measuredEveryN) * (cMeasured - cBase);
+  return std::clamp(extrapolated, cMeasured, 1.0);
+}
+
+RegionSelectionResult selectRegions(
+    const std::vector<RegionModelInput>& inputs,
+    const std::map<runtime::PointId, double>& flushOnceNs, double baseExecNs,
+    const RegionSelectionConfig& config) {
+  EC_CHECK(baseExecNs > 0.0);
+  EC_CHECK(config.ts > 0.0);
+  EC_CHECK(!config.frequencies.empty());
+
+  RegionSelectionResult result;
+  for (const auto& input : inputs) {
+    result.baseY += input.timeShare * input.baseRecomputability;
+  }
+
+  // Build the variant groups (one group per persist point; at most one
+  // frequency may be chosen per group).
+  struct Variant {
+    RegionChoice choice;
+    int weight = 0;  // discretised cost
+  };
+  const int capacity =
+      static_cast<int>(std::ceil(config.ts / config.weightResolution));
+  std::vector<std::vector<Variant>> groups;
+  for (const auto& input : inputs) {
+    const auto costIt = flushOnceNs.find(input.point);
+    if (costIt == flushOnceNs.end() || input.iterationEnds == 0) continue;
+    std::vector<Variant> group;
+    for (std::uint32_t x : config.frequencies) {
+      const double flushes =
+          static_cast<double>(input.iterationEnds) / static_cast<double>(x);
+      const double costFraction = flushes * costIt->second / baseExecNs;
+      if (costFraction > config.ts) continue;  // Equation 3 per variant
+      const double cx = (input.maxRecomputability - input.baseRecomputability) /
+                            static_cast<double>(x) +
+                        input.baseRecomputability;
+      Variant v;
+      v.choice.point = input.point;
+      v.choice.everyN = x;
+      v.choice.costFraction = costFraction;
+      v.choice.predictedCk = cx;
+      v.choice.gain = std::max(0.0, input.timeShare *
+                                        (cx - input.baseRecomputability));
+      v.weight = std::max(
+          1, static_cast<int>(std::ceil(costFraction / config.weightResolution)));
+      if (v.weight <= capacity) group.push_back(v);
+    }
+    if (!group.empty()) groups.push_back(std::move(group));
+  }
+
+  // Multi-choice knapsack DP: dp[w] = best total gain with weight <= w.
+  constexpr double kNegative = -1.0;
+  std::vector<double> dp(static_cast<std::size_t>(capacity) + 1, 0.0);
+  // take[g][w] = index of the variant chosen for group g at weight w, or -1.
+  std::vector<std::vector<int>> take(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::vector<double> next = dp;
+    take[g].assign(static_cast<std::size_t>(capacity) + 1, -1);
+    for (int w = 0; w <= capacity; ++w) {
+      for (std::size_t v = 0; v < groups[g].size(); ++v) {
+        const Variant& variant = groups[g][v];
+        if (variant.weight > w) continue;
+        const double candidate = dp[w - variant.weight] + variant.choice.gain;
+        if (candidate > next[w] + 1e-15) {
+          next[w] = candidate;
+          take[g][w] = static_cast<int>(v);
+        }
+      }
+    }
+    // dp stays monotone in w by induction (taking nothing carries dp[w]
+    // forward), so no explicit monotonicity fix is needed.
+    dp = std::move(next);
+    (void)kNegative;
+  }
+
+  // Backtrack the choices.
+  {
+    int w = capacity;
+    for (std::size_t g = groups.size(); g-- > 0;) {
+      const int v = take[g][w];
+      if (v >= 0) {
+        result.chosen.push_back(groups[g][static_cast<std::size_t>(v)].choice);
+        w -= groups[g][static_cast<std::size_t>(v)].weight;
+      }
+    }
+    std::reverse(result.chosen.begin(), result.chosen.end());
+  }
+
+  result.predictedY = result.baseY;
+  for (const auto& choice : result.chosen) {
+    result.predictedY += choice.gain;
+    result.totalCostFraction += choice.costFraction;
+  }
+  result.meetsTau = result.predictedY > config.tau;
+  return result;
+}
+
+}  // namespace easycrash::core

@@ -1,0 +1,145 @@
+#include "easycrash/core/workflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easycrash/common/check.hpp"
+#include "easycrash/perfmodel/time_model.hpp"
+
+namespace easycrash::core {
+
+using crash::CampaignConfig;
+using crash::CampaignRunner;
+using runtime::kMainLoopEnd;
+using runtime::PersistDirective;
+using runtime::PersistencePlan;
+using runtime::PointId;
+
+PersistencePlan buildEverywherePlan(const crash::GoldenStats& golden,
+                                    const std::vector<runtime::ObjectId>& objects,
+                                    int maxFlushesPerActivation) {
+  EC_CHECK(maxFlushesPerActivation >= 1);
+  PersistencePlan plan;
+  const auto mainIters = static_cast<double>(
+      golden.regionIterationEnds.count(kMainLoopEnd)
+          ? golden.regionIterationEnds.at(kMainLoopEnd)
+          : 1);
+  for (const auto& [point, ends] : golden.regionIterationEnds) {
+    PersistDirective directive;
+    directive.objects = objects;
+    if (point == kMainLoopEnd) {
+      directive.everyN = 1;
+    } else {
+      const double perActivation = static_cast<double>(ends) / std::max(1.0, mainIters);
+      directive.everyN = static_cast<std::uint32_t>(std::max(
+          1.0, std::ceil(perActivation / maxFlushesPerActivation)));
+    }
+    plan.points[point] = std::move(directive);
+  }
+  return plan;
+}
+
+WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
+                                    const WorkflowConfig& config) {
+  WorkflowResult result;
+
+  // ---- Step 1: baseline campaign (no persistence). ------------------------
+  CampaignConfig base;
+  base.numTests = config.testsPerCampaign;
+  base.seed = config.seed;
+  base.cache = config.cache;
+  result.baseline = CampaignRunner(factory, base).run();
+
+  // ---- Step 2: critical data objects. --------------------------------------
+  result.objects = selectCriticalObjects(result.baseline, config.objectCriteria);
+  if (result.objects.critical.empty()) {
+    // Nothing worth persisting: production plan stays empty (the paper's
+    // "EasyCrash cannot bring benefit" case, e.g. EP).
+    return result;
+  }
+
+  // ---- Step 3: campaign persisting everywhere, then the knapsack. ----------
+  result.everywherePlan = buildEverywherePlan(
+      result.baseline.golden, result.objects.critical, config.maxFlushesPerActivation);
+  CampaignConfig everywhere = base;
+  everywhere.seed = config.seed + 1;
+  everywhere.plan = result.everywherePlan;
+  result.everywhere = CampaignRunner(factory, everywhere).run();
+
+  // Model inputs: a_k and c_k from the baseline, c_k^max extrapolated from
+  // the persist-everywhere campaign via Equation 5.
+  const auto cBase = result.baseline.regionRecomputability();
+  const auto cMeasured = result.everywhere.regionRecomputability();
+  std::vector<RegionModelInput> inputs;
+  for (const auto& [point, share] : result.baseline.golden.regionTimeShare) {
+    RegionModelInput input;
+    input.point = point;
+    input.timeShare = share;
+    input.baseRecomputability = cBase.count(point) ? cBase.at(point) : 0.0;
+    const double measured = cMeasured.count(point)
+                                ? cMeasured.at(point)
+                                : result.everywhere.recomputability();
+    const auto planIt = result.everywherePlan.points.find(point);
+    const std::uint32_t usedEveryN =
+        planIt != result.everywherePlan.points.end() ? planIt->second.everyN : 1;
+    input.maxRecomputability = extrapolateMaxRecomputability(
+        input.baseRecomputability, measured, usedEveryN);
+    input.iterationEnds = result.baseline.golden.regionIterationEnds.count(point)
+                              ? result.baseline.golden.regionIterationEnds.at(point)
+                              : 0;
+    if (input.iterationEnds > 0) inputs.push_back(input);
+  }
+  // The main-loop end is also a persist point even when all accesses are
+  // attributed to inner regions.
+  if (result.baseline.golden.regionTimeShare.count(kMainLoopEnd) == 0 &&
+      result.baseline.golden.regionIterationEnds.count(kMainLoopEnd)) {
+    RegionModelInput input;
+    input.point = kMainLoopEnd;
+    input.timeShare = 0.0;
+    input.baseRecomputability = result.baseline.recomputability();
+    const double measured = result.everywhere.recomputability();
+    input.maxRecomputability = std::clamp(measured, input.baseRecomputability, 1.0);
+    input.iterationEnds = result.baseline.golden.regionIterationEnds.at(kMainLoopEnd);
+    inputs.push_back(input);
+  }
+
+  // Flush-cost estimate per persistence operation at each point, measured
+  // from the persist-everywhere campaign's actual flush mix (dirty vs. clean
+  // vs. non-resident) under the DRAM time model.
+  const perfmodel::TimeModel model(perfmodel::NvmProfile::dram());
+  const double baseExecNs = model.executionTimeNs(result.baseline.golden.events);
+  const double persistNs = model.persistenceTimeNs(result.everywhere.golden.events);
+  const double opsTotal =
+      std::max<std::uint64_t>(1, result.everywhere.golden.persistenceOps);
+  const double flushOnce = persistNs / static_cast<double>(opsTotal);
+  std::map<PointId, double> flushOnceNs;
+  for (const auto& input : inputs) flushOnceNs[input.point] = flushOnce;
+
+  result.regions = selectRegions(inputs, flushOnceNs, baseExecNs, config.regionConfig);
+
+  // ---- Production plan. -----------------------------------------------------
+  for (const auto& choice : result.regions.chosen) {
+    PersistDirective directive;
+    directive.objects = result.objects.critical;
+    directive.everyN = choice.everyN;
+    result.plan.points[choice.point] = std::move(directive);
+  }
+
+  // The paper's Equation-4 gate: when the predicted recomputability cannot
+  // clear tau, EasyCrash is not enabled for this application.
+  if (!result.regions.meetsTau) {
+    result.plan = PersistencePlan{};
+    return result;
+  }
+
+  // ---- Step 4: validation campaign under the production plan. ---------------
+  if (config.validateFinal && !result.plan.empty()) {
+    CampaignConfig validation = base;
+    validation.seed = config.seed + 2;
+    validation.plan = result.plan;
+    result.validation = CampaignRunner(factory, validation).run();
+  }
+  return result;
+}
+
+}  // namespace easycrash::core

@@ -1,0 +1,240 @@
+#include "easycrash/crash/campaign.hpp"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "easycrash/common/check.hpp"
+#include "easycrash/common/rng.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace easycrash::crash {
+
+using runtime::CrashEvent;
+using runtime::Driver;
+using runtime::Runtime;
+
+const char* toString(Response response) {
+  switch (response) {
+    case Response::S1: return "S1";
+    case Response::S2: return "S2";
+    case Response::S3: return "S3";
+    case Response::S4: return "S4";
+  }
+  return "?";
+}
+
+double CampaignResult::recomputability() const {
+  if (tests.empty()) return 0.0;
+  const auto counts = responseCounts();
+  return static_cast<double>(counts[0]) / static_cast<double>(tests.size());
+}
+
+double CampaignResult::successWithExtra() const {
+  if (tests.empty()) return 0.0;
+  const auto counts = responseCounts();
+  return static_cast<double>(counts[0] + counts[1]) /
+         static_cast<double>(tests.size());
+}
+
+std::array<int, 4> CampaignResult::responseCounts() const {
+  std::array<int, 4> counts{};
+  for (const auto& t : tests) counts[static_cast<int>(t.response)] += 1;
+  return counts;
+}
+
+double CampaignResult::averageExtraIterations() const {
+  int n = 0;
+  long long total = 0;
+  for (const auto& t : tests) {
+    if (t.response == Response::S2) {
+      total += t.extraIterations;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(total) / n;
+}
+
+std::map<runtime::PointId, double> CampaignResult::regionRecomputability() const {
+  std::map<runtime::PointId, int> s1, all;
+  for (const auto& t : tests) {
+    all[t.region] += 1;
+    if (t.response == Response::S1) s1[t.region] += 1;
+  }
+  std::map<runtime::PointId, double> out;
+  for (const auto& [region, n] : all) {
+    out[region] = static_cast<double>(s1[region]) / static_cast<double>(n);
+  }
+  return out;
+}
+
+std::map<runtime::PointId, int> CampaignResult::regionTestCounts() const {
+  std::map<runtime::PointId, int> all;
+  for (const auto& t : tests) all[t.region] += 1;
+  return all;
+}
+
+std::map<runtime::ObjectId, double> CampaignResult::meanInconsistentRate() const {
+  std::map<runtime::ObjectId, double> sum;
+  for (const auto& t : tests) {
+    for (const auto& [id, rate] : t.inconsistentRate) sum[id] += rate;
+  }
+  for (auto& [id, total] : sum) total /= static_cast<double>(tests.size());
+  return sum;
+}
+
+CampaignRunner::CampaignRunner(runtime::AppFactory factory, CampaignConfig config)
+    : factory_(std::move(factory)), config_(std::move(config)) {
+  EC_CHECK(config_.numTests >= 0);
+  EC_CHECK(config_.maxIterationFactor >= 1);
+}
+
+GoldenStats CampaignRunner::goldenRun() const {
+  Runtime rt(config_.cache);
+  rt.setPlan(config_.plan);
+  auto app = factory_();
+  const auto result = Driver::freshRun(*app, rt);
+  EC_CHECK_MSG(!result.interrupted, "golden run interrupted: " + result.interruptReason);
+  EC_CHECK_MSG(result.verification.pass,
+               "golden run failed its own acceptance verification (" +
+                   app->info().name + "): " + result.verification.detail);
+
+  GoldenStats golden;
+  golden.windowAccesses = rt.windowAccesses();
+  golden.finalIteration = result.finalIteration;
+  golden.events = rt.events();
+  golden.footprintBytes = rt.footprintBytes();
+  golden.regionCount = rt.regionCount();
+  golden.persistenceOps = rt.persistenceOps();
+  golden.verifyMetric = result.verification.metric;
+  golden.objects = rt.objects();
+  for (const auto& object : golden.objects) {
+    if (object.candidate) golden.candidateBytes += object.bytes;
+  }
+  for (const auto& [region, accesses] : rt.regionAccesses()) {
+    golden.regionTimeShare[region] =
+        static_cast<double>(accesses) / static_cast<double>(golden.windowAccesses);
+  }
+  golden.regionIterationEnds = rt.regionIterationEnds();
+  return golden;
+}
+
+CampaignResult CampaignRunner::run() const {
+  CampaignResult result;
+  result.golden = goldenRun();
+  EC_CHECK_MSG(result.golden.windowAccesses > 0, "empty crash window");
+
+  // Pre-draw every crash point so the campaign is identical regardless of
+  // the number of worker threads.
+  Rng rng(config_.seed);
+  std::vector<std::uint64_t> crashIndices(static_cast<std::size_t>(config_.numTests));
+  for (auto& index : crashIndices) {
+    index = rng.between(1, result.golden.windowAccesses);
+  }
+
+  result.tests.resize(crashIndices.size());
+  int threads = config_.threads == 0
+                    ? static_cast<int>(std::thread::hardware_concurrency())
+                    : config_.threads;
+  threads = std::max(1, std::min<int>(threads, config_.numTests));
+  if (threads <= 1) {
+    for (std::size_t t = 0; t < crashIndices.size(); ++t) {
+      result.tests[t] = runOneTest(result.golden, crashIndices[t]);
+    }
+    return result;
+  }
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1);
+      if (t >= crashIndices.size()) return;
+      result.tests[t] = runOneTest(result.golden, crashIndices[t]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return result;
+}
+
+CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
+                                           std::uint64_t crashIndex) const {
+  CrashTestRecord record;
+  record.crashAccessIndex = crashIndex;
+
+  // --- Crashing run -----------------------------------------------------
+  Runtime rt(config_.cache);
+  rt.setPlan(config_.plan);
+  auto app = factory_();
+  app->setup(rt);
+  app->initialize(rt);
+  rt.armCrash(crashIndex);
+
+  std::map<runtime::ObjectId, std::vector<std::uint8_t>> snapshots;
+  try {
+    const auto run = Driver::run(*app, rt, 1, golden.finalIteration);
+    // Determinism guarantees the armed crash fires; reaching here is a bug
+    // in the app (non-deterministic access sequence).
+    (void)run;
+    EC_CHECK_MSG(false, "armed crash did not fire — app is non-deterministic");
+  } catch (const CrashEvent& crash) {
+    record.region = crash.activeRegion;
+    record.regionPath = crash.regionPath;
+    record.crashIteration = crash.iteration;
+    // NVCT post-mortem: inconsistency rates before the caches are dropped.
+    for (const auto& object : rt.objects()) {
+      if (object.candidate) {
+        record.inconsistentRate[object.id] = rt.inconsistentRate(object.id);
+      }
+    }
+    record.restartIteration = config_.mode == SnapshotMode::NvmImage
+                                  ? rt.bookmarkedIterationNvm()
+                                  : crash.iteration;
+    for (const auto& object : rt.objects()) {
+      if (object.candidate) {
+        snapshots[object.id] = config_.mode == SnapshotMode::NvmImage
+                                   ? rt.dumpObjectNvm(object.id)
+                                   : rt.dumpObjectCurrent(object.id);
+      }
+    }
+    rt.powerLoss();
+  }
+
+  // --- Restart ------------------------------------------------------------
+  Runtime restartRt(config_.cache);
+  restartRt.setPlan(config_.plan);
+  auto restartApp = factory_();
+  restartApp->setup(restartRt);
+  restartApp->initialize(restartRt);
+  for (const auto& [id, bytes] : snapshots) {
+    restartRt.restoreObject(id, bytes);
+  }
+
+  const int cap = golden.finalIteration * config_.maxIterationFactor;
+  const auto rerun =
+      Driver::run(*restartApp, restartRt, record.restartIteration, cap);
+
+  if (rerun.interrupted) {
+    record.response = Response::S3;
+    record.note = rerun.interruptReason;
+    return record;
+  }
+  if (!rerun.verification.pass) {
+    record.response = Response::S4;
+    record.note = rerun.verification.detail;
+    return record;
+  }
+  record.extraIterations = rerun.finalIteration - golden.finalIteration;
+  if (record.extraIterations <= 0) {
+    record.extraIterations = 0;
+    record.response = Response::S1;
+  } else {
+    record.response = Response::S2;
+  }
+  record.note = rerun.verification.detail;
+  return record;
+}
+
+}  // namespace easycrash::crash

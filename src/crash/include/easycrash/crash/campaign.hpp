@@ -1,0 +1,128 @@
+// Crash-test campaigns (paper §3, §4.1).
+//
+// A campaign runs N independent crash tests against one application under
+// one persistence plan. Each test: (1) run the app and stop it after a
+// uniformly-random tracked access inside the main-loop window, (2) perform
+// the NVCT post-mortem — per-object inconsistency rates between caches and
+// the NVM image, (3) model the power loss, (4) restart: re-initialise, load
+// the candidates' surviving NVM bytes (the paper's load_value), resume from
+// the bookmarked iteration, cap at 2x the original iteration count, and
+// (5) classify the outcome into the paper's four response classes S1-S4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "easycrash/memsim/config.hpp"
+#include "easycrash/memsim/events.hpp"
+#include "easycrash/runtime/app.hpp"
+#include "easycrash/runtime/persistence_plan.hpp"
+
+namespace easycrash::crash {
+
+/// The paper's four application responses after crash + restart (Figure 3).
+enum class Response {
+  S1,  ///< successful recomputation, no extra iterations
+  S2,  ///< successful recomputation, but extra iterations were needed
+  S3,  ///< interruption (segfault analogue)
+  S4,  ///< acceptance verification fails (even with 2x iterations)
+};
+
+[[nodiscard]] const char* toString(Response response);
+
+/// How the restart snapshot is taken.
+enum class SnapshotMode {
+  NvmImage,  ///< what actually survives the crash (NVCT methodology)
+  Coherent,  ///< force-consistent copy (the paper's physical-machine
+             ///< "verified" methodology in Figure 6)
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  int numTests = 200;
+  SnapshotMode mode = SnapshotMode::NvmImage;
+  runtime::PersistencePlan plan;
+  memsim::CacheConfig cache = memsim::CacheConfig::scaledDefault();
+  /// Restart iteration cap as a multiple of the original iteration count
+  /// (paper: verification fails after 2x the original iterations).
+  int maxIterationFactor = 2;
+  /// Worker threads for the crash tests. Each test runs on its own simulated
+  /// machine, so campaigns are embarrassingly parallel; results are
+  /// identical to a single-threaded run (crash points are pre-drawn and
+  /// records land by index). 0 = use the hardware concurrency.
+  int threads = 1;
+};
+
+/// Statistics of the golden (crash-free) execution.
+struct GoldenStats {
+  std::uint64_t windowAccesses = 0;  ///< tracked accesses in the crash window
+  int finalIteration = 0;
+  memsim::MemEvents events;
+  std::uint64_t footprintBytes = 0;
+  std::uint64_t candidateBytes = 0;
+  std::uint32_t regionCount = 0;
+  std::uint64_t persistenceOps = 0;
+  double verifyMetric = 0.0;
+  std::vector<runtime::DataObjectInfo> objects;
+  /// a_k: share of window accesses spent in each region (paper Table 2).
+  std::map<runtime::PointId, double> regionTimeShare;
+  /// Iteration-end persist points reached per region over the execution.
+  std::map<runtime::PointId, std::uint64_t> regionIterationEnds;
+};
+
+struct CrashTestRecord {
+  std::uint64_t crashAccessIndex = 0;
+  runtime::PointId region = runtime::kMainLoopEnd;
+  /// Region stack at the crash (outermost first; NVCT's call-path feature).
+  std::vector<runtime::PointId> regionPath;
+  int crashIteration = 0;
+  int restartIteration = 0;
+  Response response = Response::S4;
+  int extraIterations = 0;
+  /// Inconsistency rate per candidate object at the crash instant.
+  std::map<runtime::ObjectId, double> inconsistentRate;
+  std::string note;
+};
+
+struct CampaignResult {
+  GoldenStats golden;
+  std::vector<CrashTestRecord> tests;
+
+  /// The paper's application recomputability: S1 fraction.
+  [[nodiscard]] double recomputability() const;
+  /// S1+S2 fraction (successful outcome, performance aside).
+  [[nodiscard]] double successWithExtra() const;
+  [[nodiscard]] std::array<int, 4> responseCounts() const;
+  /// Average extra iterations over S2 tests (Table 1 restart overhead).
+  [[nodiscard]] double averageExtraIterations() const;
+  /// c_k: per-region recomputability (S1 fraction of crashes in region k).
+  [[nodiscard]] std::map<runtime::PointId, double> regionRecomputability() const;
+  [[nodiscard]] std::map<runtime::PointId, int> regionTestCounts() const;
+  /// Per-candidate mean inconsistency rate across tests.
+  [[nodiscard]] std::map<runtime::ObjectId, double> meanInconsistentRate() const;
+};
+
+/// Runs campaigns. The factory must produce deterministic app instances: a
+/// fresh run always executes the same tracked-access sequence.
+class CampaignRunner {
+ public:
+  CampaignRunner(runtime::AppFactory factory, CampaignConfig config);
+
+  /// Golden run only (fast; used for Table 1 characteristics).
+  [[nodiscard]] GoldenStats goldenRun() const;
+
+  /// Full campaign: golden run + numTests crash tests.
+  [[nodiscard]] CampaignResult run() const;
+
+ private:
+  [[nodiscard]] CrashTestRecord runOneTest(const GoldenStats& golden,
+                                           std::uint64_t crashIndex) const;
+
+  runtime::AppFactory factory_;
+  CampaignConfig config_;
+};
+
+}  // namespace easycrash::crash

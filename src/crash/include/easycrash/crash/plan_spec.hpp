@@ -1,0 +1,30 @@
+// Textual persistence-plan specifications for the NVCT command-line tool.
+//
+// Grammar (comma-separated directives):
+//   <objects> "@" <point> [ ":" <everyN> ]
+//   objects := object name, or "+"-joined names, or "critical*" globs later
+//   point   := "main" | "R<k>" (1-based region, as printed by the reports)
+//
+// Examples:
+//   "u@main"            persist u at the end of every main-loop iteration
+//   "u+r@R3:2"          persist u and r every 2nd iteration-end of region 3
+//   "u@main,hist@R2:4"  two directives
+#pragma once
+
+#include <string>
+
+#include "easycrash/runtime/persistence_plan.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace easycrash::crash {
+
+/// Parse `spec` against the objects registered in `rt`. Throws
+/// std::runtime_error with a helpful message on unknown names or syntax.
+[[nodiscard]] runtime::PersistencePlan parsePlanSpec(const std::string& spec,
+                                                     const runtime::Runtime& rt);
+
+/// Render a plan back into the spec syntax (object ids resolved via `rt`).
+[[nodiscard]] std::string formatPlanSpec(const runtime::PersistencePlan& plan,
+                                         const runtime::Runtime& rt);
+
+}  // namespace easycrash::crash

@@ -1,0 +1,145 @@
+#include "easycrash/crash/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::crash {
+
+namespace {
+
+Response responseFromString(const std::string& text) {
+  if (text == "S1") return Response::S1;
+  if (text == "S2") return Response::S2;
+  if (text == "S3") return Response::S3;
+  if (text == "S4") return Response::S4;
+  throw std::runtime_error("unknown response class: " + text);
+}
+
+std::vector<std::string> splitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+std::string formatRegionPath(const std::vector<runtime::PointId>& path) {
+  if (path.empty()) return "main";
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) out += '>';
+    out += "R" + std::to_string(path[i] + 1);
+  }
+  return out;
+}
+
+void writeCampaignCsv(const CampaignResult& campaign, std::ostream& os) {
+  os << "crash_access,iteration,restart_iteration,region,region_path,response,"
+        "extra_iterations";
+  std::vector<runtime::ObjectId> candidates;
+  for (const auto& object : campaign.golden.objects) {
+    if (object.candidate) {
+      candidates.push_back(object.id);
+      os << ",rate_" << object.name;
+    }
+  }
+  os << '\n';
+  os << std::setprecision(8);
+  for (const auto& test : campaign.tests) {
+    os << test.crashAccessIndex << ',' << test.crashIteration << ','
+       << test.restartIteration << ',' << test.region << ','
+       << formatRegionPath(test.regionPath) << ',' << toString(test.response)
+       << ',' << test.extraIterations;
+    for (runtime::ObjectId id : candidates) {
+      const auto it = test.inconsistentRate.find(id);
+      os << ',' << (it == test.inconsistentRate.end() ? 0.0 : it->second);
+    }
+    os << '\n';
+  }
+}
+
+void writeCampaignSummary(const CampaignResult& campaign, std::ostream& os) {
+  const auto counts = campaign.responseCounts();
+  const double total = static_cast<double>(campaign.tests.size());
+  os << "campaign summary\n"
+     << "  tests:            " << campaign.tests.size() << '\n'
+     << "  window accesses:  " << campaign.golden.windowAccesses << '\n'
+     << "  golden iterations:" << campaign.golden.finalIteration << '\n'
+     << "  footprint:        " << campaign.golden.footprintBytes << " bytes\n";
+  if (total > 0) {
+    os << std::fixed << std::setprecision(1);
+    os << "  S1 " << 100.0 * counts[0] / total << "%  S2 "
+       << 100.0 * counts[1] / total << "%  S3 " << 100.0 * counts[2] / total
+       << "%  S4 " << 100.0 * counts[3] / total << "%\n"
+       << "  recomputability:  " << 100.0 * campaign.recomputability() << "%\n"
+       << "  avg extra iters:  " << std::setprecision(2)
+       << campaign.averageExtraIterations() << '\n';
+    os << "  per-region c_k:\n" << std::setprecision(1);
+    const auto perRegion = campaign.regionRecomputability();
+    const auto perRegionCount = campaign.regionTestCounts();
+    for (const auto& [region, ck] : perRegion) {
+      os << "    "
+         << (region == runtime::kMainLoopEnd ? std::string("main")
+                                             : "R" + std::to_string(region + 1))
+         << ": " << 100.0 * ck << "% (" << perRegionCount.at(region)
+         << " crashes)\n";
+    }
+    os << "  mean inconsistency per candidate:\n" << std::setprecision(2);
+    const auto rates = campaign.meanInconsistentRate();
+    for (const auto& object : campaign.golden.objects) {
+      if (!object.candidate) continue;
+      const auto it = rates.find(object.id);
+      os << "    " << object.name << ": "
+         << 100.0 * (it == rates.end() ? 0.0 : it->second) << "%\n";
+    }
+  }
+}
+
+std::vector<CrashTestRecord> readCampaignCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("campaign CSV: missing header");
+  }
+  const auto header = splitCsvLine(line);
+  constexpr std::size_t kFixedColumns = 7;
+  if (header.size() < kFixedColumns || header[0] != "crash_access") {
+    throw std::runtime_error("campaign CSV: unrecognised header");
+  }
+
+  std::vector<CrashTestRecord> records;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = splitCsvLine(line);
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("campaign CSV: column-count mismatch");
+    }
+    CrashTestRecord record;
+    record.crashAccessIndex = std::stoull(fields[0]);
+    record.crashIteration = std::stoi(fields[1]);
+    record.restartIteration = std::stoi(fields[2]);
+    record.region = std::stoi(fields[3]);
+    record.response = responseFromString(fields[5]);
+    record.extraIterations = std::stoi(fields[6]);
+    for (std::size_t c = kFixedColumns; c < fields.size(); ++c) {
+      record.inconsistentRate[static_cast<runtime::ObjectId>(c - kFixedColumns)] =
+          std::stod(fields[c]);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace easycrash::crash

@@ -1,0 +1,149 @@
+#include "easycrash/memsim/cache_level.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::memsim {
+
+CacheLevel::CacheLevel(const CacheGeometry& geometry, std::uint32_t blockSize)
+    : blockSize_(blockSize), assoc_(geometry.associativity) {
+  EC_CHECK(geometry.sizeBytes > 0);
+  EC_CHECK(assoc_ > 0);
+  const std::uint64_t numLines = geometry.sizeBytes / blockSize_;
+  EC_CHECK_MSG(numLines * blockSize_ == geometry.sizeBytes,
+               "cache size must be a multiple of the block size");
+  EC_CHECK_MSG(numLines % assoc_ == 0, "lines must divide evenly into sets");
+  sets_ = numLines / assoc_;
+  lines_.resize(numLines);
+  storage_.resize(numLines * blockSize_, 0);
+}
+
+std::uint64_t CacheLevel::setOf(std::uint64_t blockAddr) const {
+  return (blockAddr / blockSize_) % sets_;
+}
+
+std::uint32_t CacheLevel::lineIndex(std::uint64_t set, std::uint32_t way) const {
+  return static_cast<std::uint32_t>(set * assoc_ + way);
+}
+
+std::optional<std::uint32_t> CacheLevel::find(std::uint64_t blockAddr) const {
+  const std::uint64_t set = setOf(blockAddr);
+  for (std::uint32_t way = 0; way < assoc_; ++way) {
+    const Line& line = lines_[lineIndex(set, way)];
+    if (line.valid && line.blockAddr == blockAddr) return lineIndex(set, way);
+  }
+  return std::nullopt;
+}
+
+std::optional<CacheLevel::Evicted> CacheLevel::insert(std::uint64_t blockAddr) {
+  EC_CHECK_MSG(!find(blockAddr).has_value(), "block already resident");
+  const std::uint64_t set = setOf(blockAddr);
+
+  // Prefer an invalid way; otherwise evict LRU.
+  std::uint32_t victimWay = 0;
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  bool foundInvalid = false;
+  for (std::uint32_t way = 0; way < assoc_; ++way) {
+    const Line& line = lines_[lineIndex(set, way)];
+    if (!line.valid) {
+      victimWay = way;
+      foundInvalid = true;
+      break;
+    }
+    if (line.lastUse < oldest) {
+      oldest = line.lastUse;
+      victimWay = way;
+    }
+  }
+
+  const std::uint32_t idx = lineIndex(set, victimWay);
+  Line& line = lines_[idx];
+  std::optional<Evicted> evicted;
+  if (!foundInvalid) {
+    Evicted ev;
+    ev.blockAddr = line.blockAddr;
+    ev.dirty = line.dirty;
+    const auto src = data(idx);
+    ev.data.assign(src.begin(), src.end());
+    evicted = std::move(ev);
+  }
+
+  line.blockAddr = blockAddr;
+  line.valid = true;
+  line.dirty = false;
+  line.lastUse = ++tick_;
+  std::memset(storage_.data() + static_cast<std::size_t>(idx) * blockSize_, 0,
+              blockSize_);
+  return evicted;
+}
+
+CacheLevel::Evicted CacheLevel::extract(std::uint64_t blockAddr) {
+  const auto idx = find(blockAddr);
+  EC_CHECK_MSG(idx.has_value(), "extract of non-resident block");
+  Line& line = lines_[*idx];
+  Evicted ev;
+  ev.blockAddr = line.blockAddr;
+  ev.dirty = line.dirty;
+  const auto src = data(*idx);
+  ev.data.assign(src.begin(), src.end());
+  line.valid = false;
+  line.dirty = false;
+  return ev;
+}
+
+void CacheLevel::invalidate(std::uint64_t blockAddr) {
+  if (const auto idx = find(blockAddr)) {
+    lines_[*idx].valid = false;
+    lines_[*idx].dirty = false;
+  }
+}
+
+void CacheLevel::invalidateAll() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+std::span<std::uint8_t> CacheLevel::data(std::uint32_t line) {
+  return {storage_.data() + static_cast<std::size_t>(line) * blockSize_, blockSize_};
+}
+
+std::span<const std::uint8_t> CacheLevel::data(std::uint32_t line) const {
+  return {storage_.data() + static_cast<std::size_t>(line) * blockSize_, blockSize_};
+}
+
+bool CacheLevel::dirty(std::uint32_t line) const { return lines_[line].dirty; }
+
+void CacheLevel::setDirty(std::uint32_t line, bool value) {
+  lines_[line].dirty = value;
+}
+
+std::uint64_t CacheLevel::blockAddr(std::uint32_t line) const {
+  return lines_[line].blockAddr;
+}
+
+void CacheLevel::touch(std::uint32_t line) { lines_[line].lastUse = ++tick_; }
+
+void CacheLevel::forEachValid(
+    const std::function<void(std::uint64_t, bool, std::span<const std::uint8_t>)>& fn)
+    const {
+  for (std::uint32_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].valid) fn(lines_[i].blockAddr, lines_[i].dirty, data(i));
+  }
+}
+
+std::uint64_t CacheLevel::validLines() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(lines_.begin(), lines_.end(), [](const Line& l) { return l.valid; }));
+}
+
+std::uint64_t CacheLevel::dirtyLines() const {
+  return static_cast<std::uint64_t>(std::count_if(
+      lines_.begin(), lines_.end(), [](const Line& l) { return l.valid && l.dirty; }));
+}
+
+}  // namespace easycrash::memsim

@@ -1,0 +1,86 @@
+#include "easycrash/memsim/config.hpp"
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::memsim {
+
+CacheConfig CacheConfig::xeonGold6126() {
+  CacheConfig c;
+  c.name = "xeon-gold-6126";
+  c.blockSize = 64;
+  c.levels = {
+      CacheGeometry{32ULL * 1024, 8},            // L1D 32KB, 8-way
+      CacheGeometry{1024ULL * 1024, 16},         // L2 1MB, 16-way (paper: 12-way;
+                                                 // rounded so lines divide into sets)
+      CacheGeometry{19ULL * 1024 * 1024 + 256 * 1024, 11},  // L3 19.25MB, 11-way
+  };
+  c.validate();
+  return c;
+}
+
+CacheConfig CacheConfig::scaledDefault() {
+  CacheConfig c;
+  c.name = "scaled-default";
+  c.blockSize = 64;
+  c.levels = {
+      CacheGeometry{2ULL * 1024, 8},    // L1 2KB
+      CacheGeometry{16ULL * 1024, 8},   // L2 16KB
+      CacheGeometry{64ULL * 1024, 16},  // L3 64KB
+  };
+  c.validate();
+  return c;
+}
+
+CacheConfig CacheConfig::tiny() {
+  CacheConfig c;
+  c.name = "tiny";
+  c.blockSize = 64;
+  c.levels = {
+      CacheGeometry{256, 2},
+      CacheGeometry{512, 2},
+      CacheGeometry{1024, 4},
+  };
+  c.validate();
+  return c;
+}
+
+std::uint64_t CacheConfig::setsAt(std::size_t level) const {
+  EC_CHECK(level < levels.size());
+  const CacheGeometry& g = levels[level];
+  return g.sizeBytes / blockSize / g.associativity;
+}
+
+std::uint64_t CacheConfig::llcBytes() const {
+  EC_CHECK(!levels.empty());
+  return levels.back().sizeBytes;
+}
+
+void CacheConfig::validate() const {
+  EC_CHECK_MSG(blockSize > 0 && (blockSize & (blockSize - 1)) == 0,
+               "block size must be a power of two");
+  EC_CHECK_MSG(!levels.empty(), "at least one cache level required");
+  std::uint64_t previousSize = 0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const CacheGeometry& g = levels[i];
+    EC_CHECK_MSG(g.sizeBytes >= blockSize, "level smaller than one block");
+    const std::uint64_t lines = g.sizeBytes / blockSize;
+    EC_CHECK_MSG(lines * blockSize == g.sizeBytes,
+                 "level size must be a multiple of the block size");
+    EC_CHECK_MSG(lines % g.associativity == 0,
+                 "lines must divide evenly into sets");
+    EC_CHECK_MSG(g.sizeBytes > previousSize,
+                 "inclusive hierarchy requires strictly growing levels");
+    previousSize = g.sizeBytes;
+  }
+}
+
+const char* toString(FlushKind kind) {
+  switch (kind) {
+    case FlushKind::Clflush: return "clflush";
+    case FlushKind::Clflushopt: return "clflushopt";
+    case FlushKind::Clwb: return "clwb";
+  }
+  return "unknown";
+}
+
+}  // namespace easycrash::memsim

@@ -1,0 +1,307 @@
+#include "easycrash/memsim/hierarchy.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::memsim {
+
+CacheHierarchy::CacheHierarchy(CacheConfig config, NvmStore& nvm)
+    : config_(std::move(config)), nvm_(nvm) {
+  config_.validate();
+  EC_CHECK(nvm_.blockSize() == config_.blockSize);
+  EC_CHECK_MSG(config_.levels.size() <= kMaxLevels, "too many cache levels");
+  levels_.reserve(config_.levels.size());
+  for (const CacheGeometry& g : config_.levels) levels_.emplace_back(g, config_.blockSize);
+}
+
+std::size_t CacheHierarchy::lowestResidentLevel(std::uint64_t blockAddr) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].find(blockAddr)) return i;
+  }
+  return kNone;
+}
+
+void CacheHierarchy::handleEviction(std::size_t level, CacheLevel::Evicted victim) {
+  // Inclusive hierarchy: a victim evicted from `level` may have fresher
+  // copies above; merge them and back-invalidate (upper copies cannot outlive
+  // the lower one). Iterate upper levels farthest-from-CPU first so that the
+  // freshest copy — the one closest to the CPU — is applied last and wins
+  // when several levels hold dirty data.
+  for (std::size_t upper = level; upper-- > 0;) {
+    if (levels_[upper].find(victim.blockAddr)) {
+      CacheLevel::Evicted fresher = levels_[upper].extract(victim.blockAddr);
+      if (fresher.dirty) {
+        victim.data = std::move(fresher.data);
+        victim.dirty = true;
+      }
+    }
+  }
+
+  if (level + 1 < levels_.size()) {
+    // Write back into the next level, where the block must still be resident.
+    const auto below = levels_[level + 1].find(victim.blockAddr);
+    EC_CHECK_MSG(below.has_value(), "inclusivity violated: victim absent below");
+    if (victim.dirty) {
+      auto dst = levels_[level + 1].data(*below);
+      std::copy(victim.data.begin(), victim.data.end(), dst.begin());
+      levels_[level + 1].setDirty(*below, true);
+    }
+  } else if (victim.dirty) {
+    nvm_.writeBlock(victim.blockAddr, victim.data);
+    ++events_.nvmBlockWrites;
+  }
+}
+
+void CacheHierarchy::insertAt(std::size_t level, std::uint64_t blockAddr,
+                              std::span<const std::uint8_t> data) {
+  auto victim = levels_[level].insert(blockAddr);
+  if (victim) handleEviction(level, std::move(*victim));
+  const auto line = levels_[level].find(blockAddr);
+  auto dst = levels_[level].data(*line);
+  std::copy(data.begin(), data.end(), dst.begin());
+}
+
+std::uint32_t CacheHierarchy::ensureInL1(std::uint64_t blockAddr) {
+  if (const auto l1 = levels_[0].find(blockAddr)) {
+    ++events_.hits[0];
+    levels_[0].touch(*l1);
+    return *l1;
+  }
+  ++events_.misses[0];
+
+  // Find the block below L1, filling missing levels top-down from the level
+  // (or NVM) that has it.
+  std::vector<std::uint8_t> block(config_.blockSize);
+  std::size_t source = levels_.size();  // levels_.size() == NVM
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    if (const auto line = levels_[i].find(blockAddr)) {
+      ++events_.hits[i];
+      levels_[i].touch(*line);
+      const auto src = levels_[i].data(*line);
+      std::copy(src.begin(), src.end(), block.begin());
+      source = i;
+      break;
+    }
+    ++events_.misses[i];
+  }
+  if (source == levels_.size()) {
+    nvm_.read(blockAddr, block);
+    ++events_.nvmBlockReads;
+  }
+
+  // Fill every level above the source (inclusive hierarchy), bottom-up so a
+  // lower-level eviction can still back-invalidate consistently.
+  for (std::size_t i = source; i-- > 0;) {
+    insertAt(i, blockAddr, block);
+  }
+  const auto l1 = levels_[0].find(blockAddr);
+  EC_CHECK(l1.has_value());
+  return *l1;
+}
+
+void CacheHierarchy::load(std::uint64_t addr, std::span<std::uint8_t> dst) {
+  std::uint64_t offset = 0;
+  while (offset < dst.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
+    const std::uint32_t line = ensureInL1(base);
+    const auto src = levels_[0].data(line);
+    std::memcpy(dst.data() + offset, src.data() + inBlock, chunk);
+    ++events_.loads;
+    offset += chunk;
+  }
+}
+
+void CacheHierarchy::store(std::uint64_t addr, std::span<const std::uint8_t> src) {
+  std::uint64_t offset = 0;
+  while (offset < src.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, src.size() - offset);
+    const std::uint32_t line = ensureInL1(base);
+    auto dst = levels_[0].data(line);
+    std::memcpy(dst.data() + inBlock, src.data() + offset, chunk);
+    levels_[0].setDirty(line, true);
+    ++events_.stores;
+    offset += chunk;
+  }
+}
+
+void CacheHierarchy::flushBlock(std::uint64_t addr, FlushKind kind) {
+  const std::uint64_t base = blockBase(addr);
+  const std::size_t lowest = lowestResidentLevel(base);
+  if (lowest == kNone) {
+    ++events_.flushNonResident;
+    return;
+  }
+
+  bool dirtyAnywhere = false;
+  for (std::size_t i = lowest; i < levels_.size(); ++i) {
+    if (const auto line = levels_[i].find(base)) {
+      dirtyAnywhere = dirtyAnywhere || levels_[i].dirty(*line);
+    }
+  }
+
+  if (dirtyAnywhere) {
+    const auto line = levels_[lowest].find(base);
+    const auto freshest = levels_[lowest].data(*line);
+    nvm_.writeBlock(base, freshest);
+    ++events_.nvmBlockWrites;
+    ++events_.flushInducedNvmWrites;
+    ++events_.flushDirty;
+    // All copies become clean and identical to NVM.
+    for (std::size_t i = lowest; i < levels_.size(); ++i) {
+      if (const auto l = levels_[i].find(base)) {
+        auto dst = levels_[i].data(*l);
+        std::copy(freshest.begin(), freshest.end(), dst.begin());
+        levels_[i].setDirty(*l, false);
+      }
+    }
+  } else {
+    ++events_.flushClean;
+  }
+
+  if (kind != FlushKind::Clwb) {
+    for (auto& level : levels_) level.invalidate(base);
+  }
+}
+
+void CacheHierarchy::flushRange(std::uint64_t addr, std::uint64_t size,
+                                FlushKind kind) {
+  if (size == 0) return;
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(addr + size - 1);
+  for (std::uint64_t b = first; b <= last; b += config_.blockSize) {
+    flushBlock(b, kind);
+  }
+}
+
+void CacheHierarchy::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  std::uint64_t offset = 0;
+  while (offset < dst.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
+    const std::size_t lowest = lowestResidentLevel(base);
+    if (lowest == kNone) {
+      nvm_.read(a, {dst.data() + offset, chunk});
+    } else {
+      const auto line = levels_[lowest].find(base);
+      const auto src = levels_[lowest].data(*line);
+      std::memcpy(dst.data() + offset, src.data() + inBlock, chunk);
+    }
+    offset += chunk;
+  }
+}
+
+std::uint64_t CacheHierarchy::inconsistentBytes(std::uint64_t addr,
+                                                std::uint64_t size) const {
+  if (size == 0) return 0;
+  std::uint64_t count = 0;
+  std::vector<std::uint8_t> nvmBlock(config_.blockSize);
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(addr + size - 1);
+  for (std::uint64_t base = first; base <= last; base += config_.blockSize) {
+    bool dirtyAnywhere = false;
+    std::size_t lowest = kNone;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (const auto line = levels_[i].find(base)) {
+        if (lowest == kNone) lowest = i;
+        dirtyAnywhere = dirtyAnywhere || levels_[i].dirty(*line);
+      }
+    }
+    if (!dirtyAnywhere) continue;  // clean or absent copies match NVM
+
+    const auto line = levels_[lowest].find(base);
+    const auto cached = levels_[lowest].data(*line);
+    nvm_.read(base, nvmBlock);
+
+    // Only count bytes inside [addr, addr+size).
+    const std::uint64_t lo = std::max(base, addr);
+    const std::uint64_t hi = std::min(base + config_.blockSize, addr + size);
+    for (std::uint64_t b = lo; b < hi; ++b) {
+      const std::uint64_t i = b - base;
+      if (cached[i] != nvmBlock[i]) ++count;
+    }
+  }
+  return count;
+}
+
+void CacheHierarchy::drainAll() {
+  // Propagate dirty data downward level by level, then write LLC dirt to NVM.
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    CacheLevel& upper = levels_[i];
+    CacheLevel& lower = levels_[i + 1];
+    std::vector<std::uint64_t> dirtyBlocks;
+    upper.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
+      if (dirty) dirtyBlocks.push_back(blockAddr);
+    });
+    for (std::uint64_t blockAddr : dirtyBlocks) {
+      const auto upLine = upper.find(blockAddr);
+      const auto loLine = lower.find(blockAddr);
+      EC_CHECK_MSG(loLine.has_value(), "inclusivity violated during drain");
+      const auto src = upper.data(*upLine);
+      auto dst = lower.data(*loLine);
+      std::copy(src.begin(), src.end(), dst.begin());
+      lower.setDirty(*loLine, true);
+      upper.setDirty(*upLine, false);
+    }
+  }
+  CacheLevel& llc = levels_.back();
+  std::vector<std::uint64_t> dirtyBlocks;
+  llc.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
+    if (dirty) dirtyBlocks.push_back(blockAddr);
+  });
+  for (std::uint64_t blockAddr : dirtyBlocks) {
+    const auto line = llc.find(blockAddr);
+    nvm_.writeBlock(blockAddr, llc.data(*line));
+    ++events_.nvmBlockWrites;
+    llc.setDirty(*line, false);
+  }
+}
+
+void CacheHierarchy::invalidateAll() {
+  for (auto& level : levels_) level.invalidateAll();
+}
+
+void CacheHierarchy::checkInvariants() const {
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    levels_[i].forEachValid([&](std::uint64_t blockAddr, bool dirty,
+                                std::span<const std::uint8_t> data) {
+      const auto below = levels_[i + 1].find(blockAddr);
+      EC_CHECK_MSG(below.has_value(), "inclusivity: block missing from lower level");
+      if (!dirty) {
+        const auto lowerData = levels_[i + 1].data(*below);
+        EC_CHECK_MSG(std::equal(data.begin(), data.end(), lowerData.begin()),
+                     "clean upper copy differs from lower level");
+      }
+    });
+  }
+  // Clean LLC lines must match the NVM image.
+  std::vector<std::uint8_t> nvmBlock(config_.blockSize);
+  levels_.back().forEachValid([&](std::uint64_t blockAddr, bool dirty,
+                                  std::span<const std::uint8_t> data) {
+    bool dirtyAbove = false;
+    for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+      if (const auto line = levels_[i].find(blockAddr)) {
+        dirtyAbove = dirtyAbove || levels_[i].dirty(*line);
+      }
+    }
+    if (!dirty && !dirtyAbove) {
+      nvm_.read(blockAddr, nvmBlock);
+      EC_CHECK_MSG(std::equal(data.begin(), data.end(), nvmBlock.begin()),
+                   "clean LLC copy differs from NVM image");
+    }
+  });
+}
+
+}  // namespace easycrash::memsim

@@ -1,0 +1,84 @@
+// One set-associative, write-back cache level with value-tracking lines.
+//
+// Unlike a purely statistical cache model, every line carries the actual data
+// bytes of its block. That is what lets the simulator answer the question at
+// the core of the paper: after an arbitrary crash, which bytes of which data
+// objects differ between the (lost) caches and the (surviving) NVM image?
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "easycrash/memsim/config.hpp"
+
+namespace easycrash::memsim {
+
+class CacheLevel {
+ public:
+  CacheLevel(const CacheGeometry& geometry, std::uint32_t blockSize);
+
+  /// A block displaced by an insertion.
+  struct Evicted {
+    std::uint64_t blockAddr = 0;
+    bool dirty = false;
+    std::vector<std::uint8_t> data;
+  };
+
+  /// Line index of `blockAddr` if resident.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::uint64_t blockAddr) const;
+
+  /// Insert `blockAddr` (must not be resident); returns the victim, if any.
+  /// The new line is marked most-recently-used and clean; its data is
+  /// zero-initialised — the caller fills it.
+  std::optional<Evicted> insert(std::uint64_t blockAddr);
+
+  /// Remove a resident block without write-back; returns its state.
+  Evicted extract(std::uint64_t blockAddr);
+
+  /// Drop a block if resident (no write-back, state discarded).
+  void invalidate(std::uint64_t blockAddr);
+  /// Drop everything (simulates power loss).
+  void invalidateAll();
+
+  [[nodiscard]] std::span<std::uint8_t> data(std::uint32_t line);
+  [[nodiscard]] std::span<const std::uint8_t> data(std::uint32_t line) const;
+  [[nodiscard]] bool dirty(std::uint32_t line) const;
+  void setDirty(std::uint32_t line, bool value);
+  [[nodiscard]] std::uint64_t blockAddr(std::uint32_t line) const;
+
+  /// Mark `line` most-recently-used within its set.
+  void touch(std::uint32_t line);
+
+  /// Visit every valid line: fn(blockAddr, dirty, data).
+  void forEachValid(
+      const std::function<void(std::uint64_t, bool, std::span<const std::uint8_t>)>& fn)
+      const;
+
+  [[nodiscard]] std::uint64_t sets() const { return sets_; }
+  [[nodiscard]] std::uint32_t associativity() const { return assoc_; }
+  [[nodiscard]] std::uint64_t validLines() const;
+  [[nodiscard]] std::uint64_t dirtyLines() const;
+
+ private:
+  struct Line {
+    std::uint64_t blockAddr = 0;
+    std::uint64_t lastUse = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t setOf(std::uint64_t blockAddr) const;
+  [[nodiscard]] std::uint32_t lineIndex(std::uint64_t set, std::uint32_t way) const;
+
+  std::uint32_t blockSize_;
+  std::uint64_t sets_;
+  std::uint32_t assoc_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;
+  std::vector<std::uint8_t> storage_;
+};
+
+}  // namespace easycrash::memsim

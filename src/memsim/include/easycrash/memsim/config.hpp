@@ -1,0 +1,53 @@
+// Cache hierarchy geometry.
+//
+// The paper simulates the Xeon Gold 6126 hierarchy (L1 32KB/8-way, L2 1MB/
+// 12-way, L3 19.25MB/11-way, 64B blocks, write-back, write-allocate, LRU).
+// Campaigns in this repository default to a proportionally scaled geometry so
+// that thousands of crash tests complete quickly while preserving the paper's
+// key invariant: application footprint is much larger than the last level
+// cache (Section 4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace easycrash::memsim {
+
+/// Geometry of one cache level.
+struct CacheGeometry {
+  std::uint64_t sizeBytes = 0;
+  std::uint32_t associativity = 1;
+};
+
+/// Full hierarchy configuration, ordered L1 first.
+struct CacheConfig {
+  std::string name = "custom";
+  std::uint32_t blockSize = 64;
+  std::vector<CacheGeometry> levels;
+
+  /// The paper's hierarchy (Section 4.1): Xeon Gold 6126.
+  [[nodiscard]] static CacheConfig xeonGold6126();
+  /// Scaled-down hierarchy for fast campaigns: L1 2KB/8, L2 16KB/8, L3 64KB/16.
+  [[nodiscard]] static CacheConfig scaledDefault();
+  /// Minimal hierarchy for unit tests: L1 256B/2, L2 512B/2, L3 1KB/4.
+  [[nodiscard]] static CacheConfig tiny();
+
+  /// Number of sets at a level (validates geometry divisibility).
+  [[nodiscard]] std::uint64_t setsAt(std::size_t level) const;
+  /// Size of the last level cache in bytes.
+  [[nodiscard]] std::uint64_t llcBytes() const;
+  /// Throws std::logic_error when the geometry is inconsistent.
+  void validate() const;
+};
+
+/// Cache flush instruction semantics (paper §2.1).
+enum class FlushKind {
+  Clflush,     ///< write back if dirty, then invalidate (serialising on HW)
+  Clflushopt,  ///< write back if dirty, then invalidate (optimised ordering)
+  Clwb,        ///< write back if dirty, keep the line resident and clean
+};
+
+[[nodiscard]] const char* toString(FlushKind kind);
+
+}  // namespace easycrash::memsim

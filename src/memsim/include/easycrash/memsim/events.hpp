@@ -1,0 +1,56 @@
+// Event counters exposed by the memory-system simulation.
+//
+// Everything the performance and write-count models (perfmodel/) consume is
+// derived from these counters, so they are the single source of truth for
+// Table 4 and Figures 7, 8 and 9.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace easycrash::memsim {
+
+constexpr std::size_t kMaxLevels = 4;
+
+/// Monotonic counters for one CacheHierarchy.
+struct MemEvents {
+  std::uint64_t loads = 0;   ///< load micro-accesses (one per block touched)
+  std::uint64_t stores = 0;  ///< store micro-accesses
+
+  std::array<std::uint64_t, kMaxLevels> hits{};    ///< per-level hits
+  std::array<std::uint64_t, kMaxLevels> misses{};  ///< per-level misses
+
+  std::uint64_t nvmBlockReads = 0;   ///< block fills from NVM (LLC misses)
+  std::uint64_t nvmBlockWrites = 0;  ///< dirty block write-backs into NVM
+
+  std::uint64_t flushDirty = 0;        ///< flushes that wrote a dirty block back
+  std::uint64_t flushClean = 0;        ///< flushes of resident-but-clean blocks
+  std::uint64_t flushNonResident = 0;  ///< flushes of blocks not in any cache
+
+  /// NVM writes caused specifically by flush instructions (subset of
+  /// nvmBlockWrites); the remainder are natural LLC evictions.
+  std::uint64_t flushInducedNvmWrites = 0;
+
+  [[nodiscard]] std::uint64_t totalFlushes() const {
+    return flushDirty + flushClean + flushNonResident;
+  }
+
+  [[nodiscard]] MemEvents delta(const MemEvents& earlier) const {
+    MemEvents d;
+    d.loads = loads - earlier.loads;
+    d.stores = stores - earlier.stores;
+    for (std::size_t i = 0; i < kMaxLevels; ++i) {
+      d.hits[i] = hits[i] - earlier.hits[i];
+      d.misses[i] = misses[i] - earlier.misses[i];
+    }
+    d.nvmBlockReads = nvmBlockReads - earlier.nvmBlockReads;
+    d.nvmBlockWrites = nvmBlockWrites - earlier.nvmBlockWrites;
+    d.flushDirty = flushDirty - earlier.flushDirty;
+    d.flushClean = flushClean - earlier.flushClean;
+    d.flushNonResident = flushNonResident - earlier.flushNonResident;
+    d.flushInducedNvmWrites = flushInducedNvmWrites - earlier.flushInducedNvmWrites;
+    return d;
+  }
+};
+
+}  // namespace easycrash::memsim

@@ -1,0 +1,96 @@
+// Multi-level inclusive write-back cache hierarchy with value tracking,
+// backed by an NvmStore. This is the execution substrate every instrumented
+// application runs on: all loads/stores of tracked data objects route through
+// access(), flush instructions route through flushBlock()/flushRange(), and a
+// crash is modelled by invalidateAll() — everything not written back to the
+// NvmStore is lost, exactly as on app-direct-mode persistent memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "easycrash/memsim/cache_level.hpp"
+#include "easycrash/memsim/config.hpp"
+#include "easycrash/memsim/events.hpp"
+#include "easycrash/memsim/nvm_store.hpp"
+
+namespace easycrash::memsim {
+
+class CacheHierarchy {
+ public:
+  CacheHierarchy(CacheConfig config, NvmStore& nvm);
+
+  CacheHierarchy(const CacheHierarchy&) = delete;
+  CacheHierarchy& operator=(const CacheHierarchy&) = delete;
+
+  /// Load `dst.size()` bytes from `addr` through the cache hierarchy.
+  void load(std::uint64_t addr, std::span<std::uint8_t> dst);
+  /// Store `src.size()` bytes at `addr` through the cache hierarchy.
+  void store(std::uint64_t addr, std::span<const std::uint8_t> src);
+
+  /// Apply a flush instruction to the block containing `addr`.
+  void flushBlock(std::uint64_t addr, FlushKind kind);
+  /// Flush every block overlapping [addr, addr+size) — the paper's
+  /// cache_block_flush() over a whole data object (§2.1: all blocks are
+  /// flushed even when not resident, because hardware cannot tell).
+  void flushRange(std::uint64_t addr, std::uint64_t size, FlushKind kind);
+
+  /// Read the architecturally-current value (freshest cached copy, falling
+  /// back to NVM) without perturbing cache state or counters.
+  void peek(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+
+  /// Bytes in [addr, addr+size) whose cached value differs from the NVM
+  /// image — the paper's per-object inconsistency measure (§3).
+  [[nodiscard]] std::uint64_t inconsistentBytes(std::uint64_t addr,
+                                                std::uint64_t size) const;
+
+  /// Write every dirty block back to NVM (counted as modelled writes); lines
+  /// stay resident and clean. Used by the coherent-snapshot ("verified")
+  /// crash mode and by checkpoint modelling.
+  void drainAll();
+
+  /// Power loss: drop all cache contents without write-back.
+  void invalidateAll();
+
+  [[nodiscard]] const MemEvents& events() const { return events_; }
+  void resetEvents() { events_ = MemEvents{}; }
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] NvmStore& nvm() { return nvm_; }
+  [[nodiscard]] std::size_t levelCount() const { return levels_.size(); }
+  [[nodiscard]] const CacheLevel& level(std::size_t i) const { return levels_[i]; }
+
+  /// Internal consistency check (inclusivity + data coherence of clean
+  /// copies). Intended for tests; throws std::logic_error on violation.
+  void checkInvariants() const;
+
+ private:
+  [[nodiscard]] std::uint64_t blockBase(std::uint64_t addr) const {
+    return addr - addr % config_.blockSize;
+  }
+
+  /// Make `blockAddr` resident in L1; returns the L1 line index.
+  std::uint32_t ensureInL1(std::uint64_t blockAddr);
+
+  /// Insert a block at `level` with the given data, handling the eviction.
+  void insertAt(std::size_t level, std::uint64_t blockAddr,
+                std::span<const std::uint8_t> data);
+
+  /// Process a victim displaced from `level`: merge fresher upper-level
+  /// copies, then write back downwards (or to NVM from the LLC).
+  void handleEviction(std::size_t level, CacheLevel::Evicted victim);
+
+  /// Lowest level (closest to the CPU) holding the block, or npos.
+  [[nodiscard]] std::size_t lowestResidentLevel(std::uint64_t blockAddr) const;
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  CacheConfig config_;
+  NvmStore& nvm_;
+  std::vector<CacheLevel> levels_;
+  MemEvents events_;
+};
+
+}  // namespace easycrash::memsim

@@ -1,0 +1,51 @@
+// NVM backing store: a byte-addressable value image plus write accounting.
+//
+// This models app-direct-mode persistent memory (paper §2.3): bytes written
+// here survive a crash; bytes still sitting dirty in the cache hierarchy do
+// not. The store grows on demand so allocation order does not matter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace easycrash::memsim {
+
+class NvmStore {
+ public:
+  explicit NvmStore(std::uint32_t blockSize = 64);
+
+  [[nodiscard]] std::uint32_t blockSize() const { return blockSize_; }
+
+  /// Read `dst.size()` bytes starting at `addr` (zero-filled if never written).
+  void read(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+
+  /// Write one full cache block at block-aligned `addr`, counting the write.
+  void writeBlock(std::uint64_t addr, std::span<const std::uint8_t> src);
+
+  /// Direct (uncounted) write used for initial images and test setup. This is
+  /// NOT a modelled NVM write; campaigns use it to materialise initial state.
+  void poke(std::uint64_t addr, std::span<const std::uint8_t> src);
+
+  /// Number of modelled block writes into NVM so far.
+  [[nodiscard]] std::uint64_t blockWrites() const { return blockWrites_; }
+
+  /// Size of the materialised image in bytes.
+  [[nodiscard]] std::uint64_t imageBytes() const { return image_.size(); }
+
+  /// Snapshot/restore the full value image (campaigns restore pristine state
+  /// between crash tests without re-running initialisation).
+  [[nodiscard]] std::vector<std::uint8_t> snapshotImage() const { return image_; }
+  void restoreImage(std::vector<std::uint8_t> image);
+
+  void resetCounters() { blockWrites_ = 0; }
+
+ private:
+  void ensure(std::uint64_t endAddr) const;
+
+  std::uint32_t blockSize_;
+  mutable std::vector<std::uint8_t> image_;
+  std::uint64_t blockWrites_ = 0;
+};
+
+}  // namespace easycrash::memsim

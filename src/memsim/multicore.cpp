@@ -1,0 +1,371 @@
+#include "easycrash/memsim/multicore.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::memsim {
+
+void MulticoreConfig::validate() const {
+  EC_CHECK_MSG(cores >= 1, "at least one core");
+  EC_CHECK_MSG(blockSize > 0 && (blockSize & (blockSize - 1)) == 0,
+               "block size must be a power of two");
+  EC_CHECK_MSG(sharedLlc.sizeBytes >= privateCache.sizeBytes,
+               "inclusive LLC must be at least as large as a private cache");
+}
+
+MulticoreSystem::MulticoreSystem(MulticoreConfig config, NvmStore& nvm)
+    : config_(config), nvm_(nvm), llc_(config.sharedLlc, config.blockSize) {
+  config_.validate();
+  EC_CHECK(nvm_.blockSize() == config_.blockSize);
+  private_.reserve(static_cast<std::size_t>(config_.cores));
+  for (int c = 0; c < config_.cores; ++c) {
+    private_.emplace_back(config_.privateCache, config_.blockSize);
+  }
+  events_.resize(static_cast<std::size_t>(config_.cores));
+}
+
+void MulticoreSystem::privateVictimToLlc(int core, CacheLevel::Evicted victim) {
+  (void)core;
+  const auto llcLine = llc_.find(victim.blockAddr);
+  EC_CHECK_MSG(llcLine.has_value(), "inclusivity violated: private victim not in LLC");
+  if (victim.dirty) {
+    auto dst = llc_.data(*llcLine);
+    std::copy(victim.data.begin(), victim.data.end(), dst.begin());
+    llc_.setDirty(*llcLine, true);
+  }
+}
+
+void MulticoreSystem::llcVictim(CacheLevel::Evicted victim) {
+  // Back-invalidate every core; at most one holds a Modified (fresher) copy.
+  for (auto& cache : private_) {
+    if (cache.find(victim.blockAddr)) {
+      CacheLevel::Evicted copy = cache.extract(victim.blockAddr);
+      if (copy.dirty) {
+        victim.data = std::move(copy.data);
+        victim.dirty = true;
+      }
+    }
+  }
+  if (victim.dirty) {
+    nvm_.writeBlock(victim.blockAddr, victim.data);
+    events_[0].nvmBlockWrites += 1;  // LLC write-backs accounted globally
+  }
+}
+
+std::uint32_t MulticoreSystem::acquire(int core, std::uint64_t blockAddr,
+                                       bool forWrite) {
+  EC_CHECK(core >= 0 && core < cores());
+  CacheLevel& mine = private_[static_cast<std::size_t>(core)];
+  CoherenceEvents& ev = events_[static_cast<std::size_t>(core)];
+
+  if (const auto line = mine.find(blockAddr)) {
+    ev.privateHits += 1;
+    mine.touch(*line);
+    if (forWrite && !mine.dirty(*line)) {
+      // S -> M upgrade: invalidate every other copy.
+      for (int peer = 0; peer < cores(); ++peer) {
+        if (peer == core) continue;
+        if (private_[static_cast<std::size_t>(peer)].find(blockAddr)) {
+          private_[static_cast<std::size_t>(peer)].invalidate(blockAddr);
+          ev.invalidationsSent += 1;
+        }
+      }
+      mine.setDirty(*line, true);
+    }
+    return *line;
+  }
+  ev.privateMisses += 1;
+
+  // Snoop: a peer holding a Modified copy must surrender the fresh data.
+  for (int peer = 0; peer < cores(); ++peer) {
+    if (peer == core) continue;
+    CacheLevel& theirs = private_[static_cast<std::size_t>(peer)];
+    const auto line = theirs.find(blockAddr);
+    if (!line) continue;
+    if (theirs.dirty(*line)) {
+      const auto llcLine = llc_.find(blockAddr);
+      EC_CHECK_MSG(llcLine.has_value(), "inclusivity violated during snoop");
+      auto dst = llc_.data(*llcLine);
+      const auto src = theirs.data(*line);
+      std::copy(src.begin(), src.end(), dst.begin());
+      llc_.setDirty(*llcLine, true);
+      theirs.setDirty(*line, false);  // M -> S downgrade
+      ev.ownershipTransfers += 1;
+    }
+    if (forWrite) {
+      theirs.invalidate(blockAddr);
+      ev.invalidationsSent += 1;
+    }
+  }
+
+  // Fetch the block into the LLC if absent.
+  std::vector<std::uint8_t> block(config_.blockSize);
+  if (const auto llcLine = llc_.find(blockAddr)) {
+    ev.llcHits += 1;
+    llc_.touch(*llcLine);
+    const auto src = llc_.data(*llcLine);
+    std::copy(src.begin(), src.end(), block.begin());
+  } else {
+    ev.llcMisses += 1;
+    ev.nvmBlockReads += 1;
+    nvm_.read(blockAddr, block);
+    auto victim = llc_.insert(blockAddr);
+    if (victim) llcVictim(std::move(*victim));
+    const auto inserted = llc_.find(blockAddr);
+    auto dst = llc_.data(*inserted);
+    std::copy(block.begin(), block.end(), dst.begin());
+  }
+
+  // Install in the requesting core's private cache.
+  auto victim = mine.insert(blockAddr);
+  if (victim) privateVictimToLlc(core, std::move(*victim));
+  const auto line = mine.find(blockAddr);
+  auto dst = mine.data(*line);
+  std::copy(block.begin(), block.end(), dst.begin());
+  if (forWrite) mine.setDirty(*line, true);
+  return *line;
+}
+
+void MulticoreSystem::load(int core, std::uint64_t addr,
+                           std::span<std::uint8_t> dst) {
+  std::uint64_t offset = 0;
+  while (offset < dst.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
+    const auto line = acquire(core, base, /*forWrite=*/false);
+    const auto src = private_[static_cast<std::size_t>(core)].data(line);
+    std::memcpy(dst.data() + offset, src.data() + inBlock, chunk);
+    events_[static_cast<std::size_t>(core)].loads += 1;
+    offset += chunk;
+  }
+}
+
+void MulticoreSystem::store(int core, std::uint64_t addr,
+                            std::span<const std::uint8_t> src) {
+  std::uint64_t offset = 0;
+  while (offset < src.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, src.size() - offset);
+    const auto line = acquire(core, base, /*forWrite=*/true);
+    auto dst = private_[static_cast<std::size_t>(core)].data(line);
+    std::memcpy(dst.data() + inBlock, src.data() + offset, chunk);
+    events_[static_cast<std::size_t>(core)].stores += 1;
+    offset += chunk;
+  }
+}
+
+void MulticoreSystem::freshestBlock(std::uint64_t blockAddr,
+                                    std::span<std::uint8_t> out) const {
+  for (const auto& cache : private_) {
+    if (const auto line = cache.find(blockAddr)) {
+      if (cache.dirty(*line)) {
+        const auto src = cache.data(*line);
+        std::copy(src.begin(), src.end(), out.begin());
+        return;
+      }
+    }
+  }
+  if (const auto line = llc_.find(blockAddr)) {
+    const auto src = llc_.data(*line);
+    std::copy(src.begin(), src.end(), out.begin());
+    return;
+  }
+  nvm_.read(blockAddr, out);
+}
+
+void MulticoreSystem::flushBlock(std::uint64_t addr, FlushKind kind) {
+  const std::uint64_t base = blockBase(addr);
+  CoherenceEvents& ev = events_[0];
+
+  bool resident = llc_.find(base).has_value();
+  bool dirtyAnywhere = false;
+  if (const auto line = llc_.find(base)) dirtyAnywhere = llc_.dirty(*line);
+  for (const auto& cache : private_) {
+    if (const auto line = cache.find(base)) {
+      resident = true;
+      dirtyAnywhere = dirtyAnywhere || cache.dirty(*line);
+    }
+  }
+
+  if (!resident) {
+    ev.flushNonResident += 1;
+    return;
+  }
+  if (dirtyAnywhere) {
+    std::vector<std::uint8_t> fresh(config_.blockSize);
+    freshestBlock(base, fresh);
+    nvm_.writeBlock(base, fresh);
+    ev.nvmBlockWrites += 1;
+    ev.flushDirty += 1;
+    // All copies become clean and identical to NVM.
+    for (auto& cache : private_) {
+      if (const auto line = cache.find(base)) {
+        auto dst = cache.data(*line);
+        std::copy(fresh.begin(), fresh.end(), dst.begin());
+        cache.setDirty(*line, false);
+      }
+    }
+    if (const auto line = llc_.find(base)) {
+      auto dst = llc_.data(*line);
+      std::copy(fresh.begin(), fresh.end(), dst.begin());
+      llc_.setDirty(*line, false);
+    }
+  } else {
+    ev.flushClean += 1;
+  }
+
+  if (kind != FlushKind::Clwb) {
+    for (auto& cache : private_) cache.invalidate(base);
+    llc_.invalidate(base);
+  }
+}
+
+void MulticoreSystem::flushRange(std::uint64_t addr, std::uint64_t size,
+                                 FlushKind kind) {
+  if (size == 0) return;
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(addr + size - 1);
+  for (std::uint64_t b = first; b <= last; b += config_.blockSize) {
+    flushBlock(b, kind);
+  }
+}
+
+void MulticoreSystem::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> block(config_.blockSize);
+  while (offset < dst.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
+    freshestBlock(base, block);
+    std::memcpy(dst.data() + offset, block.data() + inBlock, chunk);
+    offset += chunk;
+  }
+}
+
+std::uint64_t MulticoreSystem::inconsistentBytes(std::uint64_t addr,
+                                                 std::uint64_t size) const {
+  if (size == 0) return 0;
+  std::uint64_t count = 0;
+  std::vector<std::uint8_t> fresh(config_.blockSize), image(config_.blockSize);
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(addr + size - 1);
+  for (std::uint64_t base = first; base <= last; base += config_.blockSize) {
+    bool dirtyAnywhere = false;
+    if (const auto line = llc_.find(base)) dirtyAnywhere = llc_.dirty(*line);
+    for (const auto& cache : private_) {
+      if (const auto line = cache.find(base)) {
+        dirtyAnywhere = dirtyAnywhere || cache.dirty(*line);
+      }
+    }
+    if (!dirtyAnywhere) continue;
+    freshestBlock(base, fresh);
+    nvm_.read(base, image);
+    const std::uint64_t lo = std::max(base, addr);
+    const std::uint64_t hi = std::min(base + config_.blockSize, addr + size);
+    for (std::uint64_t b = lo; b < hi; ++b) {
+      if (fresh[b - base] != image[b - base]) ++count;
+    }
+  }
+  return count;
+}
+
+void MulticoreSystem::invalidateAll() {
+  for (auto& cache : private_) cache.invalidateAll();
+  llc_.invalidateAll();
+}
+
+void MulticoreSystem::drainAll() {
+  // Private dirt into the LLC first, then the LLC into NVM.
+  for (auto& cache : private_) {
+    std::vector<std::uint64_t> dirtyBlocks;
+    cache.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
+      if (dirty) dirtyBlocks.push_back(blockAddr);
+    });
+    for (std::uint64_t blockAddr : dirtyBlocks) {
+      const auto line = cache.find(blockAddr);
+      const auto llcLine = llc_.find(blockAddr);
+      EC_CHECK_MSG(llcLine.has_value(), "inclusivity violated during drain");
+      const auto src = cache.data(*line);
+      auto dst = llc_.data(*llcLine);
+      std::copy(src.begin(), src.end(), dst.begin());
+      llc_.setDirty(*llcLine, true);
+      cache.setDirty(*line, false);
+    }
+  }
+  std::vector<std::uint64_t> dirtyBlocks;
+  llc_.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
+    if (dirty) dirtyBlocks.push_back(blockAddr);
+  });
+  for (std::uint64_t blockAddr : dirtyBlocks) {
+    const auto line = llc_.find(blockAddr);
+    nvm_.writeBlock(blockAddr, llc_.data(*line));
+    events_[0].nvmBlockWrites += 1;
+    llc_.setDirty(*line, false);
+  }
+}
+
+const CoherenceEvents& MulticoreSystem::coreEvents(int core) const {
+  EC_CHECK(core >= 0 && core < cores());
+  return events_[static_cast<std::size_t>(core)];
+}
+
+CoherenceEvents MulticoreSystem::totalEvents() const {
+  CoherenceEvents total;
+  for (const auto& ev : events_) {
+    total.loads += ev.loads;
+    total.stores += ev.stores;
+    total.privateHits += ev.privateHits;
+    total.privateMisses += ev.privateMisses;
+    total.llcHits += ev.llcHits;
+    total.llcMisses += ev.llcMisses;
+    total.invalidationsSent += ev.invalidationsSent;
+    total.ownershipTransfers += ev.ownershipTransfers;
+    total.nvmBlockWrites += ev.nvmBlockWrites;
+    total.nvmBlockReads += ev.nvmBlockReads;
+    total.flushDirty += ev.flushDirty;
+    total.flushClean += ev.flushClean;
+    total.flushNonResident += ev.flushNonResident;
+  }
+  return total;
+}
+
+void MulticoreSystem::checkInvariants() const {
+  std::vector<std::uint8_t> image(config_.blockSize);
+  for (int core = 0; core < cores(); ++core) {
+    private_[static_cast<std::size_t>(core)].forEachValid(
+        [&](std::uint64_t blockAddr, bool dirty, std::span<const std::uint8_t> data) {
+          // Inclusive LLC.
+          const auto llcLine = llc_.find(blockAddr);
+          EC_CHECK_MSG(llcLine.has_value(), "private block missing from LLC");
+          // Single-writer: no other core may hold this block dirty.
+          if (dirty) {
+            for (int peer = 0; peer < cores(); ++peer) {
+              if (peer == core) continue;
+              const auto& theirs = private_[static_cast<std::size_t>(peer)];
+              if (const auto line = theirs.find(blockAddr)) {
+                EC_CHECK_MSG(!theirs.dirty(*line),
+                             "two Modified copies of the same block");
+              }
+            }
+          } else {
+            // Shared copies mirror the LLC.
+            const auto llcData = llc_.data(*llcLine);
+            EC_CHECK_MSG(std::equal(data.begin(), data.end(), llcData.begin()),
+                         "clean private copy differs from the LLC");
+          }
+        });
+  }
+}
+
+}  // namespace easycrash::memsim

@@ -1,0 +1,45 @@
+#include "easycrash/memsim/nvm_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::memsim {
+
+NvmStore::NvmStore(std::uint32_t blockSize) : blockSize_(blockSize) {
+  EC_CHECK(blockSize_ > 0 && (blockSize_ & (blockSize_ - 1)) == 0);
+}
+
+void NvmStore::ensure(std::uint64_t endAddr) const {
+  if (endAddr > image_.size()) {
+    // Round capacity growth to 1MiB chunks to amortise resizes.
+    constexpr std::uint64_t kChunk = 1ULL << 20;
+    const std::uint64_t target = (endAddr + kChunk - 1) / kChunk * kChunk;
+    image_.resize(target, 0);
+  }
+}
+
+void NvmStore::read(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  ensure(addr + dst.size());
+  std::memcpy(dst.data(), image_.data() + addr, dst.size());
+}
+
+void NvmStore::writeBlock(std::uint64_t addr, std::span<const std::uint8_t> src) {
+  EC_CHECK_MSG(addr % blockSize_ == 0, "block write must be block-aligned");
+  EC_CHECK(src.size() == blockSize_);
+  ensure(addr + blockSize_);
+  std::memcpy(image_.data() + addr, src.data(), blockSize_);
+  ++blockWrites_;
+}
+
+void NvmStore::poke(std::uint64_t addr, std::span<const std::uint8_t> src) {
+  ensure(addr + src.size());
+  std::memcpy(image_.data() + addr, src.data(), src.size());
+}
+
+void NvmStore::restoreImage(std::vector<std::uint8_t> image) {
+  image_ = std::move(image);
+}
+
+}  // namespace easycrash::memsim

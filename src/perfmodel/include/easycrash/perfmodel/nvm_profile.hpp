@@ -1,0 +1,31 @@
+// NVM performance profiles (paper §6, Figures 7 and 8).
+//
+// The paper studies EasyCrash's overhead on DRAM, on Quartz-emulated NVM
+// (4x/8x DRAM latency, 1/6 and 1/8 DRAM bandwidth) and on real Optane DC
+// PMM. We model the same design points analytically: a profile fixes the
+// media's access latency and bandwidth, and the TimeModel converts simulator
+// event counts into execution time under that profile.
+#pragma once
+
+#include <string>
+
+namespace easycrash::perfmodel {
+
+struct NvmProfile {
+  std::string name;
+  double readLatencyNs = 87.0;    ///< media read latency per block fill
+  double writeLatencyNs = 87.0;   ///< media write latency on the persist path
+  double readBandwidthGBps = 106.0;
+  double writeBandwidthGBps = 106.0;
+
+  /// DRAM baseline (the paper's Table 3 machine: 87 ns, 106 GB/s).
+  [[nodiscard]] static NvmProfile dram();
+  /// Quartz-style latency emulation: multiply DRAM latency.
+  [[nodiscard]] static NvmProfile latencyScaled(double factor);
+  /// Quartz-style bandwidth emulation: divide DRAM bandwidth.
+  [[nodiscard]] static NvmProfile bandwidthScaled(double divisor);
+  /// Intel Optane DC PMM (app-direct mode, typical published figures).
+  [[nodiscard]] static NvmProfile optaneDcPmm();
+};
+
+}  // namespace easycrash::perfmodel

@@ -1,0 +1,55 @@
+// Execution-time model: converts MemEvents counters into modeled time.
+//
+// The absolute numbers are nominal; everything the paper reports from this
+// model (Table 4, Figures 7/8) is a *normalized* execution time — the ratio
+// between a run with persistence operations and the same run without — so
+// only the relative costs of cache hits, media fills, write-backs and flush
+// classes matter.
+#pragma once
+
+#include <cstdint>
+
+#include "easycrash/memsim/events.hpp"
+#include "easycrash/perfmodel/nvm_profile.hpp"
+
+namespace easycrash::perfmodel {
+
+/// Core-side cost constants (independent of the memory media).
+struct CoreCosts {
+  double issueNs = 0.5;    ///< per tracked access (pipeline / address gen)
+  double l1HitNs = 1.2;
+  double l2HitNs = 4.0;
+  double l3HitNs = 12.0;
+  double flushIssueNs = 20.0;  ///< CLFLUSHOPT issue cost, no write-back needed
+};
+
+class TimeModel {
+ public:
+  explicit TimeModel(NvmProfile profile, CoreCosts costs = CoreCosts{})
+      : profile_(profile), costs_(costs) {}
+
+  /// Modeled execution time for a run described by `events`, in nanoseconds.
+  ///
+  /// - demand fills from the media stall for latency + transfer;
+  /// - natural dirty evictions only occupy write bandwidth (posted writes);
+  /// - flush-induced write-backs stall for the full persist latency +
+  ///   transfer (the paper's persistence path: CLFLUSHOPT + fence);
+  /// - clean / non-resident flushes cost only the issue overhead (§2.1: no
+  ///   write-back happens).
+  [[nodiscard]] double executionTimeNs(const memsim::MemEvents& events) const;
+
+  /// Time attributable to persistence operations alone.
+  [[nodiscard]] double persistenceTimeNs(const memsim::MemEvents& events) const;
+
+  [[nodiscard]] const NvmProfile& profile() const { return profile_; }
+
+ private:
+  [[nodiscard]] double blockTransferNs(double bandwidthGBps) const {
+    return 64.0 / bandwidthGBps;  // 64 bytes at GB/s == ns
+  }
+
+  NvmProfile profile_;
+  CoreCosts costs_;
+};
+
+}  // namespace easycrash::perfmodel

@@ -1,0 +1,45 @@
+// NVM write-count study (paper Figure 9).
+//
+// Compares the extra NVM writes caused by (a) EasyCrash's selective cache
+// flushing and (b) a traditional in-NVM checkpoint that copies data objects
+// (including the cache pollution / evictions the copy induces). The paper's
+// conservative assumption — the checkpoint happens only once per execution —
+// is the default here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "easycrash/memsim/config.hpp"
+#include "easycrash/runtime/app.hpp"
+#include "easycrash/runtime/persistence_plan.hpp"
+
+namespace easycrash::perfmodel {
+
+struct WriteCounts {
+  std::uint64_t totalNvmWrites = 0;         ///< all block writes into NVM
+  std::uint64_t flushInducedWrites = 0;     ///< subset caused by flushes
+  std::uint64_t checkpointInducedWrites = 0;  ///< extra vs. a plain run
+};
+
+/// Run the application to completion under `plan` and report NVM writes.
+[[nodiscard]] WriteCounts measureRunWrites(
+    const runtime::AppFactory& factory, const runtime::PersistencePlan& plan,
+    const memsim::CacheConfig& cache = memsim::CacheConfig::scaledDefault());
+
+/// Which objects a checkpoint copies.
+enum class CheckpointScope {
+  CriticalObjects,   ///< the given object list (EasyCrash's critical set)
+  AllWritableObjects,  ///< every non-read-only data object
+};
+
+/// Run the application with one mid-run checkpoint: each chosen object is
+/// read through the caches and copied into a shadow NVM region which is then
+/// flushed (the paper's C/R-in-NVM comparison point). Returns total writes;
+/// checkpointInducedWrites is the delta against a plain run.
+[[nodiscard]] WriteCounts measureCheckpointWrites(
+    const runtime::AppFactory& factory, CheckpointScope scope,
+    const std::vector<runtime::ObjectId>& criticalObjects = {},
+    const memsim::CacheConfig& cache = memsim::CacheConfig::scaledDefault());
+
+}  // namespace easycrash::perfmodel

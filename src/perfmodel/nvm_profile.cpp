@@ -1,0 +1,37 @@
+#include "easycrash/perfmodel/nvm_profile.hpp"
+
+#include <sstream>
+
+namespace easycrash::perfmodel {
+
+NvmProfile NvmProfile::dram() {
+  return NvmProfile{"dram", 87.0, 87.0, 106.0, 106.0};
+}
+
+NvmProfile NvmProfile::latencyScaled(double factor) {
+  NvmProfile p = dram();
+  std::ostringstream name;
+  name << factor << "x-latency";
+  p.name = name.str();
+  p.readLatencyNs *= factor;
+  p.writeLatencyNs *= factor;
+  return p;
+}
+
+NvmProfile NvmProfile::bandwidthScaled(double divisor) {
+  NvmProfile p = dram();
+  std::ostringstream name;
+  name << "1/" << divisor << "-bandwidth";
+  p.name = name.str();
+  p.readBandwidthGBps /= divisor;
+  p.writeBandwidthGBps /= divisor;
+  return p;
+}
+
+NvmProfile NvmProfile::optaneDcPmm() {
+  // Published app-direct-mode figures: ~300 ns read latency, write latency
+  // hidden by the WPQ (~94 ns effective), ~39 GB/s read, ~13 GB/s write.
+  return NvmProfile{"optane-dc-pmm", 300.0, 94.0, 39.0, 13.0};
+}
+
+}  // namespace easycrash::perfmodel

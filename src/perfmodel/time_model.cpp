@@ -1,0 +1,34 @@
+#include "easycrash/perfmodel/time_model.hpp"
+
+namespace easycrash::perfmodel {
+
+double TimeModel::executionTimeNs(const memsim::MemEvents& events) const {
+  const double accesses = static_cast<double>(events.loads + events.stores);
+
+  double hits = 0.0;
+  hits += static_cast<double>(events.hits[0]) * costs_.l1HitNs;
+  hits += static_cast<double>(events.hits[1]) * costs_.l2HitNs;
+  hits += static_cast<double>(events.hits[2]) * costs_.l3HitNs;
+
+  const double fillNs = profile_.readLatencyNs + blockTransferNs(profile_.readBandwidthGBps);
+  const double fills = static_cast<double>(events.nvmBlockReads) * fillNs;
+
+  // Natural (capacity) evictions are posted: they cost write bandwidth only.
+  const double naturalWriteBacks =
+      static_cast<double>(events.nvmBlockWrites - events.flushInducedNvmWrites);
+  const double evictions = naturalWriteBacks * blockTransferNs(profile_.writeBandwidthGBps);
+
+  return accesses * costs_.issueNs + hits + fills + evictions +
+         persistenceTimeNs(events);
+}
+
+double TimeModel::persistenceTimeNs(const memsim::MemEvents& events) const {
+  const double persistWriteNs = profile_.writeLatencyNs +
+                                blockTransferNs(profile_.writeBandwidthGBps) +
+                                costs_.flushIssueNs;
+  return static_cast<double>(events.flushDirty) * persistWriteNs +
+         static_cast<double>(events.flushClean + events.flushNonResident) *
+             costs_.flushIssueNs;
+}
+
+}  // namespace easycrash::perfmodel

@@ -1,0 +1,110 @@
+#include "easycrash/perfmodel/write_model.hpp"
+
+#include <vector>
+
+#include "easycrash/common/check.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace easycrash::perfmodel {
+
+using runtime::Driver;
+using runtime::ObjectId;
+using runtime::Runtime;
+
+WriteCounts measureRunWrites(const runtime::AppFactory& factory,
+                             const runtime::PersistencePlan& plan,
+                             const memsim::CacheConfig& cache) {
+  Runtime rt(cache);
+  rt.setPlan(plan);
+  auto app = factory();
+  const auto result = Driver::freshRun(*app, rt);
+  EC_CHECK_MSG(result.verification.pass, "write study: golden run failed");
+  WriteCounts counts;
+  counts.totalNvmWrites = rt.events().nvmBlockWrites;
+  counts.flushInducedWrites = rt.events().flushInducedNvmWrites;
+  return counts;
+}
+
+namespace {
+
+/// Copy `objects` into a shadow NVM region through the caches, then flush the
+/// shadow: a synchronous in-NVM checkpoint, pollution effects included.
+void takeCheckpoint(Runtime& rt, const std::vector<ObjectId>& objects,
+                    std::uint64_t shadowBase) {
+  const std::uint32_t blockSize = rt.hierarchy().config().blockSize;
+  std::vector<std::uint8_t> buffer(blockSize);
+  std::uint64_t cursor = shadowBase;
+  for (ObjectId id : objects) {
+    const auto& info = rt.object(id);
+    for (std::uint64_t off = 0; off < info.bytes; off += blockSize) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(blockSize, info.bytes - off);
+      rt.load(info.addr + off, {buffer.data(), chunk});
+      rt.store(cursor, {buffer.data(), chunk});
+      cursor += chunk;
+    }
+  }
+  // Persist the checkpoint copy.
+  rt.hierarchy().flushRange(shadowBase, cursor - shadowBase,
+                            memsim::FlushKind::Clflushopt);
+}
+
+}  // namespace
+
+WriteCounts measureCheckpointWrites(const runtime::AppFactory& factory,
+                                    CheckpointScope scope,
+                                    const std::vector<ObjectId>& criticalObjects,
+                                    const memsim::CacheConfig& cache) {
+  // Baseline: a plain run with no persistence and no checkpoint.
+  const WriteCounts baseline = measureRunWrites(factory, {}, cache);
+
+  Runtime rt(cache);
+  auto app = factory();
+  app->setup(rt);
+
+  std::vector<ObjectId> objects;
+  if (scope == CheckpointScope::CriticalObjects) {
+    objects = criticalObjects;
+  } else {
+    for (const auto& info : rt.objects()) {
+      if (!info.readOnly && info.bytes > 0) objects.push_back(info.id);
+    }
+  }
+  std::uint64_t checkpointBytes = 0;
+  for (ObjectId id : objects) checkpointBytes += rt.object(id).bytes;
+  // Reserve the shadow region after all application objects.
+  const ObjectId shadow =
+      rt.allocate("__chk_shadow", std::max<std::uint64_t>(checkpointBytes, 1),
+                  /*candidate=*/false);
+  const std::uint64_t shadowBase = rt.object(shadow).addr;
+
+  app->initialize(rt);
+  // Drive the main loop manually so the checkpoint can fire mid-run (at the
+  // half-way iteration, once — the paper's conservative assumption).
+  const int nominal = app->nominalIterations();
+  const int checkpointAt = std::max(1, nominal / 2);
+  rt.setCrashWindow(true);
+  for (int it = 1; it <= nominal; ++it) {
+    rt.bookmarkIteration(it);
+    app->iterate(rt, it);
+    rt.mainLoopIterationEnd(it);
+    const bool done = app->converged(rt, it);
+    if (it == checkpointAt) {
+      rt.setCrashWindow(false);
+      takeCheckpoint(rt, objects, shadowBase);
+      rt.setCrashWindow(true);
+    }
+    if (done) break;
+  }
+  rt.setCrashWindow(false);
+
+  WriteCounts counts;
+  counts.totalNvmWrites = rt.events().nvmBlockWrites;
+  counts.flushInducedWrites = rt.events().flushInducedNvmWrites;
+  counts.checkpointInducedWrites =
+      counts.totalNvmWrites > baseline.totalNvmWrites
+          ? counts.totalNvmWrites - baseline.totalNvmWrites
+          : 0;
+  return counts;
+}
+
+}  // namespace easycrash::perfmodel

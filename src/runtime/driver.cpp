@@ -1,0 +1,39 @@
+#include "easycrash/runtime/app.hpp"
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::runtime {
+
+RunResult Driver::run(IApp& app, Runtime& rt, int fromIteration, int maxIterations) {
+  if (maxIterations <= 0) maxIterations = app.nominalIterations();
+  RunResult result;
+  rt.setCrashWindow(true);
+  try {
+    for (int it = fromIteration; it <= maxIterations; ++it) {
+      // Bookmark first: a crash inside this iteration restarts from it.
+      rt.bookmarkIteration(it);
+      app.iterate(rt, it);
+      rt.mainLoopIterationEnd(it);
+      result.finalIteration = it;
+      ++result.iterationsExecuted;
+      if (app.converged(rt, it)) break;
+      if (it == maxIterations) result.reachedCap = true;
+    }
+  } catch (const AppInterrupt& interrupt) {
+    rt.setCrashWindow(false);
+    result.interrupted = true;
+    result.interruptReason = interrupt.reason;
+    return result;
+  }
+  rt.setCrashWindow(false);
+  result.verification = app.verify(rt);
+  return result;
+}
+
+RunResult Driver::freshRun(IApp& app, Runtime& rt, int maxIterations) {
+  app.setup(rt);
+  app.initialize(rt);
+  return run(app, rt, 1, maxIterations);
+}
+
+}  // namespace easycrash::runtime

@@ -1,0 +1,29 @@
+// Data-object metadata tracked by the runtime.
+//
+// The paper (§2.2) studies heap and global data objects. Candidates of
+// critical data objects are the non-read-only objects whose lifetime is the
+// main computation loop (§5.1); everything else is restored by the
+// application's own initialisation on restart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace easycrash::runtime {
+
+using ObjectId = std::uint32_t;
+
+struct DataObjectInfo {
+  ObjectId id = 0;
+  std::string name;
+  std::uint64_t addr = 0;   ///< base address in the simulated address space
+  std::uint64_t bytes = 0;  ///< object size in bytes
+  /// True when the object qualifies as a candidate critical data object:
+  /// lifetime spans the main loop and it is not read-only.
+  bool candidate = false;
+  /// True for objects never written inside the main loop (restored by
+  /// re-initialisation, never persisted).
+  bool readOnly = false;
+};
+
+}  // namespace easycrash::runtime

@@ -1,0 +1,50 @@
+// A persistence plan tells the runtime which data objects to flush, where,
+// and how often. EasyCrash's decision framework (src/core) produces plans;
+// the runtime executes them transparently while the application runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "easycrash/memsim/config.hpp"
+#include "easycrash/runtime/data_object.hpp"
+
+namespace easycrash::runtime {
+
+/// Persist-point identifiers. Region ids 0..W-1 identify first-level inner
+/// loops / code blocks (paper §5.2); kMainLoopEnd is the end of one main
+/// computation loop iteration (the location used in Figure 2a).
+using PointId = std::int32_t;
+inline constexpr PointId kMainLoopEnd = -1;
+
+/// What to do at one persist point.
+struct PersistDirective {
+  std::vector<ObjectId> objects;  ///< objects to cache_block_flush
+  /// For loop-structured points: flush every `everyN` iteration-ends
+  /// (paper's frequency x in Equation 5). 0 disables iteration-end flushing.
+  std::uint32_t everyN = 1;
+  /// For non-loop code regions: flush once when the region ends.
+  bool atRegionEnd = false;
+};
+
+struct PersistencePlan {
+  std::map<PointId, PersistDirective> points;
+  memsim::FlushKind flushKind = memsim::FlushKind::Clflushopt;
+
+  [[nodiscard]] bool empty() const { return points.empty(); }
+
+  /// Convenience: persist `objects` at the end of every main-loop iteration —
+  /// the configuration used by the paper's "selecting data objects" step.
+  [[nodiscard]] static PersistencePlan atMainLoopEnd(std::vector<ObjectId> objects,
+                                                     std::uint32_t everyN = 1) {
+    PersistencePlan plan;
+    PersistDirective d;
+    d.objects = std::move(objects);
+    d.everyN = everyN;
+    plan.points[kMainLoopEnd] = std::move(d);
+    return plan;
+  }
+};
+
+}  // namespace easycrash::runtime

@@ -1,0 +1,193 @@
+// The tracked-memory runtime: EasyCrash's substitute for PIN instrumentation.
+//
+// Applications allocate data objects here and perform all loads/stores of
+// those objects through the Runtime, which routes them into the simulated
+// cache hierarchy + NVM store, counts dynamic accesses (the crash-point
+// clock), tracks the active code region, and executes the persistence plan
+// (cache_block_flush calls) at region/main-loop persist points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "easycrash/memsim/hierarchy.hpp"
+#include "easycrash/memsim/nvm_store.hpp"
+#include "easycrash/runtime/data_object.hpp"
+#include "easycrash/runtime/persistence_plan.hpp"
+
+namespace easycrash::runtime {
+
+/// Thrown when the armed crash point is reached. Models power loss /
+/// processor failure: everything in the caches is gone, the NVM image stays.
+struct CrashEvent {
+  std::uint64_t accessIndex = 0;  ///< dynamic access index at which we crashed
+  PointId activeRegion = kMainLoopEnd;  ///< innermost region, or kMainLoopEnd
+  int iteration = 0;                    ///< main-loop iteration of the crash
+  /// Full region stack at the crash instant, outermost first — the analogue
+  /// of NVCT's CCTLib call-path information (paper §3): it distinguishes
+  /// crash tests that stop in the same statement under different contexts.
+  std::vector<PointId> regionPath;
+};
+
+/// Thrown by applications when corrupted state makes continued execution
+/// impossible (the simulated analogue of a segmentation fault — paper
+/// response class S3 "Interruption").
+struct AppInterrupt {
+  std::string reason;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(memsim::CacheConfig config = memsim::CacheConfig::scaledDefault());
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // ---- Data object registry -------------------------------------------------
+
+  /// Allocate a data object of `bytes` bytes, block-aligned.
+  ObjectId allocate(std::string name, std::uint64_t bytes, bool candidate,
+                    bool readOnly = false);
+
+  [[nodiscard]] const DataObjectInfo& object(ObjectId id) const;
+  [[nodiscard]] std::optional<ObjectId> findObject(const std::string& name) const;
+  [[nodiscard]] const std::vector<DataObjectInfo>& objects() const { return objects_; }
+  [[nodiscard]] std::vector<ObjectId> candidateObjects() const;
+  [[nodiscard]] std::uint64_t footprintBytes() const { return nextAddr_; }
+
+  // ---- Tracked access (the instrumented load/store path) --------------------
+
+  void load(std::uint64_t addr, std::span<std::uint8_t> dst);
+  void store(std::uint64_t addr, std::span<const std::uint8_t> src);
+  /// Architecturally-current value without counters or cache perturbation.
+  void peek(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+  /// Read straight from the NVM image (what survives a crash).
+  void readNvm(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+
+  template <typename T>
+  [[nodiscard]] T loadValue(std::uint64_t addr) {
+    T v{};
+    load(addr, {reinterpret_cast<std::uint8_t*>(&v), sizeof(T)});
+    return v;
+  }
+  template <typename T>
+  void storeValue(std::uint64_t addr, const T& v) {
+    store(addr, {reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)});
+  }
+  template <typename T>
+  [[nodiscard]] T peekValue(std::uint64_t addr) const {
+    T v{};
+    peek(addr, {reinterpret_cast<std::uint8_t*>(&v), sizeof(T)});
+    return v;
+  }
+
+  // ---- Persistence (paper's cache_block_flush / load_value APIs) ------------
+
+  /// Flush every cache block of an object (paper Figure 2a lines 20-22).
+  void persistObject(ObjectId id, memsim::FlushKind kind = memsim::FlushKind::Clflushopt);
+  /// Restore an object's bytes by storing `bytes` through the hierarchy
+  /// (paper Figure 2b load_value): used on restart.
+  void restoreObject(ObjectId id, std::span<const std::uint8_t> bytes);
+  /// Snapshot the object's surviving NVM bytes (the post-crash dump file).
+  [[nodiscard]] std::vector<std::uint8_t> dumpObjectNvm(ObjectId id) const;
+  /// Snapshot the object's architecturally-current bytes (coherent snapshot,
+  /// used by the physical-machine "verified" methodology of Figure 6).
+  [[nodiscard]] std::vector<std::uint8_t> dumpObjectCurrent(ObjectId id) const;
+
+  /// Inconsistency rate of an object: differing-dirty bytes / object size.
+  [[nodiscard]] double inconsistentRate(ObjectId id) const;
+
+  // ---- Region & main-loop structure -----------------------------------------
+
+  void beginRegion(PointId region);
+  void endRegion(PointId region);
+  /// End of one iteration of the region's inner loop: persist point.
+  void regionIterationEnd(PointId region);
+  /// End of one main-loop iteration: persist point + iterator bookmark flush.
+  void mainLoopIterationEnd(int iteration);
+  /// Record the current main-loop iteration (bookmark object, always
+  /// persisted — paper footnote 3).
+  void bookmarkIteration(int iteration);
+  [[nodiscard]] int bookmarkedIteration() const;
+  /// Iteration bookmark surviving in NVM (what a restart would see).
+  [[nodiscard]] int bookmarkedIterationNvm() const;
+
+  [[nodiscard]] PointId activeRegion() const;
+  [[nodiscard]] std::uint32_t regionCount() const { return regionCount_; }
+  /// Declared by the application during setup (Table 1 "# of code regions").
+  void declareRegionCount(std::uint32_t count) { regionCount_ = count; }
+
+  /// Dynamic accesses attributed to each region during the crash window
+  /// (region kMainLoopEnd collects accesses outside any region). Used to
+  /// compute the paper's a_k time ratios.
+  [[nodiscard]] const std::map<PointId, std::uint64_t>& regionAccesses() const {
+    return regionAccesses_;
+  }
+
+  /// Number of iteration-end persist points reached per region (and per
+  /// main loop, keyed kMainLoopEnd) — the denominator of the paper's
+  /// flush-frequency model (Equation 5).
+  [[nodiscard]] const std::map<PointId, std::uint64_t>& regionIterationEnds() const {
+    return regionIterationEnds_;
+  }
+
+  // ---- Persistence plan ------------------------------------------------------
+
+  void setPlan(PersistencePlan plan);
+  [[nodiscard]] const PersistencePlan& plan() const { return plan_; }
+  /// Number of executed persistence operations (Table 4 column 3).
+  [[nodiscard]] std::uint64_t persistenceOps() const { return persistenceOps_; }
+
+  // ---- Crash injection --------------------------------------------------------
+
+  /// Arm a crash at the `accessIndex`-th tracked access inside the crash
+  /// window (1-based). Throws CrashEvent from the access that reaches it.
+  void armCrash(std::uint64_t accessIndex);
+  void disarmCrash();
+  /// Crash window control: only accesses inside the window tick the clock
+  /// (the paper triggers crashes during the main computation loop).
+  void setCrashWindow(bool active) { crashWindowActive_ = active; }
+  [[nodiscard]] std::uint64_t windowAccesses() const { return windowAccesses_; }
+
+  /// Simulate the power loss itself: drop all cache contents.
+  void powerLoss() { hierarchy_.invalidateAll(); }
+
+  // ---- Introspection -----------------------------------------------------------
+
+  [[nodiscard]] memsim::CacheHierarchy& hierarchy() { return hierarchy_; }
+  [[nodiscard]] const memsim::CacheHierarchy& hierarchy() const { return hierarchy_; }
+  [[nodiscard]] memsim::NvmStore& nvm() { return nvm_; }
+  [[nodiscard]] const memsim::MemEvents& events() const { return hierarchy_.events(); }
+
+ private:
+  void onAccess(std::uint64_t count);
+  void executeDirective(const PersistDirective& directive);
+
+  memsim::NvmStore nvm_;
+  memsim::CacheHierarchy hierarchy_;
+
+  std::vector<DataObjectInfo> objects_;
+  std::uint64_t nextAddr_ = 0;
+
+  PersistencePlan plan_;
+  std::map<PointId, std::uint64_t> pointCounters_;
+  std::map<PointId, std::uint64_t> regionIterationEnds_;
+  std::uint64_t persistenceOps_ = 0;
+
+  std::vector<PointId> regionStack_;
+  std::uint32_t regionCount_ = 0;
+  std::map<PointId, std::uint64_t> regionAccesses_;
+
+  ObjectId iterObject_ = 0;  ///< the always-persisted loop-iterator bookmark
+
+  bool crashWindowActive_ = false;
+  std::uint64_t windowAccesses_ = 0;
+  std::uint64_t crashAt_ = 0;  ///< 0 = disarmed
+};
+
+}  // namespace easycrash::runtime

@@ -1,0 +1,136 @@
+// Typed handles over simulated data objects.
+//
+// TrackedArray<T> / TrackedScalar<T> are how instrumented applications touch
+// their data: every element read/write becomes a simulated load/store (cache
+// state, dirtiness, crash clock). A proxy reference makes `a[i] = x`,
+// `a[i] += x` and `double v = a[i]` work naturally.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "easycrash/common/check.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace easycrash::runtime {
+
+template <typename T>
+class TrackedArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "tracked elements must be trivially copyable");
+
+ public:
+  TrackedArray() = default;
+
+  /// Allocate a new data object named `name` holding `count` elements.
+  TrackedArray(Runtime& rt, std::string name, std::uint64_t count, bool candidate,
+               bool readOnly = false)
+      : rt_(&rt), count_(count) {
+    id_ = rt.allocate(std::move(name), count * sizeof(T), candidate, readOnly);
+    base_ = rt.object(id_).addr;
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return count_; }
+  [[nodiscard]] ObjectId id() const { return id_; }
+
+  [[nodiscard]] T get(std::uint64_t i) const {
+    EC_CHECK(i < count_);
+    return rt_->loadValue<T>(base_ + i * sizeof(T));
+  }
+
+  void set(std::uint64_t i, const T& v) {
+    EC_CHECK(i < count_);
+    rt_->storeValue(base_ + i * sizeof(T), v);
+  }
+
+  /// Architecturally-current value without touching caches or the crash
+  /// clock (used by post-crash analysis and acceptance verification).
+  [[nodiscard]] T peek(std::uint64_t i) const {
+    EC_CHECK(i < count_);
+    return rt_->peekValue<T>(base_ + i * sizeof(T));
+  }
+
+  /// Element proxy enabling natural assignment/compound-assignment syntax.
+  class Ref {
+   public:
+    Ref(TrackedArray& a, std::uint64_t i) : array_(a), index_(i) {}
+    operator T() const { return array_.get(index_); }  // NOLINT(google-explicit-*)
+    Ref& operator=(const T& v) {
+      array_.set(index_, v);
+      return *this;
+    }
+    Ref& operator=(const Ref& other) { return *this = static_cast<T>(other); }
+    Ref& operator+=(const T& v) { return *this = array_.get(index_) + v; }
+    Ref& operator-=(const T& v) { return *this = array_.get(index_) - v; }
+    Ref& operator*=(const T& v) { return *this = array_.get(index_) * v; }
+    Ref& operator/=(const T& v) { return *this = array_.get(index_) / v; }
+
+   private:
+    TrackedArray& array_;
+    std::uint64_t index_;
+  };
+
+  Ref operator[](std::uint64_t i) { return Ref(*this, i); }
+  T operator[](std::uint64_t i) const { return get(i); }
+
+  /// Flush every cache block of this object (the paper's cache_block_flush).
+  void persist(memsim::FlushKind kind = memsim::FlushKind::Clflushopt) {
+    rt_->persistObject(id_, kind);
+  }
+
+ private:
+  Runtime* rt_ = nullptr;
+  ObjectId id_ = 0;
+  std::uint64_t base_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+template <typename T>
+class TrackedScalar {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  TrackedScalar() = default;
+  TrackedScalar(Runtime& rt, std::string name, bool candidate)
+      : rt_(&rt) {
+    id_ = rt.allocate(std::move(name), sizeof(T), candidate);
+    addr_ = rt.object(id_).addr;
+  }
+
+  [[nodiscard]] T get() const { return rt_->loadValue<T>(addr_); }
+  void set(const T& v) { rt_->storeValue(addr_, v); }
+  [[nodiscard]] T peek() const { return rt_->peekValue<T>(addr_); }
+  [[nodiscard]] ObjectId id() const { return id_; }
+
+ private:
+  Runtime* rt_ = nullptr;
+  ObjectId id_ = 0;
+  std::uint64_t addr_ = 0;
+};
+
+/// RAII region marker (paper §5.2 code regions). Applications wrap each
+/// first-level inner loop:
+///
+///   { RegionScope r(rt, 2);           // region R3 of MG
+///     for (...) { ...; r.iterationEnd(); } }
+class RegionScope {
+ public:
+  RegionScope(Runtime& rt, PointId region) : rt_(rt), region_(region) {
+    rt_.beginRegion(region_);
+  }
+  ~RegionScope() {
+    // endRegion can flush (persist point); a CrashEvent is never thrown from
+    // flushes, so this destructor does not throw during crash unwinding.
+    rt_.endRegion(region_);
+  }
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+
+  void iterationEnd() { rt_.regionIterationEnd(region_); }
+
+ private:
+  Runtime& rt_;
+  PointId region_;
+};
+
+}  // namespace easycrash::runtime

@@ -1,0 +1,200 @@
+#include "easycrash/runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::runtime {
+
+Runtime::Runtime(memsim::CacheConfig config)
+    : nvm_(config.blockSize), hierarchy_(std::move(config), nvm_) {
+  // Object 0 is the loop-iterator bookmark (paper footnote 3: always
+  // persisted; almost zero cost).
+  iterObject_ = allocate("__iter", sizeof(int), /*candidate=*/false);
+}
+
+ObjectId Runtime::allocate(std::string name, std::uint64_t bytes, bool candidate,
+                           bool readOnly) {
+  EC_CHECK_MSG(bytes > 0, "cannot allocate empty data object");
+  EC_CHECK_MSG(!findObject(name).has_value(), "duplicate data object name: " + name);
+  const std::uint32_t blockSize = hierarchy_.config().blockSize;
+  DataObjectInfo info;
+  info.id = static_cast<ObjectId>(objects_.size());
+  info.name = std::move(name);
+  info.addr = nextAddr_;
+  info.bytes = bytes;
+  info.candidate = candidate;
+  info.readOnly = readOnly;
+  objects_.push_back(info);
+  // Block-align the next allocation so objects never share a cache block
+  // (flushing one object must not persist another's bytes).
+  nextAddr_ += (bytes + blockSize - 1) / blockSize * blockSize;
+  return info.id;
+}
+
+const DataObjectInfo& Runtime::object(ObjectId id) const {
+  EC_CHECK(id < objects_.size());
+  return objects_[id];
+}
+
+std::optional<ObjectId> Runtime::findObject(const std::string& name) const {
+  for (const auto& o : objects_) {
+    if (o.name == name) return o.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<ObjectId> Runtime::candidateObjects() const {
+  std::vector<ObjectId> ids;
+  for (const auto& o : objects_) {
+    if (o.candidate) ids.push_back(o.id);
+  }
+  return ids;
+}
+
+void Runtime::onAccess(std::uint64_t count) {
+  if (!crashWindowActive_) return;
+  const PointId region = activeRegion();
+  regionAccesses_[region] += count;
+  windowAccesses_ += count;
+  if (crashAt_ != 0 && windowAccesses_ >= crashAt_) {
+    CrashEvent crash;
+    crash.accessIndex = windowAccesses_;
+    crash.activeRegion = region;
+    crash.iteration = bookmarkedIteration();
+    crash.regionPath = regionStack_;
+    crashAt_ = 0;
+    // Deliberately do NOT invalidate the caches here: the campaign first
+    // performs the post-mortem inconsistency analysis (comparing cache state
+    // against the NVM image, as NVCT does), then calls powerLoss().
+    throw crash;
+  }
+}
+
+void Runtime::load(std::uint64_t addr, std::span<std::uint8_t> dst) {
+  hierarchy_.load(addr, dst);
+  onAccess(1);
+}
+
+void Runtime::store(std::uint64_t addr, std::span<const std::uint8_t> src) {
+  hierarchy_.store(addr, src);
+  onAccess(1);
+}
+
+void Runtime::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  hierarchy_.peek(addr, dst);
+}
+
+void Runtime::readNvm(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  nvm_.read(addr, dst);
+}
+
+void Runtime::persistObject(ObjectId id, memsim::FlushKind kind) {
+  const DataObjectInfo& info = object(id);
+  hierarchy_.flushRange(info.addr, info.bytes, kind);
+}
+
+void Runtime::restoreObject(ObjectId id, std::span<const std::uint8_t> bytes) {
+  const DataObjectInfo& info = object(id);
+  EC_CHECK_MSG(bytes.size() == info.bytes, "restore size mismatch for " + info.name);
+  hierarchy_.store(info.addr, bytes);
+}
+
+std::vector<std::uint8_t> Runtime::dumpObjectNvm(ObjectId id) const {
+  const DataObjectInfo& info = object(id);
+  std::vector<std::uint8_t> out(info.bytes);
+  nvm_.read(info.addr, out);
+  return out;
+}
+
+std::vector<std::uint8_t> Runtime::dumpObjectCurrent(ObjectId id) const {
+  const DataObjectInfo& info = object(id);
+  std::vector<std::uint8_t> out(info.bytes);
+  hierarchy_.peek(info.addr, out);
+  return out;
+}
+
+double Runtime::inconsistentRate(ObjectId id) const {
+  const DataObjectInfo& info = object(id);
+  const std::uint64_t bad = hierarchy_.inconsistentBytes(info.addr, info.bytes);
+  return static_cast<double>(bad) / static_cast<double>(info.bytes);
+}
+
+void Runtime::beginRegion(PointId region) {
+  EC_CHECK(region >= 0);
+  regionStack_.push_back(region);
+}
+
+void Runtime::endRegion(PointId region) {
+  EC_CHECK_MSG(!regionStack_.empty() && regionStack_.back() == region,
+               "unbalanced region markers");
+  regionStack_.pop_back();
+  const auto it = plan_.points.find(region);
+  if (it != plan_.points.end() && it->second.atRegionEnd) {
+    executeDirective(it->second);
+  }
+}
+
+void Runtime::regionIterationEnd(PointId region) {
+  EC_CHECK_MSG(!regionStack_.empty() && regionStack_.back() == region,
+               "iteration end outside its region");
+  ++regionIterationEnds_[region];
+  const auto it = plan_.points.find(region);
+  if (it == plan_.points.end() || it->second.everyN == 0) return;
+  if (++pointCounters_[region] % it->second.everyN == 0) {
+    executeDirective(it->second);
+  }
+}
+
+void Runtime::mainLoopIterationEnd(int iteration) {
+  bookmarkIteration(iteration);
+  ++regionIterationEnds_[kMainLoopEnd];
+  const auto it = plan_.points.find(kMainLoopEnd);
+  if (it == plan_.points.end() || it->second.everyN == 0) return;
+  if (++pointCounters_[kMainLoopEnd] % it->second.everyN == 0) {
+    executeDirective(it->second);
+  }
+}
+
+void Runtime::bookmarkIteration(int iteration) {
+  const DataObjectInfo& info = object(iterObject_);
+  hierarchy_.store(info.addr,
+                   {reinterpret_cast<const std::uint8_t*>(&iteration), sizeof(int)});
+  hierarchy_.flushRange(info.addr, info.bytes, plan_.flushKind);
+}
+
+int Runtime::bookmarkedIteration() const {
+  return peekValue<int>(object(iterObject_).addr);
+}
+
+int Runtime::bookmarkedIterationNvm() const {
+  int v = 0;
+  nvm_.read(object(iterObject_).addr, {reinterpret_cast<std::uint8_t*>(&v), sizeof(int)});
+  return v;
+}
+
+PointId Runtime::activeRegion() const {
+  return regionStack_.empty() ? kMainLoopEnd : regionStack_.back();
+}
+
+void Runtime::setPlan(PersistencePlan plan) {
+  plan_ = std::move(plan);
+  pointCounters_.clear();
+}
+
+void Runtime::executeDirective(const PersistDirective& directive) {
+  for (ObjectId id : directive.objects) {
+    persistObject(id, plan_.flushKind);
+  }
+  ++persistenceOps_;
+}
+
+void Runtime::armCrash(std::uint64_t accessIndex) {
+  EC_CHECK_MSG(accessIndex > 0, "crash index is 1-based");
+  EC_CHECK_MSG(accessIndex > windowAccesses_, "crash point already passed");
+  crashAt_ = accessIndex;
+}
+
+void Runtime::disarmCrash() { crashAt_ = 0; }
+
+}  // namespace easycrash::runtime

@@ -1,0 +1,49 @@
+// Spearman's rank correlation with significance testing.
+//
+// EasyCrash (paper §5.1) selects critical data objects by correlating the
+// per-crash-test data-inconsistency rate of each candidate object with the
+// recomputation outcome of that test. An object is critical when the
+// correlation coefficient R_s is negative (more inconsistency => less
+// recomputability) and its p-value is below 0.01.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace easycrash::stats {
+
+/// Result of a Spearman rank-correlation analysis.
+struct SpearmanResult {
+  double rho = 0.0;      ///< rank correlation coefficient R_s in [-1, 1]
+  double pValue = 1.0;   ///< two-sided p-value from the Student-t approximation
+  std::size_t n = 0;     ///< number of paired samples
+  bool degenerate = false;  ///< true when either input is constant (rho undefined)
+};
+
+/// Assign fractional ranks (1-based, ties get the average rank).
+[[nodiscard]] std::vector<double> fractionalRanks(std::span<const double> values);
+
+/// Pearson correlation of two equal-length vectors; NaN-free inputs required.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman's rank correlation: Pearson correlation of fractional ranks, with
+/// a two-sided p-value from t = rho * sqrt((n-2) / (1 - rho^2)) against the
+/// Student-t distribution with n-2 degrees of freedom. Requires x.size() ==
+/// y.size(). With n < 3 or a constant input, returns degenerate = true.
+[[nodiscard]] SpearmanResult spearman(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// Regularized incomplete beta function I_x(a, b) via continued fractions
+/// (Lentz's algorithm). Domain: a > 0, b > 0, x in [0, 1].
+[[nodiscard]] double regularizedIncompleteBeta(double a, double b, double x);
+
+/// Two-sided p-value of a Student-t statistic with `dof` degrees of freedom.
+[[nodiscard]] double studentTTwoSidedP(double t, double dof);
+
+/// Mean of a sample (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Unbiased sample standard deviation (0 for n < 2).
+[[nodiscard]] double sampleStddev(std::span<const double> values);
+
+}  // namespace easycrash::stats

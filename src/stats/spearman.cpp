@@ -1,0 +1,142 @@
+#include "easycrash/stats/spearman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::stats {
+
+std::vector<double> fractionalRanks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tie group [i, j]: average of ranks i+1 .. j+1.
+    const double avgRank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avgRank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  EC_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double regularizedIncompleteBeta(double a, double b, double x) {
+  EC_CHECK(a > 0.0 && b > 0.0);
+  EC_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - regularizedIncompleteBeta(b, a, 1.0 - x);
+  }
+
+  const double logBeta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front = std::exp(std::log(x) * a + std::log1p(-x) * b - logBeta) / a;
+
+  // Lentz's algorithm for the continued fraction.
+  constexpr double kTiny = 1e-30;
+  constexpr double kEps = 1e-15;
+  double f = 1.0, c = 1.0, d = 0.0;
+  for (int i = 0; i <= 300; ++i) {
+    const int m = i / 2;
+    double numerator;
+    if (i == 0) {
+      numerator = 1.0;
+    } else if (i % 2 == 0) {
+      numerator = (m * (b - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+    } else {
+      numerator = -((a + m) * (a + b + m) * x) / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+    }
+    d = 1.0 + numerator * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    const double cd = c * d;
+    f *= cd;
+    if (std::abs(1.0 - cd) < kEps) break;
+  }
+  return std::clamp(front * (f - 1.0), 0.0, 1.0);
+}
+
+double studentTTwoSidedP(double t, double dof) {
+  EC_CHECK(dof > 0.0);
+  if (!std::isfinite(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  // P(|T| > t) = I_{dof/(dof+t^2)}(dof/2, 1/2)
+  return regularizedIncompleteBeta(dof / 2.0, 0.5, x);
+}
+
+SpearmanResult spearman(std::span<const double> x, std::span<const double> y) {
+  EC_CHECK(x.size() == y.size());
+  SpearmanResult result;
+  result.n = x.size();
+  if (result.n < 3) {
+    result.degenerate = true;
+    return result;
+  }
+  const auto constant = [](std::span<const double> v) {
+    return std::all_of(v.begin(), v.end(), [&](double e) { return e == v.front(); });
+  };
+  if (constant(x) || constant(y)) {
+    result.degenerate = true;
+    return result;
+  }
+  const std::vector<double> rx = fractionalRanks(x);
+  const std::vector<double> ry = fractionalRanks(y);
+  result.rho = pearson(rx, ry);
+
+  const double n = static_cast<double>(result.n);
+  const double denom = 1.0 - result.rho * result.rho;
+  if (denom <= 0.0) {
+    result.pValue = 0.0;  // perfect monotone relation
+    return result;
+  }
+  const double t = result.rho * std::sqrt((n - 2.0) / denom);
+  result.pValue = studentTTwoSidedP(t, n - 2.0);
+  return result;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double sampleStddev(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+}  // namespace easycrash::stats

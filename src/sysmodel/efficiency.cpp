@@ -1,0 +1,134 @@
+#include "easycrash/sysmodel/efficiency.hpp"
+
+#include <cmath>
+
+#include "easycrash/common/check.hpp"
+#include "easycrash/common/rng.hpp"
+
+namespace easycrash::sysmodel {
+
+SystemParams SystemParams::scaledToNodes(double nodesRelativeTo100k) const {
+  EC_CHECK(nodesRelativeTo100k > 0.0);
+  SystemParams scaled = *this;
+  scaled.mtbfHours = mtbfHours / nodesRelativeTo100k;
+  return scaled;
+}
+
+double youngInterval(double tChkSeconds, double mtbfSeconds) {
+  EC_CHECK(tChkSeconds > 0.0 && mtbfSeconds > 0.0);
+  return std::sqrt(2.0 * tChkSeconds * mtbfSeconds);
+}
+
+EfficiencyResult efficiencyWithoutEasyCrash(const SystemParams& params) {
+  // Equation 6: Total = N (T + T_chk) + M (T_vain + T_r + T_sync)
+  // Equation 7: M = Total / MTBF;  T_vain = T / 2.
+  EfficiencyResult result;
+  const double total = params.horizonSeconds();
+  const double interval = youngInterval(params.tChkSeconds, params.mtbfSeconds());
+  const double crashes = total / params.mtbfSeconds();
+  const double lostPerCrash = interval / 2.0 + params.tRecover() + params.tSync();
+  const double checkpoints =
+      (total - crashes * lostPerCrash) / (interval + params.tChkSeconds);
+  result.checkpointInterval = interval;
+  result.crashes = crashes;
+  result.checkpoints = std::max(0.0, checkpoints);
+  result.efficiency = std::max(0.0, result.checkpoints * interval / total);
+  return result;
+}
+
+EfficiencyResult efficiencyWithEasyCrash(const SystemParams& params,
+                                         double recomputability,
+                                         double runtimeOverhead) {
+  EC_CHECK(recomputability >= 0.0 && recomputability < 1.0 + 1e-12);
+  recomputability = std::min(recomputability, 1.0 - 1e-9);
+  // MTBF_EasyCrash = MTBF / (1 - R): only unrecoverable crashes roll back.
+  EfficiencyResult result;
+  const double total = params.horizonSeconds();
+  const double mtbfEc = params.mtbfSeconds() / (1.0 - recomputability);
+  const double interval = youngInterval(params.tChkSeconds, mtbfEc);
+  const double crashes = total / params.mtbfSeconds();
+  const double rollbacks = crashes * (1.0 - recomputability);   // M'
+  const double recomputes = crashes * recomputability;          // M''
+  // Equation 8.
+  const double lostPerRollback = interval / 2.0 + params.tRecover() + params.tSync();
+  const double lostPerRecompute = params.tEcRecover() + params.tSync();
+  const double checkpoints = (total - rollbacks * lostPerRollback -
+                              recomputes * lostPerRecompute) /
+                             (interval + params.tChkSeconds);
+  result.checkpointInterval = interval;
+  result.crashes = crashes;
+  result.checkpoints = std::max(0.0, checkpoints);
+  // Useful computation inside each interval is reduced by t_s.
+  result.efficiency =
+      std::max(0.0, result.checkpoints * interval * (1.0 - runtimeOverhead) / total);
+  return result;
+}
+
+double recomputabilityThreshold(const SystemParams& params, double runtimeOverhead) {
+  const double baseline = efficiencyWithoutEasyCrash(params).efficiency;
+  double lo = 0.0, hi = 1.0;
+  if (efficiencyWithEasyCrash(params, hi - 1e-9, runtimeOverhead).efficiency <=
+      baseline) {
+    return 1.0;  // EasyCrash can never win under these parameters
+  }
+  if (efficiencyWithEasyCrash(params, 0.0, runtimeOverhead).efficiency > baseline) {
+    return 0.0;
+  }
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (efficiencyWithEasyCrash(params, mid, runtimeOverhead).efficiency > baseline) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double simulateEfficiency(const SystemParams& params, double recomputability,
+                          double runtimeOverhead, std::uint64_t seed,
+                          double horizonScale) {
+  Rng rng(seed);
+  const double total = params.horizonSeconds() * horizonScale;
+  const double mtbf = params.mtbfSeconds();
+  const double interval =
+      recomputability > 0.0
+          ? youngInterval(params.tChkSeconds, mtbf / (1.0 - recomputability))
+          : youngInterval(params.tChkSeconds, mtbf);
+
+  const auto nextExp = [&] { return -mtbf * std::log(1.0 - rng.uniform01()); };
+
+  double t = 0.0, useful = 0.0;
+  double nextCrash = nextExp();
+  while (t < total) {
+    double workDone = 0.0;
+    while (workDone < interval && t < total) {
+      const double remaining = interval - workDone;
+      if (nextCrash <= t + remaining) {
+        workDone += nextCrash - t;
+        t = nextCrash;
+        nextCrash = t + nextExp();
+        const bool recovered =
+            recomputability > 0.0 && rng.uniform01() < recomputability;
+        if (recovered) {
+          // In-place recomputation: work retained, cheap NVM reload.
+          t += params.tEcRecover() + params.tSync();
+        } else {
+          // Roll back to the last checkpoint: interval work lost.
+          workDone = 0.0;
+          t += params.tRecover() + params.tSync();
+        }
+      } else {
+        t += remaining;
+        workDone = interval;
+      }
+    }
+    if (workDone >= interval) {
+      useful += interval;
+      t += params.tChkSeconds;  // checkpoint (assumed crash-free, §7)
+    }
+  }
+  return useful * (1.0 - runtimeOverhead) / t;
+}
+
+}  // namespace easycrash::sysmodel

@@ -1,0 +1,72 @@
+// Large-scale system-efficiency emulation (paper §7, Equations 6-9).
+//
+// Models a synchronous coordinated checkpoint/restart system over a long
+// horizon (10 years, 100k-400k nodes) and quantifies how EasyCrash changes
+// efficiency: successful in-place recomputations avoid the rollback cost and
+// allow a longer Young-formula checkpoint interval. A discrete-event
+// Monte-Carlo simulator cross-checks the closed-form model.
+#pragma once
+
+#include <cstdint>
+
+namespace easycrash::sysmodel {
+
+struct SystemParams {
+  double mtbfHours = 12.0;     ///< system MTBF (paper: 12h at 100k nodes)
+  double tChkSeconds = 320.0;  ///< checkpoint write time (32 / 320 / 3200)
+  double tSyncFactor = 0.5;    ///< T_sync = factor * T_chk (paper assumption)
+  double horizonYears = 10.0;  ///< Total_Time
+  /// EasyCrash recovery: reload non-read-only data from NVM main memory.
+  double nvmRecoveryGB = 64.0;      ///< data volume reloaded on an EC restart
+  double nvmBandwidthGBps = 106.0;  ///< paper uses DRAM bandwidth here
+
+  [[nodiscard]] double mtbfSeconds() const { return mtbfHours * 3600.0; }
+  [[nodiscard]] double horizonSeconds() const {
+    return horizonYears * 365.0 * 24.0 * 3600.0;
+  }
+  [[nodiscard]] double tRecover() const { return tChkSeconds; }  // T_r = T_chk
+  [[nodiscard]] double tSync() const { return tSyncFactor * tChkSeconds; }
+  [[nodiscard]] double tEcRecover() const {
+    return nvmRecoveryGB / nvmBandwidthGBps;
+  }
+
+  /// MTBF scaled to a different node count (paper: linear failure-rate
+  /// scaling — 12h @ 100k, 6h @ 200k, 3h @ 400k).
+  [[nodiscard]] SystemParams scaledToNodes(double nodesRelativeTo100k) const;
+};
+
+struct EfficiencyResult {
+  double efficiency = 0.0;        ///< useful time / total time
+  double checkpointInterval = 0;  ///< Young's T
+  double crashes = 0.0;           ///< M over the horizon
+  double checkpoints = 0.0;       ///< N over the horizon
+};
+
+/// Young's optimal checkpoint interval: T = sqrt(2 * T_chk * MTBF).
+[[nodiscard]] double youngInterval(double tChkSeconds, double mtbfSeconds);
+
+/// Closed-form system efficiency without EasyCrash (Equations 6-7).
+[[nodiscard]] EfficiencyResult efficiencyWithoutEasyCrash(const SystemParams& params);
+
+/// Closed-form system efficiency with EasyCrash (Equations 8-9):
+/// `recomputability` is R_EasyCrash, `runtimeOverhead` is t_s.
+[[nodiscard]] EfficiencyResult efficiencyWithEasyCrash(const SystemParams& params,
+                                                       double recomputability,
+                                                       double runtimeOverhead);
+
+/// The recomputability threshold tau (paper §5.2 / §7): the minimum
+/// R_EasyCrash for which EasyCrash beats plain C/R, found by bisection.
+/// Returns 1.0 when no R in [0,1] suffices.
+[[nodiscard]] double recomputabilityThreshold(const SystemParams& params,
+                                              double runtimeOverhead);
+
+/// Discrete-event Monte-Carlo cross-check of the closed-form model.
+/// Crashes arrive as a Poisson process with the configured MTBF; EasyCrash
+/// restarts succeed independently with probability `recomputability`.
+[[nodiscard]] double simulateEfficiency(const SystemParams& params,
+                                        double recomputability,
+                                        double runtimeOverhead,
+                                        std::uint64_t seed = 42,
+                                        double horizonScale = 1.0);
+
+}  // namespace easycrash::sysmodel

@@ -1,0 +1,193 @@
+// Tests for the 11 instrumented benchmarks: every app must pass its own
+// acceptance verification on a golden run, execute a deterministic access
+// sequence (the crash-point clock depends on it), match its declared region
+// structure, and satisfy the paper's footprint >> LLC selection criterion.
+// App-specific numerics are spot-checked where a ground truth exists.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace ec = easycrash;
+using ec::apps::allBenchmarks;
+using ec::apps::findBenchmark;
+
+namespace {
+
+class AppSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  [[nodiscard]] const ec::apps::BenchmarkEntry& entry() const {
+    return findBenchmark(GetParam());
+  }
+};
+
+std::vector<std::string> appNames() {
+  std::vector<std::string> names;
+  for (const auto& e : allBenchmarks()) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace
+
+TEST_P(AppSuite, GoldenRunPassesItsOwnVerification) {
+  ec::runtime::Runtime rt;
+  auto app = entry().factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  EXPECT_FALSE(result.interrupted) << result.interruptReason;
+  EXPECT_TRUE(result.verification.pass) << result.verification.detail;
+}
+
+TEST_P(AppSuite, AccessSequenceIsDeterministic) {
+  const auto run = [&] {
+    ec::runtime::Runtime rt;
+    auto app = entry().factory();
+    (void)ec::runtime::Driver::freshRun(*app, rt);
+    return rt.windowAccesses();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(AppSuite, DeclaredRegionsAreAllExercised) {
+  ec::runtime::Runtime rt;
+  auto app = entry().factory();
+  (void)ec::runtime::Driver::freshRun(*app, rt);
+  const auto regions = rt.regionIterationEnds();
+  std::set<ec::runtime::PointId> seen;
+  for (const auto& [point, count] : regions) {
+    if (point != ec::runtime::kMainLoopEnd) seen.insert(point);
+  }
+  EXPECT_EQ(seen.size(), rt.regionCount())
+      << "every declared region must reach an iteration end";
+  for (std::uint32_t r = 0; r < rt.regionCount(); ++r) {
+    EXPECT_TRUE(seen.count(static_cast<ec::runtime::PointId>(r)))
+        << "region " << r << " never ran";
+  }
+}
+
+TEST_P(AppSuite, FootprintExceedsLastLevelCache) {
+  // Paper §4.1: inputs are chosen so the footprint is larger than the LLC
+  // (EP is the deliberate exception: small footprint, mostly cache-resident).
+  ec::runtime::Runtime rt;
+  auto app = entry().factory();
+  app->setup(rt);
+  const auto llc = rt.hierarchy().config().llcBytes();
+  if (GetParam() == "ep") {
+    EXPECT_LE(rt.footprintBytes(), 2 * llc);
+  } else {
+    EXPECT_GT(rt.footprintBytes(), llc);
+  }
+}
+
+TEST_P(AppSuite, HasCandidateDataObjects) {
+  ec::runtime::Runtime rt;
+  auto app = entry().factory();
+  app->setup(rt);
+  EXPECT_FALSE(rt.candidateObjects().empty());
+}
+
+TEST_P(AppSuite, ReadOnlyObjectsAreNotCandidates) {
+  ec::runtime::Runtime rt;
+  auto app = entry().factory();
+  app->setup(rt);
+  for (const auto& object : rt.objects()) {
+    if (object.readOnly) {
+      EXPECT_FALSE(object.candidate)
+          << object.name << " is read-only and cannot be a candidate (§5.1)";
+    }
+  }
+}
+
+TEST_P(AppSuite, NominalIterationsPositive) {
+  auto app = entry().factory();
+  EXPECT_GT(app->nominalIterations(), 0);
+}
+
+TEST_P(AppSuite, RegisteredDescriptionMatchesInfo) {
+  auto app = entry().factory();
+  EXPECT_EQ(app->info().name, entry().name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, AppSuite, ::testing::ValuesIn(appNames()),
+                         [](const auto& info) { return info.param; });
+
+// ---- App-specific numerical ground truths ----------------------------------
+
+TEST(CgApp, SolvesTheLinearSystem) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("cg").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  // verify() metric is the true relative residual ||b - Ax|| / ||b||.
+  EXPECT_LT(result.verification.metric, 1e-6);
+}
+
+TEST(MgApp, ConvergesToTheReferenceResidual) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("mg").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  // Golden must sit essentially on the reference trajectory.
+  EXPECT_LT(result.verification.metric, 1e-9);
+}
+
+TEST(FtApp, ChecksumsMatchDirectDftEvaluation) {
+  // The golden run's FFT results are validated against direct DFT sums in
+  // verify(); the worst absolute deviation is the metric.
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("ft").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  EXPECT_LT(result.verification.metric, 1e-8);
+}
+
+TEST(LuApp, TrackedRunMatchesHostReplayBitwise) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("lu").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  EXPECT_EQ(result.verification.metric, 0.0)
+      << "the value-tracking simulator must not alter a single bit";
+}
+
+TEST(LuleshApp, TrackedRunMatchesHostReplayBitwise) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("lulesh").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  EXPECT_EQ(result.verification.metric, 0.0);
+}
+
+TEST(BotssparApp, FactorisationReconstructsTheMatrix) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("botsspar").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  EXPECT_LT(result.verification.metric, 1e-10);
+}
+
+TEST(KmeansApp, ReachesReferenceClusteringQuality) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("kmeans").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  // metric is SSE / reference-SSE; the golden run must essentially match.
+  EXPECT_NEAR(result.verification.metric, 1.0, 0.01);
+}
+
+TEST(EpApp, AccumulatorsMatchHostReplayExactly) {
+  ec::runtime::Runtime rt;
+  auto app = findBenchmark("ep").factory();
+  const auto result = ec::runtime::Driver::freshRun(*app, rt);
+  EXPECT_EQ(result.verification.metric, 0.0);
+}
+
+TEST(Registry, FindUnknownBenchmarkThrows) {
+  EXPECT_THROW((void)findBenchmark("nonexistent"), std::runtime_error);
+}
+
+TEST(Registry, EvaluatedSetExcludesEp) {
+  const auto names = ec::apps::evaluatedBenchmarkNames();
+  EXPECT_EQ(names.size(), allBenchmarks().size() - 1);
+  for (const auto& name : names) EXPECT_NE(name, "ep");
+}
+
+TEST(Registry, ElevenBenchmarksRegistered) {
+  EXPECT_EQ(allBenchmarks().size(), 11u);
+}

@@ -1,0 +1,268 @@
+// Tests for the EasyCrash decision framework: critical-object selection,
+// the Equation-5 model, the multi-choice knapsack (validated against brute
+// force on random instances), and the end-to-end workflow.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/common/rng.hpp"
+#include "easycrash/core/object_selection.hpp"
+#include "easycrash/core/region_selection.hpp"
+#include "easycrash/core/workflow.hpp"
+
+namespace ec = easycrash;
+namespace core = easycrash::core;
+namespace cr = easycrash::crash;
+
+namespace {
+
+/// Build a synthetic campaign: object 1's inconsistency drives failure,
+/// object 2's inconsistency is pure noise.
+cr::CampaignResult syntheticCampaign(int tests, double successBias = 0.35) {
+  cr::CampaignResult campaign;
+  ec::runtime::DataObjectInfo driver;
+  driver.id = 1;
+  driver.name = "driver";
+  driver.bytes = 4096;
+  driver.candidate = true;
+  ec::runtime::DataObjectInfo noise = driver;
+  noise.id = 2;
+  noise.name = "noise";
+  campaign.golden.objects = {driver, noise};
+
+  ec::Rng rng(77);
+  for (int t = 0; t < tests; ++t) {
+    cr::CrashTestRecord record;
+    const double driverRate = rng.uniform01();
+    record.inconsistentRate[1] = driverRate;
+    record.inconsistentRate[2] = rng.uniform01();
+    record.response = driverRate < successBias ? cr::Response::S1 : cr::Response::S4;
+    campaign.tests.push_back(record);
+  }
+  return campaign;
+}
+
+}  // namespace
+
+TEST(ObjectSelection, PicksTheCausalObjectOnly) {
+  const auto campaign = syntheticCampaign(200);
+  const auto result = core::selectCriticalObjects(campaign);
+  ASSERT_EQ(result.correlations.size(), 2u);
+  EXPECT_TRUE(result.correlations[0].selected) << "causal object must be critical";
+  EXPECT_FALSE(result.correlations[1].selected) << "noise object must be rejected";
+  ASSERT_EQ(result.critical.size(), 1u);
+  EXPECT_EQ(result.critical[0], 1u);
+}
+
+TEST(ObjectSelection, NegativeRhoAndSmallPValueForCausalObject) {
+  const auto campaign = syntheticCampaign(200);
+  const auto result = core::selectCriticalObjects(campaign);
+  EXPECT_LT(result.correlations[0].rho, -0.5);
+  EXPECT_LT(result.correlations[0].pValue, 0.01);
+  EXPECT_GT(result.correlations[1].pValue, 0.01);
+}
+
+TEST(ObjectSelection, DegenerateOutcomesUseFallback) {
+  // All tests fail: correlation is undefined; high-inconsistency objects are
+  // selected by the fallback rule.
+  auto campaign = syntheticCampaign(100, /*successBias=*/-1.0);  // all S4
+  const auto result = core::selectCriticalObjects(campaign);
+  EXPECT_TRUE(result.correlations[0].degenerate);
+  EXPECT_TRUE(result.correlations[0].selected);
+  EXPECT_TRUE(result.correlations[1].selected);
+}
+
+TEST(ObjectSelection, ReliableAppSelectsNothingUnderFallback) {
+  auto campaign = syntheticCampaign(100, /*successBias=*/2.0);  // all S1
+  const auto result = core::selectCriticalObjects(campaign);
+  EXPECT_TRUE(result.correlations[0].degenerate);
+  EXPECT_FALSE(result.correlations[0].selected);
+}
+
+TEST(ObjectSelection, ByteAccountingMatchesSelection) {
+  const auto campaign = syntheticCampaign(200);
+  const auto result = core::selectCriticalObjects(campaign);
+  EXPECT_EQ(result.candidateBytes, 8192u);
+  EXPECT_EQ(result.criticalBytes, 4096u);
+}
+
+TEST(ObjectSelection, EmptyCampaignRejected) {
+  cr::CampaignResult empty;
+  EXPECT_THROW((void)core::selectCriticalObjects(empty), std::logic_error);
+}
+
+TEST(Equation5, ExtrapolationRecoversExactValueAtX1) {
+  EXPECT_DOUBLE_EQ(core::extrapolateMaxRecomputability(0.2, 0.8, 1), 0.8);
+}
+
+TEST(Equation5, ExtrapolationInvertsTheInterpolation) {
+  // If c^max = 0.9 and c = 0.3, then c^4 = (0.9-0.3)/4 + 0.3 = 0.45;
+  // extrapolating the measured c^4 back must recover 0.9.
+  const double cx = (0.9 - 0.3) / 4.0 + 0.3;
+  EXPECT_NEAR(core::extrapolateMaxRecomputability(0.3, cx, 4), 0.9, 1e-12);
+}
+
+TEST(Equation5, ExtrapolationClampsToOne) {
+  EXPECT_DOUBLE_EQ(core::extrapolateMaxRecomputability(0.0, 0.9, 8), 1.0);
+}
+
+TEST(Equation5, ExtrapolationNeverBelowMeasurement) {
+  EXPECT_DOUBLE_EQ(core::extrapolateMaxRecomputability(0.9, 0.5, 4), 0.5);
+}
+
+namespace {
+
+struct KnapsackInstance {
+  std::vector<core::RegionModelInput> inputs;
+  std::map<ec::runtime::PointId, double> flushNs;
+  double baseExecNs = 1.0e9;
+  core::RegionSelectionConfig config;
+};
+
+KnapsackInstance randomInstance(std::uint64_t seed, int regions) {
+  ec::Rng rng(seed);
+  KnapsackInstance inst;
+  inst.config.ts = 0.05 + rng.uniform01() * 0.1;
+  inst.config.frequencies = {1, 2, 4};
+  for (int r = 0; r < regions; ++r) {
+    core::RegionModelInput input;
+    input.point = r;
+    input.timeShare = rng.uniform(0.05, 0.3);
+    input.baseRecomputability = rng.uniform01() * 0.5;
+    input.maxRecomputability =
+        input.baseRecomputability + rng.uniform01() * (1.0 - input.baseRecomputability);
+    input.iterationEnds = 10 + rng.below(50);
+    inst.inputs.push_back(input);
+    inst.flushNs[r] = rng.uniform(1.0e5, 2.0e6);
+  }
+  return inst;
+}
+
+/// Exhaustive search over all (region, frequency) assignments, using the
+/// identical weight discretisation as the DP so optima are comparable.
+double bruteForceBestGain(const KnapsackInstance& inst) {
+  const auto& freqs = inst.config.frequencies;
+  const int options = static_cast<int>(freqs.size()) + 1;  // + "skip"
+  const int n = static_cast<int>(inst.inputs.size());
+  const int capacity =
+      static_cast<int>(std::ceil(inst.config.ts / inst.config.weightResolution));
+  double best = 0.0;
+  std::vector<int> choice(n, 0);
+  for (;;) {
+    long long weight = 0;
+    double gain = 0.0;
+    bool valid = true;
+    for (int r = 0; r < n && valid; ++r) {
+      if (choice[r] == 0) continue;
+      const auto x = freqs[static_cast<std::size_t>(choice[r] - 1)];
+      const auto& input = inst.inputs[static_cast<std::size_t>(r)];
+      const double flushes = double(input.iterationEnds) / x;
+      const double c = flushes * inst.flushNs.at(r) / inst.baseExecNs;
+      if (c > inst.config.ts) {
+        valid = false;  // the DP also drops per-variant budget violations
+        break;
+      }
+      weight += std::max(
+          1, static_cast<int>(std::ceil(c / inst.config.weightResolution)));
+      const double cx = (input.maxRecomputability - input.baseRecomputability) / x +
+                        input.baseRecomputability;
+      gain += std::max(0.0, input.timeShare * (cx - input.baseRecomputability));
+    }
+    if (valid && weight <= capacity) best = std::max(best, gain);
+    int r = 0;
+    while (r < n && ++choice[r] == options) choice[r++] = 0;
+    if (r == n) break;
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(Knapsack, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto inst = randomInstance(seed, 5);
+    const auto result =
+        core::selectRegions(inst.inputs, inst.flushNs, inst.baseExecNs, inst.config);
+    const double brute = bruteForceBestGain(inst);
+    const double dpGain = result.predictedY - result.baseY;
+    EXPECT_NEAR(dpGain, brute, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Knapsack, RespectsTheBudget) {
+  for (std::uint64_t seed = 20; seed <= 30; ++seed) {
+    const auto inst = randomInstance(seed, 6);
+    const auto result =
+        core::selectRegions(inst.inputs, inst.flushNs, inst.baseExecNs, inst.config);
+    EXPECT_LE(result.totalCostFraction, inst.config.ts + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Knapsack, EmptyWhenEverythingTooExpensive) {
+  KnapsackInstance inst = randomInstance(5, 3);
+  for (auto& [point, ns] : inst.flushNs) ns = 1.0e12;  // absurdly expensive
+  const auto result =
+      core::selectRegions(inst.inputs, inst.flushNs, inst.baseExecNs, inst.config);
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_DOUBLE_EQ(result.predictedY, result.baseY);
+}
+
+TEST(Knapsack, PrefersHigherFrequencyWhenAffordable) {
+  core::RegionModelInput input;
+  input.point = 0;
+  input.timeShare = 1.0;
+  input.baseRecomputability = 0.1;
+  input.maxRecomputability = 0.9;
+  input.iterationEnds = 10;
+  std::map<ec::runtime::PointId, double> flushNs{{0, 1.0}};
+  core::RegionSelectionConfig config;
+  config.ts = 0.5;  // everything is affordable
+  const auto result = core::selectRegions({input}, flushNs, 1.0e6, config);
+  ASSERT_EQ(result.chosen.size(), 1u);
+  EXPECT_EQ(result.chosen[0].everyN, 1u) << "x=1 maximises Equation 5";
+  EXPECT_NEAR(result.chosen[0].predictedCk, 0.9, 1e-12);
+}
+
+TEST(Knapsack, BaseYFollowsEquation1) {
+  const auto inst = randomInstance(42, 4);
+  const auto result =
+      core::selectRegions(inst.inputs, inst.flushNs, inst.baseExecNs, inst.config);
+  double expected = 0.0;
+  for (const auto& input : inst.inputs) {
+    expected += input.timeShare * input.baseRecomputability;
+  }
+  EXPECT_NEAR(result.baseY, expected, 1e-12);
+}
+
+TEST(Workflow, EndToEndOnIsImprovesRecomputability) {
+  core::WorkflowConfig config;
+  config.testsPerCampaign = 40;
+  const auto workflow =
+      core::runEasyCrashWorkflow(ec::apps::findBenchmark("is").factory, config);
+  ASSERT_TRUE(workflow.validation.has_value());
+  EXPECT_GT(workflow.validation->recomputability(),
+            workflow.baselineRecomputability());
+  EXPECT_FALSE(workflow.objects.critical.empty());
+  EXPECT_FALSE(workflow.plan.empty());
+}
+
+TEST(Workflow, EpIsRejectedByTheTauGate) {
+  core::WorkflowConfig config;
+  config.testsPerCampaign = 30;
+  config.regionConfig.tau = 0.10;  // any realistic threshold rejects EP
+  const auto workflow =
+      core::runEasyCrashWorkflow(ec::apps::findBenchmark("ep").factory, config);
+  EXPECT_TRUE(workflow.plan.empty())
+      << "EP must be rejected (paper §6: recomputability < 3% even with EC)";
+}
+
+TEST(Workflow, EverywherePlanCoversAllPoints) {
+  core::WorkflowConfig config;
+  config.testsPerCampaign = 20;
+  const auto workflow =
+      core::runEasyCrashWorkflow(ec::apps::findBenchmark("is").factory, config);
+  // 8 regions + the main-loop end.
+  EXPECT_EQ(workflow.everywherePlan.points.size(), 9u);
+}

@@ -1,0 +1,96 @@
+// Cross-module integration tests, parameterized over every benchmark:
+//
+// * boundary-restart determinism: snapshotting all candidates at an
+//   iteration boundary (after a full write-back) and restarting from it must
+//   reproduce the golden outcome — the foundation the whole EasyCrash
+//   recomputation argument rests on;
+// * campaign-over-plan smoke: a campaign under a critical-object plan never
+//   breaks the golden run and classifies every test.
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace ec = easycrash;
+namespace rt = easycrash::runtime;
+
+namespace {
+
+class IntegrationSuite : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> appNames() {
+  std::vector<std::string> names;
+  for (const auto& e : ec::apps::allBenchmarks()) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace
+
+TEST_P(IntegrationSuite, BoundaryRestartReproducesGoldenOutcome) {
+  const auto& entry = ec::apps::findBenchmark(GetParam());
+
+  // Golden run, remembering its verification metric and final iteration.
+  rt::Runtime golden;
+  auto goldenApp = entry.factory();
+  const auto goldenResult = rt::Driver::freshRun(*goldenApp, golden);
+  ASSERT_TRUE(goldenResult.verification.pass);
+
+  // Partial run up to an iteration boundary in the middle, then force a full
+  // write-back (every candidate is then consistent in NVM) and "crash".
+  const int boundary = std::max(1, goldenResult.finalIteration / 2);
+  rt::Runtime partial;
+  auto partialApp = entry.factory();
+  partialApp->setup(partial);
+  partialApp->initialize(partial);
+  (void)rt::Driver::run(*partialApp, partial, 1, boundary);
+  partial.hierarchy().drainAll();  // everything persistent at the boundary
+
+  std::map<rt::ObjectId, std::vector<std::uint8_t>> snapshots;
+  for (const auto& object : partial.objects()) {
+    if (object.candidate) snapshots[object.id] = partial.dumpObjectNvm(object.id);
+  }
+  partial.powerLoss();
+
+  // Restart: fresh machine, re-initialise, restore, resume.
+  rt::Runtime restart;
+  auto restartApp = entry.factory();
+  restartApp->setup(restart);
+  restartApp->initialize(restart);
+  for (const auto& [id, bytes] : snapshots) restart.restoreObject(id, bytes);
+  const auto resumed = rt::Driver::run(*restartApp, restart, boundary + 1,
+                                       2 * goldenResult.finalIteration);
+
+  EXPECT_FALSE(resumed.interrupted) << resumed.interruptReason;
+  EXPECT_TRUE(resumed.verification.pass)
+      << GetParam() << ": " << resumed.verification.detail;
+  EXPECT_EQ(resumed.finalIteration, goldenResult.finalIteration)
+      << "a consistent boundary restart must not need extra iterations";
+}
+
+TEST_P(IntegrationSuite, CampaignUnderCandidatePlanClassifiesEverything) {
+  const auto& entry = ec::apps::findBenchmark(GetParam());
+  ec::crash::CampaignConfig config;
+  config.numTests = 8;
+
+  // Persist every candidate at the main-loop end.
+  rt::Runtime probe;
+  auto app = entry.factory();
+  app->setup(probe);
+  config.plan = rt::PersistencePlan::atMainLoopEnd(probe.candidateObjects());
+
+  const auto campaign = ec::crash::CampaignRunner(entry.factory, config).run();
+  EXPECT_EQ(campaign.tests.size(), 8u);
+  for (const auto& test : campaign.tests) {
+    EXPECT_GE(test.crashIteration, 1);
+    EXPECT_LE(test.restartIteration, test.crashIteration);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, IntegrationSuite,
+                         ::testing::ValuesIn(appNames()),
+                         [](const auto& info) { return info.param; });

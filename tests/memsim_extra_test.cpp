@@ -1,0 +1,204 @@
+// Additional memory-system tests: CacheLevel internals (LRU, extraction,
+// eviction), MemEvents accounting, flush-instruction kinds, and hierarchy
+// event counters.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/memsim/cache_level.hpp"
+#include "easycrash/memsim/events.hpp"
+#include "easycrash/memsim/hierarchy.hpp"
+
+namespace ms = easycrash::memsim;
+
+namespace {
+
+ms::CacheGeometry smallGeometry() { return ms::CacheGeometry{256, 2}; }  // 4 lines
+
+}  // namespace
+
+TEST(CacheLevelTest, InsertAndFind) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  EXPECT_FALSE(level.find(0).has_value());
+  EXPECT_FALSE(level.insert(0).has_value());  // no victim in an empty set
+  EXPECT_TRUE(level.find(0).has_value());
+  EXPECT_EQ(level.validLines(), 1u);
+}
+
+TEST(CacheLevelTest, DoubleInsertRejected) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  (void)level.insert(0);
+  EXPECT_THROW((void)level.insert(0), std::logic_error);
+}
+
+TEST(CacheLevelTest, LruVictimIsLeastRecentlyTouched) {
+  // 2 sets x 2 ways; blocks 0, 128 map to set 0 (64B blocks, 2 sets).
+  ms::CacheLevel level(smallGeometry(), 64);
+  (void)level.insert(0);
+  (void)level.insert(128);
+  // Touch block 0 so 128 becomes LRU.
+  level.touch(*level.find(0));
+  const auto victim = level.insert(256);  // set 0 again
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->blockAddr, 128u);
+}
+
+TEST(CacheLevelTest, EvictedStateCarriesDataAndDirtiness) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  (void)level.insert(0);
+  const auto line = level.find(0);
+  level.data(*line)[0] = 0xAB;
+  level.setDirty(*line, true);
+  (void)level.insert(128);
+  const auto victim = level.insert(256);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_TRUE(victim->dirty);
+  EXPECT_EQ(victim->data[0], 0xAB);
+}
+
+TEST(CacheLevelTest, ExtractRemovesWithoutWriteback) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  (void)level.insert(64);
+  const auto line = level.find(64);
+  level.setDirty(*line, true);
+  const auto extracted = level.extract(64);
+  EXPECT_TRUE(extracted.dirty);
+  EXPECT_FALSE(level.find(64).has_value());
+}
+
+TEST(CacheLevelTest, ExtractMissingThrows) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  EXPECT_THROW((void)level.extract(64), std::logic_error);
+}
+
+TEST(CacheLevelTest, InvalidateAllClearsEverything) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  for (int i = 0; i < 4; ++i) (void)level.insert(i * 64);
+  EXPECT_GT(level.validLines(), 0u);
+  level.invalidateAll();
+  EXPECT_EQ(level.validLines(), 0u);
+  EXPECT_EQ(level.dirtyLines(), 0u);
+}
+
+TEST(CacheLevelTest, DirtyLineCount) {
+  ms::CacheLevel level(smallGeometry(), 64);
+  (void)level.insert(0);
+  (void)level.insert(64);
+  level.setDirty(*level.find(0), true);
+  EXPECT_EQ(level.dirtyLines(), 1u);
+  EXPECT_EQ(level.validLines(), 2u);
+}
+
+TEST(MemEventsTest, DeltaSubtractsAllCounters) {
+  ms::MemEvents earlier;
+  earlier.loads = 10;
+  earlier.hits[0] = 5;
+  earlier.nvmBlockWrites = 2;
+  earlier.flushDirty = 1;
+  ms::MemEvents later = earlier;
+  later.loads = 25;
+  later.hits[0] = 12;
+  later.nvmBlockWrites = 7;
+  later.flushDirty = 3;
+  const auto delta = later.delta(earlier);
+  EXPECT_EQ(delta.loads, 15u);
+  EXPECT_EQ(delta.hits[0], 7u);
+  EXPECT_EQ(delta.nvmBlockWrites, 5u);
+  EXPECT_EQ(delta.flushDirty, 2u);
+}
+
+TEST(MemEventsTest, TotalFlushesSumsClasses) {
+  ms::MemEvents e;
+  e.flushDirty = 3;
+  e.flushClean = 4;
+  e.flushNonResident = 5;
+  EXPECT_EQ(e.totalFlushes(), 12u);
+}
+
+namespace {
+
+struct Sim {
+  Sim() : nvm(64), cache(ms::CacheConfig::tiny(), nvm) {}
+  ms::NvmStore nvm;
+  ms::CacheHierarchy cache;
+  void store64(std::uint64_t addr, std::uint64_t v) {
+    cache.store(addr, {reinterpret_cast<const std::uint8_t*>(&v), 8});
+  }
+};
+
+}  // namespace
+
+TEST(FlushKinds, ClflushAlsoInvalidates) {
+  Sim s;
+  s.store64(0, 9);
+  s.cache.flushBlock(0, ms::FlushKind::Clflush);
+  const auto before = s.cache.events();
+  std::uint64_t v = 0;
+  s.cache.load(0, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(v, 9u);
+  EXPECT_EQ(s.cache.events().misses[0], before.misses[0] + 1);
+}
+
+TEST(FlushKinds, ToStringNames) {
+  EXPECT_STREQ(ms::toString(ms::FlushKind::Clflush), "clflush");
+  EXPECT_STREQ(ms::toString(ms::FlushKind::Clflushopt), "clflushopt");
+  EXPECT_STREQ(ms::toString(ms::FlushKind::Clwb), "clwb");
+}
+
+TEST(HierarchyCounters, LoadsAndStoresCounted) {
+  Sim s;
+  const auto before = s.cache.events();
+  s.store64(0, 1);
+  std::uint64_t v = 0;
+  s.cache.load(0, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(s.cache.events().stores, before.stores + 1);
+  EXPECT_EQ(s.cache.events().loads, before.loads + 1);
+}
+
+TEST(HierarchyCounters, FillsCountedAsNvmReads) {
+  Sim s;
+  std::uint64_t v = 0;
+  s.cache.load(4096, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(s.cache.events().nvmBlockReads, 1u);
+  s.cache.load(4096, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(s.cache.events().nvmBlockReads, 1u) << "second access is a hit";
+}
+
+TEST(HierarchyCounters, ResetEventsZeroesCounters) {
+  Sim s;
+  s.store64(0, 1);
+  s.cache.resetEvents();
+  EXPECT_EQ(s.cache.events().stores, 0u);
+  EXPECT_EQ(s.cache.events().loads, 0u);
+}
+
+TEST(HierarchyCounters, FlushInducedWritesAreSubsetOfTotalWrites) {
+  Sim s;
+  for (int i = 0; i < 128; ++i) s.store64(i * 64ULL, i);
+  for (int i = 0; i < 128; i += 2) s.cache.flushBlock(i * 64ULL, ms::FlushKind::Clwb);
+  const auto& e = s.cache.events();
+  EXPECT_LE(e.flushInducedNvmWrites, e.nvmBlockWrites);
+  EXPECT_EQ(e.nvmBlockWrites, s.nvm.blockWrites());
+}
+
+TEST(HierarchyInvariants, HoldAfterDrainAndRefill) {
+  Sim s;
+  for (int i = 0; i < 64; ++i) s.store64(i * 64ULL, i + 1);
+  s.cache.drainAll();
+  s.cache.checkInvariants();
+  for (int i = 0; i < 64; ++i) s.store64(i * 64ULL, i + 100);
+  s.cache.checkInvariants();
+}
+
+TEST(CacheConfigTest, SetsComputation) {
+  const auto tiny = ms::CacheConfig::tiny();
+  EXPECT_EQ(tiny.setsAt(0), 2u);   // 256B / 64B / 2-way
+  EXPECT_EQ(tiny.setsAt(2), 4u);   // 1KB / 64B / 4-way
+  EXPECT_EQ(tiny.llcBytes(), 1024u);
+}
+
+TEST(CacheConfigTest, PaperGeometryMatchesXeon) {
+  const auto xeon = ms::CacheConfig::xeonGold6126();
+  EXPECT_EQ(xeon.levels[0].sizeBytes, 32u * 1024);
+  EXPECT_EQ(xeon.llcBytes(), 19u * 1024 * 1024 + 256 * 1024);
+}

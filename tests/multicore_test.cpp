@@ -1,0 +1,242 @@
+// Tests for the MESI-style multi-core coherent memory system: coherence
+// transitions, invalidations, ownership transfers, crash/flush semantics,
+// and a randomized property test against a flat reference memory.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/common/rng.hpp"
+#include "easycrash/memsim/multicore.hpp"
+
+namespace ms = easycrash::memsim;
+
+namespace {
+
+struct McSim {
+  McSim(int cores = 2)
+      : nvm(64), sys(makeConfig(cores), nvm) {}
+
+  static ms::MulticoreConfig makeConfig(int cores) {
+    ms::MulticoreConfig config;
+    config.cores = cores;
+    config.privateCache = ms::CacheGeometry{512, 2};
+    config.sharedLlc = ms::CacheGeometry{2048, 4};
+    return config;
+  }
+
+  void store64(int core, std::uint64_t addr, std::uint64_t v) {
+    sys.store(core, addr, {reinterpret_cast<const std::uint8_t*>(&v), 8});
+  }
+  std::uint64_t load64(int core, std::uint64_t addr) {
+    std::uint64_t v = 0;
+    sys.load(core, addr, {reinterpret_cast<std::uint8_t*>(&v), 8});
+    return v;
+  }
+  std::uint64_t peek64(std::uint64_t addr) {
+    std::uint64_t v = 0;
+    sys.peek(addr, {reinterpret_cast<std::uint8_t*>(&v), 8});
+    return v;
+  }
+
+  ms::NvmStore nvm;
+  ms::MulticoreSystem sys;
+};
+
+}  // namespace
+
+TEST(Multicore, CoreSeesItsOwnWrite) {
+  McSim s;
+  s.store64(0, 0, 42);
+  EXPECT_EQ(s.load64(0, 0), 42u);
+}
+
+TEST(Multicore, PeerSeesModifiedData) {
+  McSim s;
+  s.store64(0, 0, 99);  // core 0 holds M
+  EXPECT_EQ(s.load64(1, 0), 99u) << "read must snoop the Modified copy";
+  EXPECT_GE(s.sys.coreEvents(1).ownershipTransfers, 1u);
+}
+
+TEST(Multicore, WriteInvalidatesPeerCopies) {
+  McSim s;
+  s.store64(0, 0, 1);
+  (void)s.load64(1, 0);  // both cores now share the block
+  s.store64(0, 0, 2);    // upgrade: must invalidate core 1
+  EXPECT_GE(s.sys.coreEvents(0).invalidationsSent, 1u);
+  EXPECT_EQ(s.load64(1, 0), 2u) << "core 1 must re-fetch the new value";
+}
+
+TEST(Multicore, PingPongWritesStayCoherent) {
+  McSim s;
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    s.store64(static_cast<int>(i % 2), 0, i);
+  }
+  EXPECT_EQ(s.load64(0, 0), 50u);
+  EXPECT_EQ(s.load64(1, 0), 50u);
+  s.sys.checkInvariants();
+}
+
+TEST(Multicore, DirtyDataIsNotPersistentUntilFlushed) {
+  McSim s;
+  s.store64(0, 0, 7);
+  std::uint64_t v = 1;
+  s.nvm.read(0, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(v, 0u);
+  s.sys.flushBlock(0, ms::FlushKind::Clwb);
+  s.nvm.read(0, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(Multicore, FlushFindsTheModifiedCopyOnAnyCore) {
+  McSim s(4);
+  s.store64(3, 128, 1234);  // M on core 3
+  s.sys.flushBlock(128, ms::FlushKind::Clwb);
+  std::uint64_t v = 0;
+  s.nvm.read(128, {reinterpret_cast<std::uint8_t*>(&v), 8});
+  EXPECT_EQ(v, 1234u);
+  EXPECT_EQ(s.sys.totalEvents().flushDirty, 1u);
+}
+
+TEST(Multicore, FlushClassesMatchResidency) {
+  McSim s;
+  s.sys.flushBlock(4096, ms::FlushKind::Clflushopt);
+  EXPECT_EQ(s.sys.totalEvents().flushNonResident, 1u);
+  s.store64(0, 0, 5);
+  s.sys.flushBlock(0, ms::FlushKind::Clwb);
+  s.sys.flushBlock(0, ms::FlushKind::Clwb);  // now clean
+  EXPECT_EQ(s.sys.totalEvents().flushDirty, 1u);
+  EXPECT_EQ(s.sys.totalEvents().flushClean, 1u);
+}
+
+TEST(Multicore, CrashLosesAllCores) {
+  McSim s(4);
+  for (int core = 0; core < 4; ++core) {
+    s.store64(core, static_cast<std::uint64_t>(core) * 64, 100 + core);
+  }
+  s.sys.invalidateAll();
+  for (int core = 0; core < 4; ++core) {
+    EXPECT_EQ(s.peek64(static_cast<std::uint64_t>(core) * 64), 0u);
+  }
+}
+
+TEST(Multicore, DrainPersistsEverything) {
+  McSim s(2);
+  for (int i = 0; i < 16; ++i) {
+    s.store64(i % 2, static_cast<std::uint64_t>(i) * 64, 500 + i);
+  }
+  s.sys.drainAll();
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t v = 0;
+    s.nvm.read(static_cast<std::uint64_t>(i) * 64,
+               {reinterpret_cast<std::uint8_t*>(&v), 8});
+    EXPECT_EQ(v, 500u + i);
+  }
+  EXPECT_EQ(s.sys.inconsistentBytes(0, 16 * 64), 0u);
+}
+
+TEST(Multicore, InconsistencyCountsSharedState) {
+  McSim s;
+  s.store64(0, 0, ~0ULL);
+  EXPECT_EQ(s.sys.inconsistentBytes(0, 8), 8u);
+  (void)s.load64(1, 0);  // the M copy downgrades; data now in the LLC, dirty
+  EXPECT_EQ(s.sys.inconsistentBytes(0, 8), 8u)
+      << "a downgrade moves dirt to the LLC; it is still unpersisted";
+  s.sys.flushBlock(0, ms::FlushKind::Clwb);
+  EXPECT_EQ(s.sys.inconsistentBytes(0, 8), 0u);
+}
+
+TEST(Multicore, EvictionsWriteBackThroughLlc) {
+  McSim s;
+  // Far more blocks than the whole system holds.
+  for (int i = 0; i < 128; ++i) {
+    s.store64(0, static_cast<std::uint64_t>(i) * 64, 1000 + i);
+  }
+  EXPECT_GT(s.sys.totalEvents().nvmBlockWrites, 0u);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_EQ(s.peek64(static_cast<std::uint64_t>(i) * 64), 1000u + i) << i;
+  }
+}
+
+TEST(Multicore, SingleCoreDegeneratesToPrivateHierarchy) {
+  McSim s(1);
+  s.store64(0, 0, 11);
+  EXPECT_EQ(s.load64(0, 0), 11u);
+  EXPECT_EQ(s.sys.coreEvents(0).invalidationsSent, 0u);
+  EXPECT_EQ(s.sys.coreEvents(0).ownershipTransfers, 0u);
+}
+
+TEST(Multicore, ConfigValidation) {
+  ms::MulticoreConfig bad = McSim::makeConfig(2);
+  bad.sharedLlc.sizeBytes = 64;  // smaller than the private cache
+  EXPECT_THROW(bad.validate(), std::logic_error);
+  bad = McSim::makeConfig(0);
+  EXPECT_THROW(bad.validate(), std::logic_error);
+}
+
+// Property: under a random multi-core workload, every core always reads the
+// last written value (coherence), peek always matches, and the protocol
+// invariants hold throughout.
+TEST(MulticoreProperty, RandomWorkloadIsCoherent) {
+  easycrash::Rng rng(2025);
+  McSim s(4);
+  constexpr std::uint64_t kWords = 256;
+  std::vector<std::uint64_t> expected(kWords, 0);
+  for (int step = 0; step < 30000; ++step) {
+    const int core = static_cast<int>(rng.below(4));
+    const std::uint64_t w = rng.below(kWords);
+    switch (rng.below(8)) {
+      case 0:
+      case 1:
+      case 2: {
+        const std::uint64_t v = rng();
+        s.store64(core, w * 8, v);
+        expected[w] = v;
+        break;
+      }
+      case 3:
+      case 4:
+      case 5:
+        ASSERT_EQ(s.load64(core, w * 8), expected[w])
+            << "core " << core << " word " << w << " step " << step;
+        break;
+      case 6:
+        s.sys.flushBlock(w * 8, rng.below(2) ? ms::FlushKind::Clwb
+                                             : ms::FlushKind::Clflushopt);
+        break;
+      case 7:
+        ASSERT_EQ(s.peek64(w * 8), expected[w]);
+        break;
+    }
+    if (step % 4096 == 0) s.sys.checkInvariants();
+  }
+  s.sys.checkInvariants();
+  for (std::uint64_t w = 0; w < kWords; ++w) {
+    ASSERT_EQ(s.peek64(w * 8), expected[w]);
+  }
+}
+
+// Property: after a crash at any point, surviving values are always *some*
+// previously-written value of that word (no corruption, no invention).
+TEST(MulticoreProperty, CrashSurvivorsAreRealValues) {
+  easycrash::Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    McSim s(2);
+    constexpr std::uint64_t kWords = 64;
+    std::vector<std::vector<std::uint64_t>> history(kWords, {0});
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t w = rng.below(kWords);
+      const std::uint64_t v = rng() | 1;  // never zero
+      s.store64(static_cast<int>(rng.below(2)), w * 8, v);
+      history[w].push_back(v);
+      if (rng.below(8) == 0) s.sys.flushBlock(w * 8, ms::FlushKind::Clwb);
+    }
+    s.sys.invalidateAll();
+    for (std::uint64_t w = 0; w < kWords; ++w) {
+      const std::uint64_t survivor = s.peek64(w * 8);
+      bool known = false;
+      for (std::uint64_t v : history[w]) known = known || v == survivor;
+      ASSERT_TRUE(known) << "trial " << trial << " word " << w
+                         << " surfaced a value never written";
+    }
+  }
+}

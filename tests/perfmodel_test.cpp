@@ -1,0 +1,175 @@
+// Tests for the NVM performance model: profiles, the time model's
+// monotonicity properties, and the write-count study used by Figure 9.
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/perfmodel/time_model.hpp"
+#include "easycrash/perfmodel/write_model.hpp"
+#include "easycrash/runtime/persistence_plan.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace ec = easycrash;
+namespace pm = easycrash::perfmodel;
+namespace ms = easycrash::memsim;
+
+namespace {
+
+ms::MemEvents sampleEvents() {
+  ms::MemEvents e;
+  e.loads = 1000000;
+  e.stores = 400000;
+  e.hits = {900000, 300000, 150000, 0};
+  e.misses = {500000, 200000, 50000, 0};
+  e.nvmBlockReads = 50000;
+  e.nvmBlockWrites = 30000;
+  e.flushDirty = 4000;
+  e.flushClean = 2000;
+  e.flushNonResident = 6000;
+  e.flushInducedNvmWrites = 4000;
+  return e;
+}
+
+}  // namespace
+
+TEST(Profiles, DramBaselineValues) {
+  const auto dram = pm::NvmProfile::dram();
+  EXPECT_DOUBLE_EQ(dram.readLatencyNs, 87.0);
+  EXPECT_DOUBLE_EQ(dram.readBandwidthGBps, 106.0);
+}
+
+TEST(Profiles, LatencyScalingMultipliesLatencyOnly) {
+  const auto p = pm::NvmProfile::latencyScaled(4.0);
+  EXPECT_DOUBLE_EQ(p.readLatencyNs, 4.0 * 87.0);
+  EXPECT_DOUBLE_EQ(p.readBandwidthGBps, 106.0);
+}
+
+TEST(Profiles, BandwidthScalingDividesBandwidthOnly) {
+  const auto p = pm::NvmProfile::bandwidthScaled(8.0);
+  EXPECT_DOUBLE_EQ(p.readBandwidthGBps, 106.0 / 8.0);
+  EXPECT_DOUBLE_EQ(p.readLatencyNs, 87.0);
+}
+
+TEST(Profiles, OptaneIsAsymmetric) {
+  const auto p = pm::NvmProfile::optaneDcPmm();
+  EXPECT_GT(p.readLatencyNs, pm::NvmProfile::dram().readLatencyNs);
+  EXPECT_LT(p.writeBandwidthGBps, p.readBandwidthGBps);
+}
+
+TEST(TimeModelTest, HigherLatencyCostsMoreTime) {
+  const auto events = sampleEvents();
+  const double dram = pm::TimeModel(pm::NvmProfile::dram()).executionTimeNs(events);
+  const double lat4 =
+      pm::TimeModel(pm::NvmProfile::latencyScaled(4.0)).executionTimeNs(events);
+  const double lat8 =
+      pm::TimeModel(pm::NvmProfile::latencyScaled(8.0)).executionTimeNs(events);
+  EXPECT_LT(dram, lat4);
+  EXPECT_LT(lat4, lat8);
+}
+
+TEST(TimeModelTest, LowerBandwidthCostsMoreTime) {
+  const auto events = sampleEvents();
+  const double dram = pm::TimeModel(pm::NvmProfile::dram()).executionTimeNs(events);
+  const double bw6 =
+      pm::TimeModel(pm::NvmProfile::bandwidthScaled(6.0)).executionTimeNs(events);
+  EXPECT_LT(dram, bw6);
+}
+
+TEST(TimeModelTest, MoreDirtyFlushesCostMoreTime) {
+  auto a = sampleEvents();
+  auto b = sampleEvents();
+  b.flushDirty += 10000;
+  b.flushInducedNvmWrites += 10000;
+  b.nvmBlockWrites += 10000;
+  const pm::TimeModel model(pm::NvmProfile::dram());
+  EXPECT_LT(model.executionTimeNs(a), model.executionTimeNs(b));
+}
+
+TEST(TimeModelTest, CleanFlushesAreMuchCheaperThanDirtyOnes) {
+  ms::MemEvents dirty;
+  dirty.flushDirty = 1000;
+  dirty.flushInducedNvmWrites = 1000;
+  dirty.nvmBlockWrites = 1000;
+  ms::MemEvents clean;
+  clean.flushClean = 1000;
+  const pm::TimeModel model(pm::NvmProfile::dram());
+  EXPECT_GT(model.persistenceTimeNs(dirty), 3.0 * model.persistenceTimeNs(clean))
+      << "paper §2.1: no write-back happens for clean/non-resident blocks";
+}
+
+TEST(TimeModelTest, PersistenceTimeIsPartOfExecutionTime) {
+  const auto events = sampleEvents();
+  const pm::TimeModel model(pm::NvmProfile::dram());
+  EXPECT_LE(model.persistenceTimeNs(events), model.executionTimeNs(events));
+}
+
+TEST(TimeModelTest, ZeroEventsZeroTime) {
+  const pm::TimeModel model(pm::NvmProfile::dram());
+  EXPECT_DOUBLE_EQ(model.executionTimeNs(ms::MemEvents{}), 0.0);
+}
+
+TEST(WriteModelTest, PlanAddsOnlyFlushInducedWrites) {
+  const auto factory = ec::apps::findBenchmark("is").factory;
+  const auto plain = pm::measureRunWrites(factory, {});
+  // Only the always-persisted loop-iterator bookmark is flushed (paper
+  // footnote 3): two flushes per iteration, nothing else.
+  EXPECT_GT(plain.flushInducedWrites, 0u);
+  EXPECT_LE(plain.flushInducedWrites, 32u);
+
+  // Persist the histogram object (id discovered from a probe runtime).
+  ec::runtime::Runtime rt;
+  auto app = factory();
+  app->setup(rt);
+  const auto hist = rt.findObject("bucket_hist");
+  ASSERT_TRUE(hist.has_value());
+  const auto withPlan = pm::measureRunWrites(
+      factory, ec::runtime::PersistencePlan::atMainLoopEnd({*hist}));
+  EXPECT_GT(withPlan.flushInducedWrites, 0u);
+  EXPECT_GE(withPlan.totalNvmWrites, plain.totalNvmWrites);
+}
+
+TEST(WriteModelTest, CheckpointAddsAtLeastTheCopiedBlocks) {
+  const auto factory = ec::apps::findBenchmark("is").factory;
+  const auto result =
+      pm::measureCheckpointWrites(factory, pm::CheckpointScope::AllWritableObjects);
+  // The checkpoint shadow itself is at least (writable bytes / 64) blocks.
+  ec::runtime::Runtime rt;
+  auto app = factory();
+  app->setup(rt);
+  std::uint64_t writableBytes = 0;
+  for (const auto& o : rt.objects()) {
+    if (!o.readOnly) writableBytes += o.bytes;
+  }
+  EXPECT_GE(result.checkpointInducedWrites, writableBytes / 64);
+}
+
+TEST(WriteModelTest, CriticalScopeWritesLessThanAllScope) {
+  const auto factory = ec::apps::findBenchmark("is").factory;
+  ec::runtime::Runtime rt;
+  auto app = factory();
+  app->setup(rt);
+  const auto hist = rt.findObject("bucket_hist");
+  ASSERT_TRUE(hist.has_value());
+  const auto critical = pm::measureCheckpointWrites(
+      factory, pm::CheckpointScope::CriticalObjects, {*hist});
+  const auto all =
+      pm::measureCheckpointWrites(factory, pm::CheckpointScope::AllWritableObjects);
+  EXPECT_LT(critical.checkpointInducedWrites, all.checkpointInducedWrites);
+}
+
+TEST(WriteModelTest, SelectiveFlushingBeatsCheckpointing) {
+  // The paper's Figure 9 headline: EasyCrash's flush-based persistence adds
+  // fewer NVM writes than an in-NVM checkpoint of all writable objects.
+  const auto factory = ec::apps::findBenchmark("ft").factory;
+  ec::runtime::Runtime rt;
+  auto app = factory();
+  app->setup(rt);
+  const auto csum = rt.findObject("chksums");
+  ASSERT_TRUE(csum.has_value());
+  const auto plain = pm::measureRunWrites(factory, {});
+  const auto withEc = pm::measureRunWrites(
+      factory, ec::runtime::PersistencePlan::atMainLoopEnd({*csum}));
+  const auto cr =
+      pm::measureCheckpointWrites(factory, pm::CheckpointScope::AllWritableObjects);
+  const auto ecExtra = withEc.totalNvmWrites - plain.totalNvmWrites;
+  EXPECT_LT(ecExtra, cr.checkpointInducedWrites);
+}

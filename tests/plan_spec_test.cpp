@@ -1,0 +1,104 @@
+// Tests for the NVCT plan-spec parser and formatter.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/crash/plan_spec.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace cr = easycrash::crash;
+namespace rt = easycrash::runtime;
+
+namespace {
+
+struct MgProbe {
+  MgProbe() {
+    app = easycrash::apps::findBenchmark("mg").factory();
+    app->setup(runtime);
+  }
+  rt::Runtime runtime;
+  std::unique_ptr<rt::IApp> app;
+};
+
+}  // namespace
+
+TEST(PlanSpec, EmptyAndNoneGiveEmptyPlan) {
+  MgProbe probe;
+  EXPECT_TRUE(cr::parsePlanSpec("", probe.runtime).empty());
+  EXPECT_TRUE(cr::parsePlanSpec("none", probe.runtime).empty());
+}
+
+TEST(PlanSpec, MainLoopDirective) {
+  MgProbe probe;
+  const auto plan = cr::parsePlanSpec("u@main", probe.runtime);
+  ASSERT_EQ(plan.points.size(), 1u);
+  const auto& directive = plan.points.at(rt::kMainLoopEnd);
+  ASSERT_EQ(directive.objects.size(), 1u);
+  EXPECT_EQ(probe.runtime.object(directive.objects[0]).name, "u");
+  EXPECT_EQ(directive.everyN, 1u);
+}
+
+TEST(PlanSpec, RegionWithFrequency) {
+  MgProbe probe;
+  const auto plan = cr::parsePlanSpec("u+r@R3:4", probe.runtime);
+  const auto& directive = plan.points.at(2);  // R3 is 1-based
+  ASSERT_EQ(directive.objects.size(), 2u);
+  EXPECT_EQ(directive.everyN, 4u);
+}
+
+TEST(PlanSpec, MultipleDirectives) {
+  MgProbe probe;
+  const auto plan = cr::parsePlanSpec("u@main,r@R1:2", probe.runtime);
+  EXPECT_EQ(plan.points.size(), 2u);
+  EXPECT_TRUE(plan.points.count(rt::kMainLoopEnd));
+  EXPECT_TRUE(plan.points.count(0));
+}
+
+TEST(PlanSpec, CandidatesKeywordExpands) {
+  MgProbe probe;
+  const auto plan = cr::parsePlanSpec("candidates@main", probe.runtime);
+  EXPECT_EQ(plan.points.at(rt::kMainLoopEnd).objects.size(),
+            probe.runtime.candidateObjects().size());
+}
+
+TEST(PlanSpec, UnknownObjectListsKnownNames) {
+  MgProbe probe;
+  try {
+    (void)cr::parsePlanSpec("bogus@main", probe.runtime);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("u"), std::string::npos);
+  }
+}
+
+TEST(PlanSpec, SyntaxErrorsThrow) {
+  MgProbe probe;
+  EXPECT_THROW((void)cr::parsePlanSpec("u", probe.runtime), std::runtime_error);
+  EXPECT_THROW((void)cr::parsePlanSpec("u@R0", probe.runtime), std::runtime_error);
+  EXPECT_THROW((void)cr::parsePlanSpec("u@elsewhere", probe.runtime),
+               std::runtime_error);
+  EXPECT_THROW((void)cr::parsePlanSpec("u@main:0", probe.runtime),
+               std::runtime_error);
+  EXPECT_THROW((void)cr::parsePlanSpec("@main", probe.runtime), std::runtime_error);
+}
+
+TEST(PlanSpec, RoundTripsThroughFormat) {
+  MgProbe probe;
+  const std::string spec = "u@main,u+r@R3:4";
+  const auto plan = cr::parsePlanSpec(spec, probe.runtime);
+  const std::string formatted = cr::formatPlanSpec(plan, probe.runtime);
+  const auto reparsed = cr::parsePlanSpec(formatted, probe.runtime);
+  ASSERT_EQ(reparsed.points.size(), plan.points.size());
+  for (const auto& [point, directive] : plan.points) {
+    const auto& other = reparsed.points.at(point);
+    EXPECT_EQ(other.objects, directive.objects);
+    EXPECT_EQ(other.everyN, directive.everyN);
+  }
+}
+
+TEST(PlanSpec, FormatEmptyPlan) {
+  MgProbe probe;
+  EXPECT_EQ(cr::formatPlanSpec({}, probe.runtime), "none");
+}

@@ -1,0 +1,89 @@
+// Tests for campaign reporting: CSV round trip, region-path formatting and
+// the human-readable summary.
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/crash/report.hpp"
+
+namespace cr = easycrash::crash;
+namespace rt = easycrash::runtime;
+
+namespace {
+
+cr::CampaignResult smallCampaign() {
+  cr::CampaignConfig config;
+  config.numTests = 12;
+  const cr::CampaignRunner runner(easycrash::apps::findBenchmark("is").factory,
+                                  config);
+  return runner.run();
+}
+
+}  // namespace
+
+TEST(RegionPath, Formatting) {
+  EXPECT_EQ(cr::formatRegionPath({}), "main");
+  EXPECT_EQ(cr::formatRegionPath({0}), "R1");
+  EXPECT_EQ(cr::formatRegionPath({1, 4}), "R2>R5");
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerTest) {
+  const auto campaign = smallCampaign();
+  std::ostringstream os;
+  cr::writeCampaignCsv(campaign, os);
+  const std::string text = os.str();
+  int lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 1 + static_cast<int>(campaign.tests.size()));
+  EXPECT_NE(text.find("crash_access"), std::string::npos);
+  EXPECT_NE(text.find("rate_bucket_hist"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTripsRecords) {
+  const auto campaign = smallCampaign();
+  std::ostringstream os;
+  cr::writeCampaignCsv(campaign, os);
+  std::istringstream is(os.str());
+  const auto records = cr::readCampaignCsv(is);
+  ASSERT_EQ(records.size(), campaign.tests.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].crashAccessIndex, campaign.tests[i].crashAccessIndex);
+    EXPECT_EQ(records[i].response, campaign.tests[i].response);
+    EXPECT_EQ(records[i].crashIteration, campaign.tests[i].crashIteration);
+    EXPECT_EQ(records[i].extraIterations, campaign.tests[i].extraIterations);
+    EXPECT_EQ(records[i].inconsistentRate.size(),
+              campaign.tests[i].inconsistentRate.size());
+  }
+}
+
+TEST(Report, CsvRejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)cr::readCampaignCsv(empty), std::runtime_error);
+  std::istringstream wrongHeader("nope,nope\n");
+  EXPECT_THROW((void)cr::readCampaignCsv(wrongHeader), std::runtime_error);
+  std::istringstream shortRow(
+      "crash_access,iteration,restart_iteration,region,region_path,response,"
+      "extra_iterations\n1,2\n");
+  EXPECT_THROW((void)cr::readCampaignCsv(shortRow), std::runtime_error);
+}
+
+TEST(Report, SummaryMentionsKeyAggregates) {
+  const auto campaign = smallCampaign();
+  std::ostringstream os;
+  cr::writeCampaignSummary(campaign, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("recomputability"), std::string::npos);
+  EXPECT_NE(text.find("per-region c_k"), std::string::npos);
+  EXPECT_NE(text.find("bucket_hist"), std::string::npos);
+}
+
+TEST(Report, CrashRecordsCarryRegionPaths) {
+  const auto campaign = smallCampaign();
+  for (const auto& test : campaign.tests) {
+    ASSERT_FALSE(test.regionPath.empty())
+        << "IS crashes always occur inside a first-level region";
+    EXPECT_EQ(test.regionPath.back(), test.region);
+  }
+}

@@ -1,0 +1,352 @@
+// Tests for the tracked-memory runtime: object registry, tracked accessors,
+// persistence API, region markers, plan execution and crash injection.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/runtime/runtime.hpp"
+#include "easycrash/runtime/tracked.hpp"
+
+namespace rt = easycrash::runtime;
+namespace ms = easycrash::memsim;
+
+namespace {
+
+rt::Runtime makeRuntime() { return rt::Runtime(ms::CacheConfig::tiny()); }
+
+}  // namespace
+
+TEST(Registry, AllocationsAreBlockAligned) {
+  auto runtime = makeRuntime();
+  const auto a = runtime.allocate("a", 10, true);
+  const auto b = runtime.allocate("b", 100, true);
+  EXPECT_EQ(runtime.object(a).addr % 64, 0u);
+  EXPECT_EQ(runtime.object(b).addr % 64, 0u);
+  EXPECT_GE(runtime.object(b).addr, runtime.object(a).addr + 64);
+}
+
+TEST(Registry, DuplicateNamesRejected) {
+  auto runtime = makeRuntime();
+  (void)runtime.allocate("x", 8, true);
+  EXPECT_THROW((void)runtime.allocate("x", 8, true), std::logic_error);
+}
+
+TEST(Registry, FindObjectByName) {
+  auto runtime = makeRuntime();
+  const auto id = runtime.allocate("needle", 8, false);
+  EXPECT_EQ(runtime.findObject("needle"), id);
+  EXPECT_FALSE(runtime.findObject("missing").has_value());
+}
+
+TEST(Registry, CandidateFiltering) {
+  auto runtime = makeRuntime();
+  (void)runtime.allocate("cand", 8, true);
+  (void)runtime.allocate("temp", 8, false);
+  const auto candidates = runtime.candidateObjects();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(runtime.object(candidates[0]).name, "cand");
+}
+
+TEST(Registry, FootprintGrowsWithAllocations) {
+  auto runtime = makeRuntime();
+  const auto before = runtime.footprintBytes();
+  (void)runtime.allocate("big", 1000, true);
+  EXPECT_GE(runtime.footprintBytes(), before + 1000);
+}
+
+TEST(Registry, ZeroByteAllocationRejected) {
+  auto runtime = makeRuntime();
+  EXPECT_THROW((void)runtime.allocate("empty", 0, true), std::logic_error);
+}
+
+TEST(TrackedArrayTest, GetSetRoundTrip) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 16, true);
+  a.set(3, 2.5);
+  EXPECT_DOUBLE_EQ(a.get(3), 2.5);
+  EXPECT_DOUBLE_EQ(a.peek(3), 2.5);
+}
+
+TEST(TrackedArrayTest, ProxyAssignmentAndCompound) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  a[0] = 4.0;
+  a[0] += 1.0;
+  a[0] *= 2.0;
+  a[0] -= 3.0;
+  a[0] /= 7.0;
+  EXPECT_DOUBLE_EQ(a.get(0), 1.0);
+}
+
+TEST(TrackedArrayTest, ProxyToProxyAssignment) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<int> a(runtime, "a", 4, true);
+  a.set(0, 9);
+  a[1] = a[0];
+  EXPECT_EQ(a.get(1), 9);
+}
+
+TEST(TrackedArrayTest, OutOfBoundsThrows) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 4, true);
+  EXPECT_THROW((void)a.get(4), std::logic_error);
+  EXPECT_THROW(a.set(100, 1.0), std::logic_error);
+}
+
+TEST(TrackedScalarTest, RoundTrip) {
+  auto runtime = makeRuntime();
+  rt::TrackedScalar<double> s(runtime, "s", true);
+  s.set(3.14);
+  EXPECT_DOUBLE_EQ(s.get(), 3.14);
+  EXPECT_DOUBLE_EQ(s.peek(), 3.14);
+}
+
+TEST(Persistence, PersistThenCrashKeepsValues) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 32, true);
+  for (int i = 0; i < 32; ++i) a.set(i, i * 1.5);
+  runtime.persistObject(a.id());
+  runtime.powerLoss();
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(a.peek(i), i * 1.5);
+}
+
+TEST(Persistence, UnpersistedValuesMayBeLost) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 4, true);  // fits in the cache
+  a.set(0, 7.0);
+  runtime.powerLoss();
+  EXPECT_DOUBLE_EQ(a.peek(0), 0.0) << "dirty cached value must not survive";
+}
+
+TEST(Persistence, DumpAndRestoreRoundTrip) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 16, true);
+  for (int i = 0; i < 16; ++i) a.set(i, i + 0.25);
+  runtime.persistObject(a.id());
+  const auto dump = runtime.dumpObjectNvm(a.id());
+
+  auto runtime2 = makeRuntime();
+  rt::TrackedArray<double> b(runtime2, "a", 16, true);
+  runtime2.restoreObject(b.id(), dump);
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(b.get(i), i + 0.25);
+}
+
+TEST(Persistence, RestoreSizeMismatchThrows) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 16, true);
+  std::vector<std::uint8_t> wrong(8, 0);
+  EXPECT_THROW(runtime.restoreObject(a.id(), wrong), std::logic_error);
+}
+
+TEST(Persistence, DumpCurrentSeesCachedValues) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 2, true);
+  a.set(0, 42.0);  // dirty, not in NVM
+  const auto nvm = runtime.dumpObjectNvm(a.id());
+  const auto current = runtime.dumpObjectCurrent(a.id());
+  EXPECT_NE(nvm, current);
+  double v = 0;
+  std::memcpy(&v, current.data(), 8);
+  EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(Persistence, InconsistentRateReflectsDirtyBytes) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<std::uint64_t> a(runtime, "a", 8, true);  // one cache block
+  EXPECT_DOUBLE_EQ(runtime.inconsistentRate(a.id()), 0.0);
+  // Values with no zero bytes: every byte differs from the zeroed NVM image
+  // (the rate counts *differing* bytes, per the paper's definition).
+  for (int i = 0; i < 8; ++i) a.set(i, ~static_cast<std::uint64_t>(i));
+  EXPECT_DOUBLE_EQ(runtime.inconsistentRate(a.id()), 1.0);
+  runtime.persistObject(a.id());
+  EXPECT_DOUBLE_EQ(runtime.inconsistentRate(a.id()), 0.0);
+}
+
+TEST(Persistence, InconsistentRateCountsOnlyDifferingBytes) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<std::uint64_t> a(runtime, "a", 8, true);
+  a.set(0, 0x00000000000000FFULL);  // one byte differs from the zero image
+  EXPECT_NEAR(runtime.inconsistentRate(a.id()), 1.0 / 64.0, 1e-12);
+}
+
+TEST(Bookmark, SurvivesCrash) {
+  auto runtime = makeRuntime();
+  runtime.bookmarkIteration(17);
+  runtime.powerLoss();
+  EXPECT_EQ(runtime.bookmarkedIterationNvm(), 17);
+}
+
+TEST(Regions, BalancedMarkersTrackActiveRegion) {
+  auto runtime = makeRuntime();
+  EXPECT_EQ(runtime.activeRegion(), rt::kMainLoopEnd);
+  runtime.beginRegion(2);
+  EXPECT_EQ(runtime.activeRegion(), 2);
+  runtime.endRegion(2);
+  EXPECT_EQ(runtime.activeRegion(), rt::kMainLoopEnd);
+}
+
+TEST(Regions, UnbalancedEndThrows) {
+  auto runtime = makeRuntime();
+  runtime.beginRegion(1);
+  EXPECT_THROW(runtime.endRegion(2), std::logic_error);
+}
+
+TEST(Regions, IterationEndOutsideRegionThrows) {
+  auto runtime = makeRuntime();
+  EXPECT_THROW(runtime.regionIterationEnd(0), std::logic_error);
+}
+
+TEST(Regions, IterationEndsAreCounted) {
+  auto runtime = makeRuntime();
+  runtime.beginRegion(0);
+  runtime.regionIterationEnd(0);
+  runtime.regionIterationEnd(0);
+  runtime.endRegion(0);
+  runtime.mainLoopIterationEnd(1);
+  EXPECT_EQ(runtime.regionIterationEnds().at(0), 2u);
+  EXPECT_EQ(runtime.regionIterationEnds().at(rt::kMainLoopEnd), 1u);
+}
+
+TEST(Plans, EveryNControlsFlushFrequency) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  rt::PersistencePlan plan;
+  rt::PersistDirective d;
+  d.objects = {a.id()};
+  d.everyN = 2;
+  plan.points[0] = d;
+  runtime.setPlan(plan);
+
+  runtime.beginRegion(0);
+  a.set(0, 1.0);
+  runtime.regionIterationEnd(0);  // 1st: no flush
+  EXPECT_GT(runtime.inconsistentRate(a.id()), 0.0);
+  runtime.regionIterationEnd(0);  // 2nd: flush
+  EXPECT_DOUBLE_EQ(runtime.inconsistentRate(a.id()), 0.0);
+  runtime.endRegion(0);
+  EXPECT_EQ(runtime.persistenceOps(), 1u);
+}
+
+TEST(Plans, AtRegionEndFlushesOnExit) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  rt::PersistencePlan plan;
+  rt::PersistDirective d;
+  d.objects = {a.id()};
+  d.everyN = 0;
+  d.atRegionEnd = true;
+  plan.points[3] = d;
+  runtime.setPlan(plan);
+
+  runtime.beginRegion(3);
+  a.set(0, 5.0);
+  runtime.endRegion(3);
+  EXPECT_DOUBLE_EQ(runtime.inconsistentRate(a.id()), 0.0);
+}
+
+TEST(Plans, MainLoopEndDirective) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  runtime.setPlan(rt::PersistencePlan::atMainLoopEnd({a.id()}));
+  a.set(0, 2.0);
+  runtime.mainLoopIterationEnd(1);
+  EXPECT_DOUBLE_EQ(runtime.inconsistentRate(a.id()), 0.0);
+}
+
+TEST(CrashInjection, FiresAtExactAccessIndex) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.setCrashWindow(true);
+  runtime.armCrash(10);
+  int performed = 0;
+  try {
+    for (int i = 0; i < 64; ++i) {
+      a.set(i, 1.0);
+      ++performed;
+    }
+    FAIL() << "crash did not fire";
+  } catch (const rt::CrashEvent& crash) {
+    EXPECT_EQ(crash.accessIndex, 10u);
+    EXPECT_EQ(performed, 9);  // the 10th access threw after completing
+  }
+}
+
+TEST(CrashInjection, OnlyWindowAccessesTick) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.armCrash(5);
+  for (int i = 0; i < 20; ++i) a.set(i, 1.0);  // window inactive: no crash
+  EXPECT_EQ(runtime.windowAccesses(), 0u);
+  runtime.setCrashWindow(true);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10; ++i) a.set(i, 2.0);
+      },
+      rt::CrashEvent);
+}
+
+TEST(CrashInjection, RegionAttribution) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.setCrashWindow(true);
+  runtime.armCrash(3);
+  runtime.beginRegion(7);
+  try {
+    for (int i = 0; i < 10; ++i) a.set(i, 1.0);
+    FAIL();
+  } catch (const rt::CrashEvent& crash) {
+    EXPECT_EQ(crash.activeRegion, 7);
+  }
+  runtime.endRegion(7);
+}
+
+TEST(CrashInjection, DisarmPreventsCrash) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.setCrashWindow(true);
+  runtime.armCrash(5);
+  runtime.disarmCrash();
+  for (int i = 0; i < 20; ++i) a.set(i, 1.0);  // must not throw
+  EXPECT_EQ(runtime.windowAccesses(), 20u);
+}
+
+TEST(CrashInjection, PastIndexRejected) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  runtime.setCrashWindow(true);
+  a.set(0, 1.0);
+  EXPECT_THROW(runtime.armCrash(1), std::logic_error);
+  EXPECT_THROW(runtime.armCrash(0), std::logic_error);
+}
+
+TEST(RegionScopeTest, RaiiBalancesOnException) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.setCrashWindow(true);
+  runtime.armCrash(2);
+  try {
+    rt::RegionScope scope(runtime, 4);
+    for (int i = 0; i < 10; ++i) a.set(i, 1.0);
+  } catch (const rt::CrashEvent&) {
+    // RegionScope's destructor ran during unwinding.
+  }
+  EXPECT_EQ(runtime.activeRegion(), rt::kMainLoopEnd);
+}
+
+TEST(RegionAccounting, AccessesAttributedToRegions) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.setCrashWindow(true);
+  {
+    rt::RegionScope scope(runtime, 0);
+    for (int i = 0; i < 10; ++i) a.set(i, 1.0);
+  }
+  {
+    rt::RegionScope scope(runtime, 1);
+    for (int i = 0; i < 30; ++i) a.set(i, 2.0);
+  }
+  runtime.setCrashWindow(false);
+  EXPECT_EQ(runtime.regionAccesses().at(0), 10u);
+  EXPECT_EQ(runtime.regionAccesses().at(1), 30u);
+  EXPECT_EQ(runtime.windowAccesses(), 40u);
+}

@@ -1,0 +1,132 @@
+// Paper-shape regression tests: deterministic small campaigns (fixed seed)
+// must keep reproducing the qualitative landscape of the paper's Figure 3 /
+// Table 1 — the properties every other experiment builds on. If one of
+// these fails after a change, the reproduction story changed.
+#include <gtest/gtest.h>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/crash/campaign.hpp"
+
+namespace ec = easycrash;
+namespace cr = easycrash::crash;
+
+namespace {
+
+cr::CampaignResult campaignFor(const std::string& app, int tests = 25) {
+  cr::CampaignConfig config;
+  config.numTests = tests;
+  config.seed = 424242;
+  return cr::CampaignRunner(ec::apps::findBenchmark(app).factory, config).run();
+}
+
+}  // namespace
+
+TEST(PaperShapes, EpNeverRecomputes) {
+  // Table 1: "N/A (the verification fails)" — Monte Carlo accumulators are
+  // unrecoverable.
+  const auto campaign = campaignFor("ep");
+  EXPECT_DOUBLE_EQ(campaign.recomputability(), 0.0);
+  EXPECT_DOUBLE_EQ(campaign.successWithExtra(), 0.0);
+}
+
+TEST(PaperShapes, LuVerificationFails) {
+  // Table 1: LU cannot pass its (reference-trajectory) verification.
+  const auto campaign = campaignFor("lu");
+  EXPECT_LE(campaign.recomputability(), 0.10);
+}
+
+TEST(PaperShapes, BotssparIntrinsicallyFragile) {
+  const auto campaign = campaignFor("botsspar");
+  EXPECT_LE(campaign.recomputability(), 0.10);
+}
+
+TEST(PaperShapes, IsInterruptionDominated) {
+  // Table 1: "N/A (segfault)" — the majority response must be S3.
+  const auto campaign = campaignFor("is", 40);
+  const auto counts = campaign.responseCounts();
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(PaperShapes, SpIsTheResilientEnd) {
+  // Figure 3: SP has the strongest intrinsic recomputability (88%).
+  const auto campaign = campaignFor("sp");
+  EXPECT_GE(campaign.recomputability(), 0.7);
+}
+
+TEST(PaperShapes, BtIsStrongToo) {
+  const auto campaign = campaignFor("bt");
+  EXPECT_GE(campaign.recomputability(), 0.6);
+}
+
+TEST(PaperShapes, KmeansFailsViaExtraIterations) {
+  // Table 1: kmeans restarts need ~nominal/2 extra iterations, so the strict
+  // S1 definition rejects most of its (otherwise successful) recomputations.
+  const auto campaign = campaignFor("kmeans", 30);
+  const auto counts = campaign.responseCounts();
+  EXPECT_GT(counts[1], counts[0]) << "S2 must dominate S1 for kmeans";
+  EXPECT_GE(campaign.successWithExtra(), 0.8);
+  const double nominal = 36.0;
+  EXPECT_NEAR(campaign.averageExtraIterations(), nominal / 2.0, nominal / 3.0);
+}
+
+TEST(PaperShapes, CgRecoversWithExtraIterations) {
+  // Table 1: CG is the other extra-iterations app (9.1 on average).
+  const auto campaign = campaignFor("cg", 30);
+  EXPECT_GT(campaign.responseCounts()[1], 0);
+  EXPECT_GT(campaign.averageExtraIterations(), 0.0);
+  EXPECT_GE(campaign.successWithExtra(), 0.8);
+}
+
+TEST(PaperShapes, MgModerateIntrinsicRecomputability) {
+  // Figure 3 / 4: MG sits in the low-intermediate band (paper: 27%).
+  const auto campaign = campaignFor("mg", 40);
+  EXPECT_GT(campaign.recomputability(), 0.02);
+  EXPECT_LT(campaign.recomputability(), 0.6);
+}
+
+TEST(PaperShapes, FtIsFragileWithoutPersistence) {
+  const auto campaign = campaignFor("ft", 30);
+  EXPECT_LE(campaign.recomputability(), 0.25);
+}
+
+TEST(PaperShapes, PersistingMgUHelpsButRDoesNot) {
+  // Figure 4(a) in miniature.
+  ec::runtime::Runtime probe;
+  auto app = ec::apps::findBenchmark("mg").factory();
+  app->setup(probe);
+  const auto uId = *probe.findObject("u");
+  const auto rId = *probe.findObject("r");
+
+  const auto withPlan = [&](std::vector<ec::runtime::ObjectId> objects) {
+    cr::CampaignConfig config;
+    config.numTests = 40;
+    config.seed = 424242;
+    if (!objects.empty()) {
+      config.plan = ec::runtime::PersistencePlan::atMainLoopEnd(std::move(objects));
+    }
+    return cr::CampaignRunner(ec::apps::findBenchmark("mg").factory, config)
+        .run()
+        .recomputability();
+  };
+
+  const double none = withPlan({});
+  const double withU = withPlan({uId});
+  const double withR = withPlan({rId});
+  EXPECT_GT(withU, none + 0.03) << "persisting u must clearly help";
+  EXPECT_NEAR(withR, none, 0.08) << "persisting r must barely matter";
+}
+
+TEST(PaperShapes, AverageIntrinsicRecomputabilityNearPaper) {
+  // Paper: 28% average across the suite. Allow a generous band; a drift out
+  // of it means the landscape changed.
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& entry : ec::apps::allBenchmarks()) {
+    sum += campaignFor(entry.name, 20).recomputability();
+    ++count;
+  }
+  const double average = sum / count;
+  EXPECT_GT(average, 0.15);
+  EXPECT_LT(average, 0.45);
+}

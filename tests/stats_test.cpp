@@ -1,0 +1,144 @@
+// Unit tests for the statistics module: fractional ranks, Pearson/Spearman
+// correlation, incomplete beta, and Student-t p-values.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/stats/spearman.hpp"
+
+namespace ec = easycrash;
+using ec::stats::fractionalRanks;
+using ec::stats::pearson;
+using ec::stats::regularizedIncompleteBeta;
+using ec::stats::spearman;
+using ec::stats::studentTTwoSidedP;
+
+TEST(FractionalRanks, SimpleOrdering) {
+  const std::vector<double> v{30.0, 10.0, 20.0};
+  const auto r = fractionalRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(FractionalRanks, TiesGetAverageRank) {
+  const std::vector<double> v{1.0, 2.0, 2.0, 3.0};
+  const auto r = fractionalRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(FractionalRanks, AllTied) {
+  const std::vector<double> v{5.0, 5.0, 5.0};
+  const auto r = fractionalRanks(v);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(regularizedIncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  // I_x(2,2) = 3x^2 - 2x^3.
+  const double x = 0.4;
+  EXPECT_NEAR(regularizedIncompleteBeta(2.0, 2.0, x), 3 * x * x - 2 * x * x * x, 1e-10);
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, Symmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  const double v1 = regularizedIncompleteBeta(2.5, 3.5, 0.6);
+  const double v2 = 1.0 - regularizedIncompleteBeta(3.5, 2.5, 0.4);
+  EXPECT_NEAR(v1, v2, 1e-12);
+}
+
+TEST(StudentT, ZeroStatisticGivesPOne) {
+  EXPECT_NEAR(studentTTwoSidedP(0.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(StudentT, MatchesNormalForLargeDof) {
+  // t=1.96 with huge dof ~ normal: p ~ 0.05.
+  EXPECT_NEAR(studentTTwoSidedP(1.96, 100000.0), 0.05, 0.001);
+}
+
+TEST(StudentT, KnownSmallDofValue) {
+  // t distribution with 1 dof is Cauchy: P(|T|>1) = 0.5.
+  EXPECT_NEAR(studentTTwoSidedP(1.0, 1.0), 0.5, 1e-9);
+}
+
+TEST(Spearman, PerfectMonotoneNonlinear) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{1, 8, 27, 64, 125, 216};  // x^3: nonlinear, monotone
+  const auto r = spearman(x, y);
+  EXPECT_FALSE(r.degenerate);
+  EXPECT_NEAR(r.rho, 1.0, 1e-12);
+  EXPECT_LT(r.pValue, 0.01);
+}
+
+TEST(Spearman, PerfectAntiMonotone) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y;
+  for (double v : x) y.push_back(-v * v);
+  const auto r = spearman(x, y);
+  EXPECT_NEAR(r.rho, -1.0, 1e-12);
+  EXPECT_LT(r.pValue, 0.01);
+}
+
+TEST(Spearman, ConstantInputIsDegenerate) {
+  const std::vector<double> x{1, 1, 1, 1};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_TRUE(spearman(x, y).degenerate);
+  EXPECT_TRUE(spearman(y, x).degenerate);
+}
+
+TEST(Spearman, TooFewSamplesIsDegenerate) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{2, 1};
+  EXPECT_TRUE(spearman(x, y).degenerate);
+}
+
+TEST(Spearman, UncorrelatedHasHighP) {
+  // Alternating pattern has near-zero rank correlation.
+  std::vector<double> x, y;
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i);
+    y.push_back((i % 2 == 0) ? 10.0 + i % 7 : 3.0 + i % 5);
+  }
+  const auto r = spearman(x, y);
+  EXPECT_FALSE(r.degenerate);
+  EXPECT_GT(r.pValue, 0.01);
+}
+
+TEST(Spearman, BinaryOutcomeVectorWorks) {
+  // The EasyCrash use case: y is a 0/1 recomputation-outcome vector.
+  std::vector<double> rate, outcome;
+  for (int i = 0; i < 60; ++i) {
+    const double r = i / 60.0;
+    rate.push_back(r);
+    outcome.push_back(r < 0.4 ? 1.0 : 0.0);  // high inconsistency => failure
+  }
+  const auto r = spearman(rate, outcome);
+  EXPECT_FALSE(r.degenerate);
+  EXPECT_LT(r.rho, -0.5);
+  EXPECT_LT(r.pValue, 0.01);
+}

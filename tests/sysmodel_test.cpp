@@ -1,0 +1,167 @@
+#include <cmath>
+// Tests for the Section-7 system-efficiency model: Young's formula, the
+// closed-form efficiency equations, the tau threshold, node scaling, and the
+// Monte-Carlo cross-check.
+#include <gtest/gtest.h>
+
+#include "easycrash/sysmodel/efficiency.hpp"
+
+namespace sm = easycrash::sysmodel;
+
+namespace {
+
+sm::SystemParams paperDefaults() {
+  sm::SystemParams params;  // MTBF 12h, T_chk 320s, 10-year horizon
+  return params;
+}
+
+}  // namespace
+
+TEST(Young, FormulaMatchesDefinition) {
+  EXPECT_DOUBLE_EQ(sm::youngInterval(320.0, 12.0 * 3600.0),
+                   std::sqrt(2.0 * 320.0 * 12.0 * 3600.0));
+}
+
+TEST(Young, GrowsWithMtbfAndCheckpointCost) {
+  EXPECT_LT(sm::youngInterval(32.0, 3600.0), sm::youngInterval(320.0, 3600.0));
+  EXPECT_LT(sm::youngInterval(32.0, 3600.0), sm::youngInterval(32.0, 36000.0));
+}
+
+TEST(ClosedForm, EfficiencyIsAProbability) {
+  for (double tChk : {32.0, 320.0, 3200.0}) {
+    auto params = paperDefaults();
+    params.tChkSeconds = tChk;
+    const double eff = sm::efficiencyWithoutEasyCrash(params).efficiency;
+    EXPECT_GE(eff, 0.0);
+    EXPECT_LE(eff, 1.0);
+  }
+}
+
+TEST(ClosedForm, CheaperCheckpointsAreMoreEfficient) {
+  auto a = paperDefaults();
+  a.tChkSeconds = 32.0;
+  auto b = paperDefaults();
+  b.tChkSeconds = 3200.0;
+  EXPECT_GT(sm::efficiencyWithoutEasyCrash(a).efficiency,
+            sm::efficiencyWithoutEasyCrash(b).efficiency);
+}
+
+TEST(ClosedForm, LongerMtbfIsMoreEfficient) {
+  auto a = paperDefaults();
+  a.mtbfHours = 24.0;
+  auto b = paperDefaults();
+  b.mtbfHours = 3.0;
+  EXPECT_GT(sm::efficiencyWithoutEasyCrash(a).efficiency,
+            sm::efficiencyWithoutEasyCrash(b).efficiency);
+}
+
+TEST(ClosedForm, EfficiencyIncreasesWithRecomputability) {
+  const auto params = paperDefaults();
+  double previous = 0.0;
+  for (double r : {0.0, 0.3, 0.6, 0.9}) {
+    const double eff = sm::efficiencyWithEasyCrash(params, r, 0.02).efficiency;
+    EXPECT_GE(eff, previous);
+    previous = eff;
+  }
+}
+
+TEST(ClosedForm, RuntimeOverheadReducesEfficiency) {
+  const auto params = paperDefaults();
+  EXPECT_GT(sm::efficiencyWithEasyCrash(params, 0.8, 0.0).efficiency,
+            sm::efficiencyWithEasyCrash(params, 0.8, 0.05).efficiency);
+}
+
+TEST(ClosedForm, EasyCrashIntervalIsLonger) {
+  const auto params = paperDefaults();
+  const auto without = sm::efficiencyWithoutEasyCrash(params);
+  const auto with = sm::efficiencyWithEasyCrash(params, 0.82, 0.02);
+  EXPECT_GT(with.checkpointInterval, without.checkpointInterval)
+      << "MTBF_EasyCrash = MTBF / (1 - R) must lengthen Young's interval";
+}
+
+TEST(ClosedForm, HighRecomputabilityBeatsPlainCheckpointRestart) {
+  // The paper's headline setting: MTBF 12h, T_chk 3200s, R = 0.82.
+  auto params = paperDefaults();
+  params.tChkSeconds = 3200.0;
+  EXPECT_GT(sm::efficiencyWithEasyCrash(params, 0.82, 0.02).efficiency,
+            sm::efficiencyWithoutEasyCrash(params).efficiency + 0.10)
+      << "expected the ~15% class of improvement reported by the paper";
+}
+
+TEST(Tau, ThresholdSeparatesWinningFromLosing) {
+  for (double tChk : {320.0, 3200.0}) {
+    auto params = paperDefaults();
+    params.tChkSeconds = tChk;
+    const double tau = sm::recomputabilityThreshold(params, 0.02);
+    ASSERT_GT(tau, 0.0);
+    ASSERT_LT(tau, 1.0);
+    const double base = sm::efficiencyWithoutEasyCrash(params).efficiency;
+    EXPECT_GT(sm::efficiencyWithEasyCrash(params, tau + 0.02, 0.02).efficiency, base);
+    EXPECT_LT(sm::efficiencyWithEasyCrash(params, tau - 0.02, 0.02).efficiency, base);
+  }
+}
+
+TEST(Tau, CheaperCheckpointsRaiseTheBar) {
+  // With cheap checkpoints, plain C/R is already efficient, so EasyCrash
+  // needs higher recomputability to pay off (paper Figure 10's 32s case).
+  auto cheap = paperDefaults();
+  cheap.tChkSeconds = 32.0;
+  auto expensive = paperDefaults();
+  expensive.tChkSeconds = 3200.0;
+  EXPECT_GT(sm::recomputabilityThreshold(cheap, 0.02),
+            sm::recomputabilityThreshold(expensive, 0.02));
+}
+
+TEST(Scaling, MtbfShrinksLinearlyWithNodes) {
+  const auto params = paperDefaults();
+  EXPECT_DOUBLE_EQ(params.scaledToNodes(2.0).mtbfHours, 6.0);
+  EXPECT_DOUBLE_EQ(params.scaledToNodes(4.0).mtbfHours, 3.0);
+}
+
+TEST(Scaling, EasyCrashAdvantageGrowsWithScale) {
+  // Paper Figure 11: the efficiency gap widens as the system grows.
+  double previousGap = -1.0;
+  for (double scale : {1.0, 2.0, 4.0}) {
+    auto params = paperDefaults().scaledToNodes(scale);
+    params.tChkSeconds = 3200.0;
+    const double gap =
+        sm::efficiencyWithEasyCrash(params, 0.82, 0.02).efficiency -
+        sm::efficiencyWithoutEasyCrash(params).efficiency;
+    EXPECT_GT(gap, previousGap);
+    previousGap = gap;
+  }
+}
+
+TEST(MonteCarlo, AgreesWithClosedFormWithoutEasyCrash) {
+  for (double tChk : {320.0, 3200.0}) {
+    auto params = paperDefaults();
+    params.tChkSeconds = tChk;
+    const double closed = sm::efficiencyWithoutEasyCrash(params).efficiency;
+    const double mc = sm::simulateEfficiency(params, 0.0, 0.0, 7, 0.2);
+    EXPECT_NEAR(mc, closed, 0.06) << "T_chk " << tChk;
+  }
+}
+
+TEST(MonteCarlo, AgreesWithClosedFormWithEasyCrash) {
+  for (double r : {0.5, 0.82}) {
+    auto params = paperDefaults();
+    params.tChkSeconds = 3200.0;
+    const double closed = sm::efficiencyWithEasyCrash(params, r, 0.02).efficiency;
+    const double mc = sm::simulateEfficiency(params, r, 0.02, 11, 0.2);
+    EXPECT_NEAR(mc, closed, 0.08) << "R " << r;
+  }
+}
+
+TEST(MonteCarlo, DeterministicForSameSeed) {
+  const auto params = paperDefaults();
+  EXPECT_DOUBLE_EQ(sm::simulateEfficiency(params, 0.5, 0.02, 3, 0.05),
+                   sm::simulateEfficiency(params, 0.5, 0.02, 3, 0.05));
+}
+
+TEST(Params, DerivedQuantities) {
+  auto params = paperDefaults();
+  EXPECT_DOUBLE_EQ(params.mtbfSeconds(), 12.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(params.tRecover(), params.tChkSeconds);
+  EXPECT_DOUBLE_EQ(params.tSync(), 0.5 * params.tChkSeconds);
+  EXPECT_NEAR(params.tEcRecover(), 64.0 / 106.0, 1e-12);
+}

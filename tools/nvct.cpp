@@ -1,0 +1,92 @@
+// nvct — the crash-study command-line tool (the paper's open-sourced NVCT).
+//
+// Runs a crash-test campaign for one of the bundled benchmarks under an
+// optional persistence plan, prints the human-readable post-mortem summary,
+// and optionally writes the per-test CSV for external analysis.
+//
+//   nvct --app mg --tests 200
+//   nvct --app mg --tests 200 --plan "u@main"
+//   nvct --app is --tests 500 --plan "key_array+bucket_hist@main" \
+//        --csv-out is_campaign.csv --mode coherent
+//   nvct --app kmeans --list-objects
+#include <fstream>
+#include <iostream>
+
+#include "easycrash/apps/registry.hpp"
+#include "easycrash/common/cli.hpp"
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/plan_spec.hpp"
+#include "easycrash/crash/report.hpp"
+#include "easycrash/runtime/runtime.hpp"
+
+namespace ec = easycrash;
+
+int main(int argc, char** argv) {
+  ec::CliParser cli(
+      "nvct — crash-test campaigns on the simulated NVM machine.\n"
+      "Plan spec grammar: obj[+obj...]@(main|R<k>)[:everyN], comma-separated;\n"
+      "'candidates' expands to every candidate object.");
+  cli.addString("app", "mg", "benchmark to study (see --list-apps)");
+  cli.addInt("tests", 200, "number of crash tests");
+  cli.addInt("seed", 1, "campaign master seed");
+  cli.addString("plan", "none", "persistence plan spec");
+  cli.addString("mode", "nvm", "snapshot mode: nvm (NVCT) or coherent (verified)");
+  cli.addString("csv-out", "", "write the per-test CSV to this file");
+  cli.addFlag("list-apps", "list the bundled benchmarks and exit");
+  cli.addFlag("list-objects", "list the app's data objects and exit");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    if (cli.getFlag("list-apps")) {
+      for (const auto& entry : ec::apps::allBenchmarks()) {
+        std::cout << entry.name << "  —  " << entry.description << '\n';
+      }
+      return 0;
+    }
+
+    const auto& entry = ec::apps::findBenchmark(cli.getString("app"));
+
+    // A setup-only runtime resolves object names for the plan spec.
+    ec::runtime::Runtime probe;
+    auto probeApp = entry.factory();
+    probeApp->setup(probe);
+
+    if (cli.getFlag("list-objects")) {
+      for (const auto& object : probe.objects()) {
+        std::cout << object.name << "  " << object.bytes << " bytes"
+                  << (object.candidate ? "  [candidate]" : "")
+                  << (object.readOnly ? "  [read-only]" : "") << '\n';
+      }
+      return 0;
+    }
+
+    ec::crash::CampaignConfig config;
+    config.numTests = static_cast<int>(cli.getInt("tests"));
+    config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    config.plan = ec::crash::parsePlanSpec(cli.getString("plan"), probe);
+    const std::string mode = cli.getString("mode");
+    if (mode == "coherent") {
+      config.mode = ec::crash::SnapshotMode::Coherent;
+    } else if (mode != "nvm") {
+      throw std::runtime_error("--mode must be 'nvm' or 'coherent'");
+    }
+
+    std::cout << "app: " << entry.name << "  plan: "
+              << ec::crash::formatPlanSpec(config.plan, probe) << "  mode: " << mode
+              << "  tests: " << config.numTests << '\n';
+    const auto campaign = ec::crash::CampaignRunner(entry.factory, config).run();
+    ec::crash::writeCampaignSummary(campaign, std::cout);
+
+    const std::string csvPath = cli.getString("csv-out");
+    if (!csvPath.empty()) {
+      std::ofstream os(csvPath);
+      if (!os) throw std::runtime_error("cannot open " + csvPath);
+      ec::crash::writeCampaignCsv(campaign, os);
+      std::cout << "per-test CSV written to " << csvPath << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "nvct: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
