@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ts.dir/bench_ablation_ts.cpp.o"
+  "CMakeFiles/bench_ablation_ts.dir/bench_ablation_ts.cpp.o.d"
+  "bench_ablation_ts"
+  "bench_ablation_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

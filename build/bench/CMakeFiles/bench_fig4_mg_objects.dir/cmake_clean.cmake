@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mg_objects.dir/bench_fig4_mg_objects.cpp.o"
+  "CMakeFiles/bench_fig4_mg_objects.dir/bench_fig4_mg_objects.cpp.o.d"
+  "bench_fig4_mg_objects"
+  "bench_fig4_mg_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mg_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

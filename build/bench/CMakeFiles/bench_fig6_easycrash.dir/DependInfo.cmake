@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_easycrash.cpp" "bench/CMakeFiles/bench_fig6_easycrash.dir/bench_fig6_easycrash.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_easycrash.dir/bench_fig6_easycrash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ec_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/crash/CMakeFiles/ec_crash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/ec_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmodel/CMakeFiles/ec_sysmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_easycrash.dir/bench_fig6_easycrash.cpp.o"
+  "CMakeFiles/bench_fig6_easycrash.dir/bench_fig6_easycrash.cpp.o.d"
+  "bench_fig6_easycrash"
+  "bench_fig6_easycrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_easycrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_optane.dir/bench_fig8_optane.cpp.o"
+  "CMakeFiles/bench_fig8_optane.dir/bench_fig8_optane.cpp.o.d"
+  "bench_fig8_optane"
+  "bench_fig8_optane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_optane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

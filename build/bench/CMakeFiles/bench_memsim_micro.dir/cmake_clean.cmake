@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memsim_micro.dir/bench_memsim_micro.cpp.o"
+  "CMakeFiles/bench_memsim_micro.dir/bench_memsim_micro.cpp.o.d"
+  "bench_memsim_micro"
+  "bench_memsim_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memsim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicore_study.dir/bench_multicore_study.cpp.o"
+  "CMakeFiles/bench_multicore_study.dir/bench_multicore_study.cpp.o.d"
+  "bench_multicore_study"
+  "bench_multicore_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicore_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

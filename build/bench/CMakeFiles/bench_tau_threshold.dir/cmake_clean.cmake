@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tau_threshold.dir/bench_tau_threshold.cpp.o"
+  "CMakeFiles/bench_tau_threshold.dir/bench_tau_threshold.cpp.o.d"
+  "bench_tau_threshold"
+  "bench_tau_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tau_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

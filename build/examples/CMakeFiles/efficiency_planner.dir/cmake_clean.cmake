@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_planner.dir/efficiency_planner.cpp.o"
+  "CMakeFiles/efficiency_planner.dir/efficiency_planner.cpp.o.d"
+  "efficiency_planner"
+  "efficiency_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

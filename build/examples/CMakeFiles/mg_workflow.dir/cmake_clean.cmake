@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_workflow.dir/mg_workflow.cpp.o"
+  "CMakeFiles/mg_workflow.dir/mg_workflow.cpp.o.d"
+  "mg_workflow"
+  "mg_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/botsspar.cpp" "src/apps/CMakeFiles/ec_apps.dir/botsspar.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/botsspar.cpp.o.d"
+  "/root/repo/src/apps/bt.cpp" "src/apps/CMakeFiles/ec_apps.dir/bt.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/bt.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/ec_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/ec_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/ft.cpp" "src/apps/CMakeFiles/ec_apps.dir/ft.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/ft.cpp.o.d"
+  "/root/repo/src/apps/is.cpp" "src/apps/CMakeFiles/ec_apps.dir/is.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/is.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/ec_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/lu_app.cpp" "src/apps/CMakeFiles/ec_apps.dir/lu_app.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/lu_app.cpp.o.d"
+  "/root/repo/src/apps/lulesh.cpp" "src/apps/CMakeFiles/ec_apps.dir/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/lulesh.cpp.o.d"
+  "/root/repo/src/apps/mg.cpp" "src/apps/CMakeFiles/ec_apps.dir/mg.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/mg.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/ec_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sp.cpp" "src/apps/CMakeFiles/ec_apps.dir/sp.cpp.o" "gcc" "src/apps/CMakeFiles/ec_apps.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ec_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

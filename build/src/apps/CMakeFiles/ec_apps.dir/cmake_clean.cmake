@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_apps.dir/botsspar.cpp.o"
+  "CMakeFiles/ec_apps.dir/botsspar.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/bt.cpp.o"
+  "CMakeFiles/ec_apps.dir/bt.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/cg.cpp.o"
+  "CMakeFiles/ec_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/ep.cpp.o"
+  "CMakeFiles/ec_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/ft.cpp.o"
+  "CMakeFiles/ec_apps.dir/ft.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/is.cpp.o"
+  "CMakeFiles/ec_apps.dir/is.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/ec_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/lu_app.cpp.o"
+  "CMakeFiles/ec_apps.dir/lu_app.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/ec_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/mg.cpp.o"
+  "CMakeFiles/ec_apps.dir/mg.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/registry.cpp.o"
+  "CMakeFiles/ec_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/ec_apps.dir/sp.cpp.o"
+  "CMakeFiles/ec_apps.dir/sp.cpp.o.d"
+  "libec_apps.a"
+  "libec_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_common.dir/cli.cpp.o"
+  "CMakeFiles/ec_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ec_common.dir/table.cpp.o"
+  "CMakeFiles/ec_common.dir/table.cpp.o.d"
+  "libec_common.a"
+  "libec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_core.dir/object_selection.cpp.o"
+  "CMakeFiles/ec_core.dir/object_selection.cpp.o.d"
+  "CMakeFiles/ec_core.dir/region_selection.cpp.o"
+  "CMakeFiles/ec_core.dir/region_selection.cpp.o.d"
+  "CMakeFiles/ec_core.dir/workflow.cpp.o"
+  "CMakeFiles/ec_core.dir/workflow.cpp.o.d"
+  "libec_core.a"
+  "libec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

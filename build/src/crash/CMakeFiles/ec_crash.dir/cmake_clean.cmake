@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_crash.dir/campaign.cpp.o"
+  "CMakeFiles/ec_crash.dir/campaign.cpp.o.d"
+  "CMakeFiles/ec_crash.dir/plan_spec.cpp.o"
+  "CMakeFiles/ec_crash.dir/plan_spec.cpp.o.d"
+  "CMakeFiles/ec_crash.dir/report.cpp.o"
+  "CMakeFiles/ec_crash.dir/report.cpp.o.d"
+  "libec_crash.a"
+  "libec_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache_level.cpp" "src/memsim/CMakeFiles/ec_memsim.dir/cache_level.cpp.o" "gcc" "src/memsim/CMakeFiles/ec_memsim.dir/cache_level.cpp.o.d"
+  "/root/repo/src/memsim/config.cpp" "src/memsim/CMakeFiles/ec_memsim.dir/config.cpp.o" "gcc" "src/memsim/CMakeFiles/ec_memsim.dir/config.cpp.o.d"
+  "/root/repo/src/memsim/hierarchy.cpp" "src/memsim/CMakeFiles/ec_memsim.dir/hierarchy.cpp.o" "gcc" "src/memsim/CMakeFiles/ec_memsim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/memsim/multicore.cpp" "src/memsim/CMakeFiles/ec_memsim.dir/multicore.cpp.o" "gcc" "src/memsim/CMakeFiles/ec_memsim.dir/multicore.cpp.o.d"
+  "/root/repo/src/memsim/nvm_store.cpp" "src/memsim/CMakeFiles/ec_memsim.dir/nvm_store.cpp.o" "gcc" "src/memsim/CMakeFiles/ec_memsim.dir/nvm_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_memsim.dir/cache_level.cpp.o"
+  "CMakeFiles/ec_memsim.dir/cache_level.cpp.o.d"
+  "CMakeFiles/ec_memsim.dir/config.cpp.o"
+  "CMakeFiles/ec_memsim.dir/config.cpp.o.d"
+  "CMakeFiles/ec_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/ec_memsim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/ec_memsim.dir/multicore.cpp.o"
+  "CMakeFiles/ec_memsim.dir/multicore.cpp.o.d"
+  "CMakeFiles/ec_memsim.dir/nvm_store.cpp.o"
+  "CMakeFiles/ec_memsim.dir/nvm_store.cpp.o.d"
+  "libec_memsim.a"
+  "libec_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/nvm_profile.cpp" "src/perfmodel/CMakeFiles/ec_perfmodel.dir/nvm_profile.cpp.o" "gcc" "src/perfmodel/CMakeFiles/ec_perfmodel.dir/nvm_profile.cpp.o.d"
+  "/root/repo/src/perfmodel/time_model.cpp" "src/perfmodel/CMakeFiles/ec_perfmodel.dir/time_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/ec_perfmodel.dir/time_model.cpp.o.d"
+  "/root/repo/src/perfmodel/write_model.cpp" "src/perfmodel/CMakeFiles/ec_perfmodel.dir/write_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/ec_perfmodel.dir/write_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ec_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_perfmodel.dir/nvm_profile.cpp.o"
+  "CMakeFiles/ec_perfmodel.dir/nvm_profile.cpp.o.d"
+  "CMakeFiles/ec_perfmodel.dir/time_model.cpp.o"
+  "CMakeFiles/ec_perfmodel.dir/time_model.cpp.o.d"
+  "CMakeFiles/ec_perfmodel.dir/write_model.cpp.o"
+  "CMakeFiles/ec_perfmodel.dir/write_model.cpp.o.d"
+  "libec_perfmodel.a"
+  "libec_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

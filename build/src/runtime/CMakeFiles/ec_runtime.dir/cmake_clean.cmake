@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_runtime.dir/driver.cpp.o"
+  "CMakeFiles/ec_runtime.dir/driver.cpp.o.d"
+  "CMakeFiles/ec_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/ec_runtime.dir/runtime.cpp.o.d"
+  "libec_runtime.a"
+  "libec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

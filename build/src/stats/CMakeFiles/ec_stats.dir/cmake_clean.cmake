@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_stats.dir/spearman.cpp.o"
+  "CMakeFiles/ec_stats.dir/spearman.cpp.o.d"
+  "libec_stats.a"
+  "libec_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ec_sysmodel.dir/efficiency.cpp.o"
+  "CMakeFiles/ec_sysmodel.dir/efficiency.cpp.o.d"
+  "libec_sysmodel.a"
+  "libec_sysmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ec_sysmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

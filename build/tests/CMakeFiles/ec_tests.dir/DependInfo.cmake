@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/ec_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/campaign_test.cpp" "tests/CMakeFiles/ec_tests.dir/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/campaign_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/ec_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/ec_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/ec_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/memsim_extra_test.cpp" "tests/CMakeFiles/ec_tests.dir/memsim_extra_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/memsim_extra_test.cpp.o.d"
+  "/root/repo/tests/memsim_test.cpp" "tests/CMakeFiles/ec_tests.dir/memsim_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/memsim_test.cpp.o.d"
+  "/root/repo/tests/multicore_test.cpp" "tests/CMakeFiles/ec_tests.dir/multicore_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/multicore_test.cpp.o.d"
+  "/root/repo/tests/perfmodel_test.cpp" "tests/CMakeFiles/ec_tests.dir/perfmodel_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/perfmodel_test.cpp.o.d"
+  "/root/repo/tests/plan_spec_test.cpp" "tests/CMakeFiles/ec_tests.dir/plan_spec_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/plan_spec_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/ec_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/ec_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/shapes_test.cpp" "tests/CMakeFiles/ec_tests.dir/shapes_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/shapes_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/ec_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/sysmodel_test.cpp" "tests/CMakeFiles/ec_tests.dir/sysmodel_test.cpp.o" "gcc" "tests/CMakeFiles/ec_tests.dir/sysmodel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ec_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ec_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/crash/CMakeFiles/ec_crash.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/ec_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysmodel/CMakeFiles/ec_sysmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvct.dir/nvct.cpp.o"
+  "CMakeFiles/nvct.dir/nvct.cpp.o.d"
+  "nvct"
+  "nvct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
