@@ -3,8 +3,10 @@
 // plan constructions.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "easycrash/common/table.hpp"
 #include "easycrash/core/workflow.hpp"
 #include "easycrash/crash/campaign.hpp"
+#include "easycrash/telemetry/metrics.hpp"
 
 namespace easycrash::bench {
 
@@ -26,6 +29,21 @@ inline void addCampaignOptions(CliParser& cli, int defaultTests = 120) {
                 "runtime-overhead budget t_s (paper: 0.03 at Class-C scale; the"
                 " scaled-down problems compress work-per-persist ~10x, see"
                 " DESIGN.md and bench_ablation_ts)");
+  cli.addString("metrics-out", "",
+                "also write the final telemetry metrics snapshot (JSON) — "
+                "counter provenance for the BENCH_*.json entry");
+}
+
+/// Dump the metrics registry next to the bench result when --metrics-out was
+/// given, so every recorded figure carries the MemEvents counter totals that
+/// produced it.
+inline void maybeWriteMetrics(const CliParser& cli) {
+  const std::string path = cli.getString("metrics-out");
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  telemetry::MetricsRegistry::instance().writeJson(os);
+  std::cerr << "metrics snapshot written to " << path << '\n';
 }
 
 [[nodiscard]] inline std::vector<apps::BenchmarkEntry> selectedApps(
@@ -62,6 +80,7 @@ inline void printResult(const CliParser& cli, const Table& table,
   } else {
     table.print(std::cout, title);
   }
+  maybeWriteMetrics(cli);
 }
 
 /// Plan that persists `objects` once per activation of every region (the

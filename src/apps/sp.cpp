@@ -8,12 +8,11 @@
 // the tear below the steadiness threshold. The 16 first-level loops of the
 // time step are the paper's Table 1 code regions.
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
 #include "easycrash/apps/registry.hpp"
+#include "easycrash/telemetry/log.hpp"
 
 namespace easycrash::apps {
 namespace {
@@ -74,14 +73,13 @@ class SpApp final : public AppBase {
   }
   void iterate(Runtime& rt, int iteration) override {
     (void)iteration;
-    const bool dbg = getenv("SP_DEBUG") != nullptr;
     double dnormAcc = 0.0;
     // R1-R4: snapshot + right-hand side assembly for the x half-step.
     regionLoop(rt, 0, [&] { snapshotPrevious(); });
     regionLoop(rt, 1, [&] { buildRhsFromU(); addForcing(); });
     regionLoop(rt, 2, [&] { addYDiffusionToRhs(); });
     regionLoop(rt, 3, [&] { clampBoundary(rhs_); });
-    if (dbg) printf("  rhs built: %.4e\n", dbgMax(rhs_));
+    EC_LOG_DEBUG("sp: rhs built, max " << dbgMax(rhs_));
     // R5-R7: x-direction implicit solve.
     {
       RegionScope region(rt, 4);
@@ -90,13 +88,13 @@ class SpApp final : public AppBase {
         region.iterationEnd();
       }
     }
-    if (dbg) printf("  x solved: %.4e\n", dbgMax(rhs_));
+    EC_LOG_DEBUG("sp: x solved, max " << dbgMax(rhs_));
     regionLoop(rt, 5, [&] { copyRhsToU(); });
     regionLoop(rt, 6, [&] { clampBoundary(u_); });
     // R8-R9: right-hand side for the y half-step.
     regionLoop(rt, 7, [&] { addXDiffusionToRhs(); });
     regionLoop(rt, 8, [&] { clampBoundary(rhs_); });
-    if (dbg) printf("  rhs2 built: %.4e\n", dbgMax(rhs_));
+    EC_LOG_DEBUG("sp: rhs2 built, max " << dbgMax(rhs_));
     // R10-R12: y-direction implicit solve and commit.
     {
       RegionScope region(rt, 9);
@@ -105,7 +103,7 @@ class SpApp final : public AppBase {
         region.iterationEnd();
       }
     }
-    if (dbg) printf("  y solved: %.4e\n", dbgMax(rhs_));
+    EC_LOG_DEBUG("sp: y solved, max " << dbgMax(rhs_));
     regionLoop(rt, 10, [&] { dnormAcc = commitUpdate(); });
     regionLoop(rt, 11, [&] { clampBoundary(u_); });
     // R13-R16: dissipation and diagnostics.

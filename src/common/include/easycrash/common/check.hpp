@@ -30,3 +30,13 @@ namespace easycrash {
   do {                                                                      \
     if (!(expr)) ::easycrash::checkFailed(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// Debug-only variants for checks on hot paths (e.g. counter monotonicity in
+// MemEvents::delta): active in Debug builds, compiled out under NDEBUG.
+#ifndef NDEBUG
+#define EC_DCHECK(expr) EC_CHECK(expr)
+#define EC_DCHECK_MSG(expr, msg) EC_CHECK_MSG(expr, msg)
+#else
+#define EC_DCHECK(expr) static_cast<void>(0)
+#define EC_DCHECK_MSG(expr, msg) static_cast<void>(0)
+#endif

@@ -5,6 +5,8 @@
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/perfmodel/time_model.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::core {
 
@@ -14,6 +16,41 @@ using runtime::kMainLoopEnd;
 using runtime::PersistDirective;
 using runtime::PersistencePlan;
 using runtime::PointId;
+
+namespace {
+
+/// RAII span over one workflow step: emits phase_begin/phase_end trace
+/// events and feeds the workflow.phase_us histogram, so a trace shows where
+/// the four-step pipeline (paper §5.3) spends its time.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name) : name_(name), startNs_(telemetry::nowNs()) {
+    if (telemetry::tracing()) {
+      telemetry::TraceEvent("phase_begin").field("phase", name_).emit();
+    }
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+  ~PhaseSpan() {
+    const std::uint64_t durationNs = telemetry::nowNs() - startNs_;
+    telemetry::MetricsRegistry::instance()
+        .histogram("workflow.phase_us",
+                   telemetry::Histogram::exponentialBounds(100.0, 4.0, 14))
+        .observe(static_cast<double>(durationNs) / 1000.0);
+    if (telemetry::tracing()) {
+      telemetry::TraceEvent("phase_end")
+          .field("phase", name_)
+          .field("duration_ns", durationNs)
+          .emit();
+    }
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t startNs_;
+};
+
+}  // namespace
 
 PersistencePlan buildEverywherePlan(const crash::GoldenStats& golden,
                                     const std::vector<runtime::ObjectId>& objects,
@@ -48,10 +85,16 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
   base.numTests = config.testsPerCampaign;
   base.seed = config.seed;
   base.cache = config.cache;
-  result.baseline = CampaignRunner(factory, base).run();
+  {
+    PhaseSpan phase("baseline_campaign");
+    result.baseline = CampaignRunner(factory, base).run();
+  }
 
   // ---- Step 2: critical data objects. --------------------------------------
-  result.objects = selectCriticalObjects(result.baseline, config.objectCriteria);
+  {
+    PhaseSpan phase("object_selection");
+    result.objects = selectCriticalObjects(result.baseline, config.objectCriteria);
+  }
   if (result.objects.critical.empty()) {
     // Nothing worth persisting: production plan stays empty (the paper's
     // "EasyCrash cannot bring benefit" case, e.g. EP).
@@ -64,7 +107,10 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
   CampaignConfig everywhere = base;
   everywhere.seed = config.seed + 1;
   everywhere.plan = result.everywherePlan;
-  result.everywhere = CampaignRunner(factory, everywhere).run();
+  {
+    PhaseSpan phase("everywhere_campaign");
+    result.everywhere = CampaignRunner(factory, everywhere).run();
+  }
 
   // Model inputs: a_k and c_k from the baseline, c_k^max extrapolated from
   // the persist-everywhere campaign via Equation 5.
@@ -115,7 +161,10 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
   std::map<PointId, double> flushOnceNs;
   for (const auto& input : inputs) flushOnceNs[input.point] = flushOnce;
 
-  result.regions = selectRegions(inputs, flushOnceNs, baseExecNs, config.regionConfig);
+  {
+    PhaseSpan phase("region_selection");
+    result.regions = selectRegions(inputs, flushOnceNs, baseExecNs, config.regionConfig);
+  }
 
   // ---- Production plan. -----------------------------------------------------
   for (const auto& choice : result.regions.chosen) {
@@ -134,6 +183,7 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
 
   // ---- Step 4: validation campaign under the production plan. ---------------
   if (config.validateFinal && !result.plan.empty()) {
+    PhaseSpan phase("validation_campaign");
     CampaignConfig validation = base;
     validation.seed = config.seed + 2;
     validation.plan = result.plan;

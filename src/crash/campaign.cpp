@@ -1,18 +1,88 @@
 #include "easycrash/crash/campaign.hpp"
 
 #include <atomic>
+#include <iostream>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/common/rng.hpp"
 #include "easycrash/runtime/runtime.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/progress.hpp"
+#include "easycrash/telemetry/timer.hpp"
+#include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::crash {
 
 using runtime::CrashEvent;
 using runtime::Driver;
 using runtime::Runtime;
+
+namespace {
+
+/// Mirrors of the MemEvents counters, accumulated over every run a campaign
+/// simulates (golden + each trial's crashing and restart runs). These are
+/// the `memsim.*` counters in --metrics-out; their names match the
+/// MemEvents fields so a metrics snapshot correlates 1:1 with Table 4.
+struct CampaignMetrics {
+  telemetry::Counter& loads;
+  telemetry::Counter& stores;
+  telemetry::Counter& nvmBlockReads;
+  telemetry::Counter& nvmBlockWrites;
+  telemetry::Counter& flushDirty;
+  telemetry::Counter& flushClean;
+  telemetry::Counter& flushNonResident;
+  telemetry::Counter& flushInducedNvmWrites;
+  telemetry::Counter& trials;
+  std::array<telemetry::Counter*, 4> responses;
+  telemetry::Histogram& trialUs;
+
+  static CampaignMetrics& get() {
+    auto& reg = telemetry::MetricsRegistry::instance();
+    static CampaignMetrics m{
+        reg.counter("memsim.loads"),
+        reg.counter("memsim.stores"),
+        reg.counter("memsim.nvmBlockReads"),
+        reg.counter("memsim.nvmBlockWrites"),
+        reg.counter("memsim.flushDirty"),
+        reg.counter("memsim.flushClean"),
+        reg.counter("memsim.flushNonResident"),
+        reg.counter("memsim.flushInducedNvmWrites"),
+        reg.counter("campaign.trials"),
+        {&reg.counter("campaign.responses.s1"), &reg.counter("campaign.responses.s2"),
+         &reg.counter("campaign.responses.s3"), &reg.counter("campaign.responses.s4")},
+        reg.histogram("campaign.trial_us",
+                      telemetry::Histogram::exponentialBounds(100.0, 4.0, 12))};
+    return m;
+  }
+
+  void recordRun(const memsim::MemEvents& ev) {
+    loads.add(ev.loads);
+    stores.add(ev.stores);
+    nvmBlockReads.add(ev.nvmBlockReads);
+    nvmBlockWrites.add(ev.nvmBlockWrites);
+    flushDirty.add(ev.flushDirty);
+    flushClean.add(ev.flushClean);
+    flushNonResident.add(ev.flushNonResident);
+    flushInducedNvmWrites.add(ev.flushInducedNvmWrites);
+  }
+};
+
+std::string responseTally(const std::array<int, 4>& counts) {
+  std::string out;
+  for (int s = 0; s < 4; ++s) {
+    if (s) out += ' ';
+    out += 'S';
+    out += static_cast<char>('1' + s);
+    out += ':';
+    out += std::to_string(counts[s]);
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* toString(Response response) {
   switch (response) {
@@ -92,8 +162,10 @@ CampaignRunner::CampaignRunner(runtime::AppFactory factory, CampaignConfig confi
 GoldenStats CampaignRunner::goldenRun() const {
   Runtime rt(config_.cache);
   rt.setPlan(config_.plan);
+  rt.setTraceRun("golden");
   auto app = factory_();
   const auto result = Driver::freshRun(*app, rt);
+  CampaignMetrics::get().recordRun(rt.events());
   EC_CHECK_MSG(!result.interrupted, "golden run interrupted: " + result.interruptReason);
   EC_CHECK_MSG(result.verification.pass,
                "golden run failed its own acceptance verification (" +
@@ -120,6 +192,15 @@ GoldenStats CampaignRunner::goldenRun() const {
 }
 
 CampaignResult CampaignRunner::run() const {
+  if (telemetry::tracing()) {
+    telemetry::TraceEvent("campaign_begin")
+        .field("tests", config_.numTests)
+        .field("seed", config_.seed)
+        .field("mode", config_.mode == SnapshotMode::NvmImage ? "nvm" : "coherent")
+        .field("plan_points", static_cast<std::uint64_t>(config_.plan.points.size()))
+        .emit();
+  }
+
   CampaignResult result;
   result.golden = goldenRun();
   EC_CHECK_MSG(result.golden.windowAccesses > 0, "empty crash window");
@@ -133,40 +214,75 @@ CampaignResult CampaignRunner::run() const {
   }
 
   result.tests.resize(crashIndices.size());
+  telemetry::ProgressMeter meter(
+      (config_.appLabel.empty() ? "campaign" : config_.appLabel) + " trials",
+      crashIndices.size(), config_.progress ? &std::cerr : nullptr);
+  std::mutex tallyMutex;
+  std::array<int, 4> tally{};
+  std::size_t done = 0;
+  const auto recordOutcome = [&](const CrashTestRecord& record) {
+    std::array<int, 4> counts;
+    std::size_t doneNow;
+    {
+      std::lock_guard<std::mutex> lock(tallyMutex);
+      tally[static_cast<int>(record.response)] += 1;
+      counts = tally;
+      doneNow = ++done;
+    }
+    if (config_.progress) meter.update(doneNow, responseTally(counts));
+  };
+
   int threads = config_.threads == 0
                     ? static_cast<int>(std::thread::hardware_concurrency())
                     : config_.threads;
   threads = std::max(1, std::min<int>(threads, config_.numTests));
   if (threads <= 1) {
     for (std::size_t t = 0; t < crashIndices.size(); ++t) {
-      result.tests[t] = runOneTest(result.golden, crashIndices[t]);
+      result.tests[t] = runOneTest(result.golden, crashIndices[t], t);
+      recordOutcome(result.tests[t]);
     }
-    return result;
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t t = next.fetch_add(1);
+        if (t >= crashIndices.size()) return;
+        result.tests[t] = runOneTest(result.golden, crashIndices[t], t);
+        recordOutcome(result.tests[t]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
   }
 
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t t = next.fetch_add(1);
-      if (t >= crashIndices.size()) return;
-      result.tests[t] = runOneTest(result.golden, crashIndices[t]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  if (config_.progress) meter.finish(responseTally(tally));
+  if (telemetry::tracing()) {
+    const auto counts = result.responseCounts();
+    telemetry::TraceEvent("campaign_end")
+        .field("tests", static_cast<std::uint64_t>(result.tests.size()))
+        .field("s1", counts[0])
+        .field("s2", counts[1])
+        .field("s3", counts[2])
+        .field("s4", counts[3])
+        .field("recomputability", result.recomputability())
+        .emit();
+  }
   return result;
 }
 
 CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
-                                           std::uint64_t crashIndex) const {
+                                           std::uint64_t crashIndex,
+                                           std::size_t trial) const {
+  telemetry::ScopedTimer trialTimer(CampaignMetrics::get().trialUs);
   CrashTestRecord record;
   record.crashAccessIndex = crashIndex;
 
   // --- Crashing run -----------------------------------------------------
   Runtime rt(config_.cache);
   rt.setPlan(config_.plan);
+  rt.setTraceRun("crash:" + std::to_string(trial));
   auto app = factory_();
   app->setup(rt);
   app->initialize(rt);
@@ -201,10 +317,12 @@ CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
     }
     rt.powerLoss();
   }
+  CampaignMetrics::get().recordRun(rt.events());
 
   // --- Restart ------------------------------------------------------------
   Runtime restartRt(config_.cache);
   restartRt.setPlan(config_.plan);
+  restartRt.setTraceRun("restart:" + std::to_string(trial));
   auto restartApp = factory_();
   restartApp->setup(restartRt);
   restartApp->initialize(restartRt);
@@ -215,25 +333,40 @@ CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
   const int cap = golden.finalIteration * config_.maxIterationFactor;
   const auto rerun =
       Driver::run(*restartApp, restartRt, record.restartIteration, cap);
+  CampaignMetrics::get().recordRun(restartRt.events());
 
   if (rerun.interrupted) {
     record.response = Response::S3;
     record.note = rerun.interruptReason;
-    return record;
-  }
-  if (!rerun.verification.pass) {
+  } else if (!rerun.verification.pass) {
     record.response = Response::S4;
     record.note = rerun.verification.detail;
-    return record;
-  }
-  record.extraIterations = rerun.finalIteration - golden.finalIteration;
-  if (record.extraIterations <= 0) {
-    record.extraIterations = 0;
-    record.response = Response::S1;
   } else {
-    record.response = Response::S2;
+    record.extraIterations = rerun.finalIteration - golden.finalIteration;
+    if (record.extraIterations <= 0) {
+      record.extraIterations = 0;
+      record.response = Response::S1;
+    } else {
+      record.response = Response::S2;
+    }
+    record.note = rerun.verification.detail;
   }
-  record.note = rerun.verification.detail;
+
+  CampaignMetrics::get().trials.add();
+  CampaignMetrics::get().responses[static_cast<int>(record.response)]->add();
+  if (telemetry::tracing()) {
+    // The per-trial outcome record: crash location + restart result. This is
+    // the JSONL row an external analysis joins with the CSV on `trial`.
+    telemetry::TraceEvent("trial_end")
+        .field("trial", static_cast<std::uint64_t>(trial))
+        .field("crash_access", record.crashAccessIndex)
+        .field("region", record.region)
+        .field("crash_iteration", record.crashIteration)
+        .field("restart_iteration", record.restartIteration)
+        .field("response", toString(record.response))
+        .field("extra_iterations", record.extraIterations)
+        .emit();
+  }
   return record;
 }
 

@@ -54,6 +54,10 @@ struct CampaignConfig {
   /// identical to a single-threaded run (crash points are pre-drawn and
   /// records land by index). 0 = use the hardware concurrency.
   int threads = 1;
+  /// App name stamped onto telemetry (trace common field + trial events).
+  std::string appLabel;
+  /// Render a live progress line on stderr: trials done, S1-S4 tally, ETA.
+  bool progress = false;
 };
 
 /// Statistics of the golden (crash-free) execution.
@@ -119,7 +123,8 @@ class CampaignRunner {
 
  private:
   [[nodiscard]] CrashTestRecord runOneTest(const GoldenStats& golden,
-                                           std::uint64_t crashIndex) const;
+                                           std::uint64_t crashIndex,
+                                           std::size_t trial) const;
 
   runtime::AppFactory factory_;
   CampaignConfig config_;

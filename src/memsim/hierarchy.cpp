@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "easycrash/common/check.hpp"
+#include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::memsim {
 
@@ -176,10 +177,24 @@ void CacheHierarchy::flushBlock(std::uint64_t addr, FlushKind kind) {
 void CacheHierarchy::flushRange(std::uint64_t addr, std::uint64_t size,
                                 FlushKind kind) {
   if (size == 0) return;
+  const bool trace = telemetry::tracing();
+  const MemEvents before = trace ? events_ : MemEvents{};
   const std::uint64_t first = blockBase(addr);
   const std::uint64_t last = blockBase(addr + size - 1);
   for (std::uint64_t b = first; b <= last; b += config_.blockSize) {
     flushBlock(b, kind);
+  }
+  if (trace) {
+    const MemEvents d = events_.delta(before);
+    telemetry::TraceEvent("flush_burst")
+        .field("addr", addr)
+        .field("bytes", size)
+        .field("blocks", (last - first) / config_.blockSize + 1)
+        .field("dirty", d.flushDirty)
+        .field("clean", d.flushClean)
+        .field("non_resident", d.flushNonResident)
+        .field("nvm_writes", d.nvmBlockWrites)
+        .emit();
   }
 }
 

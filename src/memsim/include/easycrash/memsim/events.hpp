@@ -8,6 +8,8 @@
 #include <array>
 #include <cstdint>
 
+#include "easycrash/common/check.hpp"
+
 namespace easycrash::memsim {
 
 constexpr std::size_t kMaxLevels = 4;
@@ -35,7 +37,30 @@ struct MemEvents {
     return flushDirty + flushClean + flushNonResident;
   }
 
+  /// Counter-wise difference against an earlier snapshot of the same
+  /// hierarchy. Counters are monotonic, so every term must be >= its
+  /// `earlier` counterpart; a violation means the snapshot came from a
+  /// different (or reset) hierarchy and would silently underflow.
   [[nodiscard]] MemEvents delta(const MemEvents& earlier) const {
+    EC_DCHECK_MSG(loads >= earlier.loads, "MemEvents::delta: loads not monotonic");
+    EC_DCHECK_MSG(stores >= earlier.stores, "MemEvents::delta: stores not monotonic");
+    for (std::size_t i = 0; i < kMaxLevels; ++i) {
+      EC_DCHECK_MSG(hits[i] >= earlier.hits[i], "MemEvents::delta: hits not monotonic");
+      EC_DCHECK_MSG(misses[i] >= earlier.misses[i],
+                    "MemEvents::delta: misses not monotonic");
+    }
+    EC_DCHECK_MSG(nvmBlockReads >= earlier.nvmBlockReads,
+                  "MemEvents::delta: nvmBlockReads not monotonic");
+    EC_DCHECK_MSG(nvmBlockWrites >= earlier.nvmBlockWrites,
+                  "MemEvents::delta: nvmBlockWrites not monotonic");
+    EC_DCHECK_MSG(flushDirty >= earlier.flushDirty,
+                  "MemEvents::delta: flushDirty not monotonic");
+    EC_DCHECK_MSG(flushClean >= earlier.flushClean,
+                  "MemEvents::delta: flushClean not monotonic");
+    EC_DCHECK_MSG(flushNonResident >= earlier.flushNonResident,
+                  "MemEvents::delta: flushNonResident not monotonic");
+    EC_DCHECK_MSG(flushInducedNvmWrites >= earlier.flushInducedNvmWrites,
+                  "MemEvents::delta: flushInducedNvmWrites not monotonic");
     MemEvents d;
     d.loads = loads - earlier.loads;
     d.stores = stores - earlier.stores;

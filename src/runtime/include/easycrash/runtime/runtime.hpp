@@ -155,7 +155,16 @@ class Runtime {
   [[nodiscard]] std::uint64_t windowAccesses() const { return windowAccesses_; }
 
   /// Simulate the power loss itself: drop all cache contents.
-  void powerLoss() { hierarchy_.invalidateAll(); }
+  void powerLoss();
+
+  // ---- Telemetry ---------------------------------------------------------------
+
+  /// Label this runtime's trace events (crash injections, region spans,
+  /// persists) with a run id, e.g. "golden" or "trial:17". The app name is a
+  /// sink-wide common field (TraceSink::setCommonField) since one process
+  /// studies one app at a time.
+  void setTraceRun(std::string run) { traceRun_ = std::move(run); }
+  [[nodiscard]] const std::string& traceRun() const { return traceRun_; }
 
   // ---- Introspection -----------------------------------------------------------
 
@@ -166,7 +175,7 @@ class Runtime {
 
  private:
   void onAccess(std::uint64_t count);
-  void executeDirective(const PersistDirective& directive);
+  void executeDirective(const PersistDirective& directive, PointId point);
 
   memsim::NvmStore nvm_;
   memsim::CacheHierarchy hierarchy_;
@@ -182,6 +191,16 @@ class Runtime {
   std::vector<PointId> regionStack_;
   std::uint32_t regionCount_ = 0;
   std::map<PointId, std::uint64_t> regionAccesses_;
+
+  /// Telemetry bookkeeping parallel to regionStack_: entry wall-clock and
+  /// (when tracing) the MemEvents snapshot used for the per-region delta.
+  struct RegionSpan {
+    std::uint64_t startNs = 0;
+    bool traced = false;
+    memsim::MemEvents snapshot;
+  };
+  std::vector<RegionSpan> regionSpans_;
+  std::string traceRun_;
 
   ObjectId iterObject_ = 0;  ///< the always-persisted loop-iterator bookmark
 

@@ -3,8 +3,36 @@
 #include <algorithm>
 
 #include "easycrash/common/check.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/timer.hpp"
+#include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::runtime {
+
+namespace {
+
+/// Registry handles resolved once; hot paths hold references.
+struct RuntimeMetrics {
+  telemetry::Histogram& regionUs;
+  telemetry::Histogram& persistUs;
+  telemetry::Counter& persistOps;
+  telemetry::Counter& crashInjections;
+
+  static RuntimeMetrics& get() {
+    static RuntimeMetrics m{
+        telemetry::MetricsRegistry::instance().histogram(
+            "runtime.region_us",
+            telemetry::Histogram::exponentialBounds(1.0, 4.0, 12)),
+        telemetry::MetricsRegistry::instance().histogram(
+            "runtime.persist_us",
+            telemetry::Histogram::exponentialBounds(0.5, 4.0, 12)),
+        telemetry::MetricsRegistry::instance().counter("runtime.persistence_ops"),
+        telemetry::MetricsRegistry::instance().counter("runtime.crash_injections")};
+    return m;
+  }
+};
+
+}  // namespace
 
 Runtime::Runtime(memsim::CacheConfig config)
     : nvm_(config.blockSize), hierarchy_(std::move(config), nvm_) {
@@ -64,6 +92,15 @@ void Runtime::onAccess(std::uint64_t count) {
     crash.iteration = bookmarkedIteration();
     crash.regionPath = regionStack_;
     crashAt_ = 0;
+    RuntimeMetrics::get().crashInjections.add();
+    if (telemetry::tracing()) {
+      telemetry::TraceEvent("crash_injected")
+          .field("run", traceRun_)
+          .field("access_index", crash.accessIndex)
+          .field("region", crash.activeRegion)
+          .field("iteration", crash.iteration)
+          .emit();
+    }
     // Deliberately do NOT invalidate the caches here: the campaign first
     // performs the post-mortem inconsistency analysis (comparing cache state
     // against the NVM image, as NVCT does), then calls powerLoss().
@@ -123,15 +160,44 @@ double Runtime::inconsistentRate(ObjectId id) const {
 void Runtime::beginRegion(PointId region) {
   EC_CHECK(region >= 0);
   regionStack_.push_back(region);
+  RegionSpan span;
+  span.startNs = telemetry::nowNs();
+  span.traced = telemetry::tracing();
+  if (span.traced) {
+    span.snapshot = hierarchy_.events();
+    telemetry::TraceEvent("region_enter")
+        .field("run", traceRun_)
+        .field("region", region)
+        .field("depth", static_cast<std::uint64_t>(regionStack_.size()))
+        .emit();
+  }
+  regionSpans_.push_back(std::move(span));
 }
 
 void Runtime::endRegion(PointId region) {
   EC_CHECK_MSG(!regionStack_.empty() && regionStack_.back() == region,
                "unbalanced region markers");
   regionStack_.pop_back();
+  const RegionSpan span = regionSpans_.back();
+  regionSpans_.pop_back();
+  RuntimeMetrics::get().regionUs.observe(
+      static_cast<double>(telemetry::nowNs() - span.startNs) / 1000.0);
+  if (span.traced && telemetry::tracing()) {
+    // Per-region MemEvents delta: the memory-system cost of this activation.
+    const memsim::MemEvents d = hierarchy_.events().delta(span.snapshot);
+    telemetry::TraceEvent("region_exit")
+        .field("run", traceRun_)
+        .field("region", region)
+        .field("loads", d.loads)
+        .field("stores", d.stores)
+        .field("nvm_block_writes", d.nvmBlockWrites)
+        .field("flushes", d.totalFlushes())
+        .field("duration_ns", telemetry::nowNs() - span.startNs)
+        .emit();
+  }
   const auto it = plan_.points.find(region);
   if (it != plan_.points.end() && it->second.atRegionEnd) {
-    executeDirective(it->second);
+    executeDirective(it->second, region);
   }
 }
 
@@ -142,7 +208,7 @@ void Runtime::regionIterationEnd(PointId region) {
   const auto it = plan_.points.find(region);
   if (it == plan_.points.end() || it->second.everyN == 0) return;
   if (++pointCounters_[region] % it->second.everyN == 0) {
-    executeDirective(it->second);
+    executeDirective(it->second, region);
   }
 }
 
@@ -152,7 +218,7 @@ void Runtime::mainLoopIterationEnd(int iteration) {
   const auto it = plan_.points.find(kMainLoopEnd);
   if (it == plan_.points.end() || it->second.everyN == 0) return;
   if (++pointCounters_[kMainLoopEnd] % it->second.everyN == 0) {
-    executeDirective(it->second);
+    executeDirective(it->second, kMainLoopEnd);
   }
 }
 
@@ -182,11 +248,35 @@ void Runtime::setPlan(PersistencePlan plan) {
   pointCounters_.clear();
 }
 
-void Runtime::executeDirective(const PersistDirective& directive) {
-  for (ObjectId id : directive.objects) {
-    persistObject(id, plan_.flushKind);
+void Runtime::executeDirective(const PersistDirective& directive, PointId point) {
+  const bool trace = telemetry::tracing();
+  const memsim::MemEvents before = trace ? hierarchy_.events() : memsim::MemEvents{};
+  {
+    telemetry::ScopedTimer timer(RuntimeMetrics::get().persistUs);
+    for (ObjectId id : directive.objects) {
+      persistObject(id, plan_.flushKind);
+    }
   }
   ++persistenceOps_;
+  RuntimeMetrics::get().persistOps.add();
+  if (trace) {
+    const memsim::MemEvents d = hierarchy_.events().delta(before);
+    telemetry::TraceEvent("persist")
+        .field("run", traceRun_)
+        .field("point", point)
+        .field("objects", static_cast<std::uint64_t>(directive.objects.size()))
+        .field("nvm_writes", d.nvmBlockWrites)
+        .field("flush_dirty", d.flushDirty)
+        .field("flush_clean", d.flushClean)
+        .emit();
+  }
+}
+
+void Runtime::powerLoss() {
+  hierarchy_.invalidateAll();
+  if (telemetry::tracing()) {
+    telemetry::TraceEvent("power_loss").field("run", traceRun_).emit();
+  }
 }
 
 void Runtime::armCrash(std::uint64_t accessIndex) {

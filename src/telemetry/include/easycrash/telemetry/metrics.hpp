@@ -1,0 +1,107 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms with cheap hot-path updates (relaxed atomics) and JSON export.
+//
+// Instruments are registered once (mutex-guarded name lookup) and the
+// returned references stay valid for the process lifetime, so hot paths hold
+// a `Counter&`/`Histogram&` and never touch the registry map again. The
+// exported JSON is the machine-readable companion of the campaign summary:
+// `memsim.*` counters aggregate the same MemEvents that produce Table 4.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace easycrash::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `upperBounds` are inclusive bucket upper edges in
+/// ascending order; one implicit +Inf overflow bucket is appended.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  /// {start, start*factor, ...} of `count` bounds — the usual latency shape.
+  [[nodiscard]] static std::vector<double> exponentialBounds(double start,
+                                                             double factor,
+                                                             int count);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket i counts observations in (bounds[i-1], bounds[i]]; the last
+  /// bucket (index bounds().size()) is the +Inf overflow bucket.
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& instance();
+
+  /// Find-or-create by name. References remain valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upperBounds` is used only on first registration of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> upperBounds);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void writeJson(std::ostream& os) const;
+
+  /// Zero every instrument (names stay registered). For tests and for
+  /// tools that want per-run snapshots.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace easycrash::telemetry

@@ -1,0 +1,41 @@
+// Live single-line progress reporting for long campaigns: done/total, a
+// caller-composed tally (e.g. "S1:12 S2:3"), and an ETA from the observed
+// rate. Rewrites one stderr line with '\r'; throttled so worker threads can
+// call update() after every trial without serializing on terminal I/O.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace easycrash::telemetry {
+
+class ProgressMeter {
+ public:
+  /// `os == nullptr` disables the meter entirely (update/finish are no-ops).
+  ProgressMeter(std::string label, std::uint64_t total, std::ostream* os);
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  void update(std::uint64_t done, const std::string& detail);
+  /// Prints the final line (unthrottled) and a trailing newline.
+  void finish(const std::string& detail);
+
+ private:
+  void render(std::uint64_t done, const std::string& detail, bool final);
+
+  std::mutex mutex_;
+  std::ostream* os_;
+  std::string label_;
+  std::uint64_t total_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lastRender_;
+  std::size_t lastLineLen_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace easycrash::telemetry

@@ -1,0 +1,31 @@
+// Scoped wall-clock timers feeding registry histograms. Nesting works the
+// obvious way: each timer observes its own span, so an outer scope's
+// histogram sum always covers its inner scopes'.
+#pragma once
+
+#include <chrono>
+
+#include "easycrash/telemetry/metrics.hpp"
+
+namespace easycrash::telemetry {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { hist_.observe(elapsedUs()); }
+
+  [[nodiscard]] double elapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace easycrash::telemetry

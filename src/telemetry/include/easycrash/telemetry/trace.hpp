@@ -1,0 +1,110 @@
+// Structured JSONL trace sink.
+//
+// One process-wide sink writes one JSON object per line: crash injections,
+// region entry/exit (with per-region MemEvents deltas), flush bursts,
+// persist calls, restart/recovery outcomes and workflow phase transitions.
+//
+// Cost model: the hot-path guard is `telemetry::tracing()` — one relaxed
+// atomic load when compiled in, `constexpr false` (dead-code-eliminated
+// call sites) when the build defines EASYCRASH_TELEMETRY_DISABLED
+// (-DEASYCRASH_TELEMETRY=OFF). Every event-building call site must sit
+// behind this guard so a run without --trace-out pays one predictable
+// branch per instrumentation point and nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace easycrash::telemetry {
+
+#ifdef EASYCRASH_TELEMETRY_DISABLED
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+namespace detail {
+inline std::atomic<bool> g_tracingEnabled{false};
+}  // namespace detail
+
+/// True when a sink is open and tracing is compiled in. Call sites guard
+/// event construction with this.
+[[nodiscard]] inline bool tracing() noexcept {
+  return kTraceCompiledIn &&
+         detail::g_tracingEnabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds since the first telemetry call in this process.
+[[nodiscard]] std::uint64_t nowNs() noexcept;
+
+/// Append `s` to `out` with JSON string escaping (quotes, backslash and
+/// control characters; the payload is passed through as UTF-8).
+void appendJsonEscaped(std::string& out, std::string_view s);
+
+/// Builder for one trace line. Constructing captures the timestamp; fields
+/// are serialized immediately into an internal buffer; emit() hands the
+/// line to the sink (a no-op when the sink was closed in the meantime).
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view type);
+
+  TraceEvent& field(std::string_view key, std::string_view value);
+  TraceEvent& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  TraceEvent& field(std::string_view key, std::uint64_t value);
+  TraceEvent& field(std::string_view key, std::int64_t value);
+  TraceEvent& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  TraceEvent& field(std::string_view key, std::uint32_t value) {
+    return field(key, static_cast<std::uint64_t>(value));
+  }
+  TraceEvent& field(std::string_view key, double value);
+  TraceEvent& field(std::string_view key, bool value);
+
+  void emit();
+
+ private:
+  std::string line_;  // "{"type":...,"ts_ns":...  — closed by the sink
+};
+
+/// The process-wide JSONL sink. Opening a destination enables `tracing()`.
+class TraceSink {
+ public:
+  static TraceSink& instance();
+
+  /// Open `path` for writing (truncates). Throws std::runtime_error if the
+  /// file cannot be opened.
+  void openFile(const std::string& path);
+  /// Attach a non-owning stream (tests). The caller keeps it alive until
+  /// close().
+  void attachStream(std::ostream* os);
+  /// Flush and detach; disables tracing().
+  void close();
+
+  /// Set a field appended to every subsequent event (e.g. app=cg, set once
+  /// per process by nvct). Value is escaped here.
+  void setCommonField(std::string_view key, std::string_view value);
+  void clearCommonFields();
+
+  [[nodiscard]] std::uint64_t linesWritten() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+  /// Internal: complete `line` with common fields + '}' and write it.
+  void write(const std::string& line);
+
+ private:
+  std::mutex mutex_;
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* os_ = nullptr;
+  std::string commonFields_;  // ","key":"value"... fragment
+  std::atomic<std::uint64_t> lines_{0};
+};
+
+}  // namespace easycrash::telemetry

@@ -1,0 +1,82 @@
+#include "easycrash/telemetry/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "easycrash/telemetry/trace.hpp"
+
+namespace easycrash::telemetry {
+
+namespace {
+
+std::atomic<int>& levelVar() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("EC_LOG_LEVEL")) {
+      if (const auto parsed = parseLogLevel(env)) {
+        return static_cast<int>(*parsed);
+      }
+    }
+    return static_cast<int>(LogLevel::Info);
+  }();
+  return level;
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) {
+  levelVar().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(levelVar().load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "trace") return LogLevel::Trace;
+  return std::nullopt;
+}
+
+const char* toString(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Trace: return "trace";
+  }
+  return "?";
+}
+
+bool logEnabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         levelVar().load(std::memory_order_relaxed);
+}
+
+void logMessage(LogLevel level, std::string_view message) {
+  {
+    // One formatted write keeps concurrent campaign workers from
+    // interleaving mid-line.
+    std::string line;
+    line.reserve(message.size() + 24);
+    line += "[easycrash ";
+    line += toString(level);
+    line += "] ";
+    line += message;
+    line += '\n';
+    std::cerr << line;
+  }
+  if (tracing()) {
+    TraceEvent("log").field("level", toString(level)).field("msg", message).emit();
+  }
+}
+
+}  // namespace easycrash::telemetry

@@ -1,0 +1,77 @@
+#include "easycrash/telemetry/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace easycrash::telemetry {
+
+namespace {
+constexpr auto kThrottle = std::chrono::milliseconds(100);
+}
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
+                             std::ostream* os)
+    : os_(os),
+      label_(std::move(label)),
+      total_(total),
+      start_(std::chrono::steady_clock::now()),
+      lastRender_(start_ - kThrottle) {}
+
+ProgressMeter::~ProgressMeter() {
+  if (os_ != nullptr && !finished_ && lastLineLen_ > 0) *os_ << '\n';
+}
+
+void ProgressMeter::update(std::uint64_t done, const std::string& detail) {
+  if (os_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - lastRender_ < kThrottle && done < total_) return;
+  lastRender_ = now;
+  render(done, detail, /*final=*/false);
+}
+
+void ProgressMeter::finish(const std::string& detail) {
+  if (os_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_) return;
+  render(total_, detail, /*final=*/true);
+  finished_ = true;
+}
+
+void ProgressMeter::render(std::uint64_t done, const std::string& detail,
+                           bool final) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string line = label_;
+  line += "  ";
+  line += std::to_string(done);
+  line += '/';
+  line += std::to_string(total_);
+  if (!detail.empty()) {
+    line += "  ";
+    line += detail;
+  }
+  char buf[48];
+  if (final || done >= total_) {
+    std::snprintf(buf, sizeof buf, "  %.1fs", elapsed);
+    line += buf;
+  } else if (done > 0) {
+    const double eta = elapsed / static_cast<double>(done) *
+                       static_cast<double>(total_ - done);
+    std::snprintf(buf, sizeof buf, "  eta %.1fs", eta);
+    line += buf;
+  }
+  // Pad with spaces so a shorter line fully overwrites the previous one.
+  const std::size_t pad =
+      lastLineLen_ > line.size() ? lastLineLen_ - line.size() : 0;
+  lastLineLen_ = line.size();
+  line.append(pad, ' ');
+  *os_ << '\r' << line;
+  if (final) *os_ << '\n';
+  os_->flush();
+}
+
+}  // namespace easycrash::telemetry

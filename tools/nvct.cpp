@@ -6,9 +6,13 @@
 //
 //   nvct --app mg --tests 200
 //   nvct --app mg --tests 200 --plan "u@main"
-//   nvct --app is --tests 500 --plan "key_array+bucket_hist@main" \
+//   nvct --app is --tests 500 --plan "key_array+bucket_hist@main"
 //        --csv-out is_campaign.csv --mode coherent
 //   nvct --app kmeans --list-objects
+//
+// Observability (docs/OBSERVABILITY.md): --trace-out writes a JSONL event
+// trace, --metrics-out a counters/histograms snapshot, --log-level tunes
+// stderr diagnostics, and a live progress line tracks the campaign.
 #include <fstream>
 #include <iostream>
 
@@ -18,6 +22,9 @@
 #include "easycrash/crash/plan_spec.hpp"
 #include "easycrash/crash/report.hpp"
 #include "easycrash/runtime/runtime.hpp"
+#include "easycrash/telemetry/log.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/trace.hpp"
 
 namespace ec = easycrash;
 
@@ -32,11 +39,21 @@ int main(int argc, char** argv) {
   cli.addString("plan", "none", "persistence plan spec");
   cli.addString("mode", "nvm", "snapshot mode: nvm (NVCT) or coherent (verified)");
   cli.addString("csv-out", "", "write the per-test CSV to this file");
+  cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
+  cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
+  cli.addString("log-level", "", "stderr log level: error|warn|info|debug|trace");
+  cli.addFlag("no-progress", "suppress the live campaign progress line");
   cli.addFlag("list-apps", "list the bundled benchmarks and exit");
   cli.addFlag("list-objects", "list the app's data objects and exit");
   if (!cli.parse(argc, argv)) return 0;
 
   try {
+    const std::string logLevel = cli.getString("log-level");
+    if (!logLevel.empty()) {
+      const auto parsed = ec::telemetry::parseLogLevel(logLevel);
+      if (!parsed) throw std::runtime_error("unknown --log-level " + logLevel);
+      ec::telemetry::setLogLevel(*parsed);
+    }
     if (cli.getFlag("list-apps")) {
       for (const auto& entry : ec::apps::allBenchmarks()) {
         std::cout << entry.name << "  —  " << entry.description << '\n';
@@ -64,11 +81,20 @@ int main(int argc, char** argv) {
     config.numTests = static_cast<int>(cli.getInt("tests"));
     config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     config.plan = ec::crash::parsePlanSpec(cli.getString("plan"), probe);
+    config.appLabel = entry.name;
+    config.progress = !cli.getFlag("no-progress");
     const std::string mode = cli.getString("mode");
     if (mode == "coherent") {
       config.mode = ec::crash::SnapshotMode::Coherent;
     } else if (mode != "nvm") {
       throw std::runtime_error("--mode must be 'nvm' or 'coherent'");
+    }
+
+    const std::string tracePath = cli.getString("trace-out");
+    if (!tracePath.empty()) {
+      auto& sink = ec::telemetry::TraceSink::instance();
+      sink.setCommonField("app", entry.name);
+      sink.openFile(tracePath);
     }
 
     std::cout << "app: " << entry.name << "  plan: "
@@ -83,6 +109,18 @@ int main(int argc, char** argv) {
       if (!os) throw std::runtime_error("cannot open " + csvPath);
       ec::crash::writeCampaignCsv(campaign, os);
       std::cout << "per-test CSV written to " << csvPath << '\n';
+    }
+
+    if (!tracePath.empty()) {
+      ec::telemetry::TraceSink::instance().close();
+      std::cout << "trace written to " << tracePath << '\n';
+    }
+    const std::string metricsPath = cli.getString("metrics-out");
+    if (!metricsPath.empty()) {
+      std::ofstream os(metricsPath);
+      if (!os) throw std::runtime_error("cannot open " + metricsPath);
+      ec::telemetry::MetricsRegistry::instance().writeJson(os);
+      std::cout << "metrics snapshot written to " << metricsPath << '\n';
     }
   } catch (const std::exception& e) {
     std::cerr << "nvct: " << e.what() << '\n';

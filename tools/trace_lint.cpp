@@ -1,0 +1,149 @@
+// trace_lint — validates telemetry artifacts produced by nvct and the bench
+// binaries, so a corrupted trace fails fast instead of poisoning analysis.
+//
+//   trace_lint --trace trace.jsonl                       # every line parses
+//   trace_lint --trace trace.jsonl --require-field app   # field presence
+//   trace_lint --metrics metrics.json --require-counter memsim.nvmBlockWrites
+//
+// Exit status 0 iff every check passes; failures name the offending line.
+// Doubles as the e2e check behind the nvct smoke test in tests/.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "easycrash/common/cli.hpp"
+#include "easycrash/telemetry/json.hpp"
+
+namespace ec = easycrash;
+namespace json = easycrash::telemetry::json;
+
+namespace {
+
+std::vector<std::string> splitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int lintTrace(const std::string& path, const std::vector<std::string>& requiredFields) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "trace_lint: cannot open " << path << '\n';
+    return 1;
+  }
+  std::string line;
+  std::uint64_t lineNo = 0;
+  std::uint64_t events = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::string error;
+    const auto value = json::parse(line, &error);
+    if (!value) {
+      std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << error << '\n';
+      return 1;
+    }
+    if (!value->isObject()) {
+      std::cerr << "trace_lint: " << path << ':' << lineNo << ": not a JSON object\n";
+      return 1;
+    }
+    const json::Value* type = value->find("type");
+    if (type == nullptr || !type->isString() || type->string.empty()) {
+      std::cerr << "trace_lint: " << path << ':' << lineNo << ": missing \"type\"\n";
+      return 1;
+    }
+    const json::Value* ts = value->find("ts_ns");
+    if (ts == nullptr || !ts->isNumber() || ts->number < 0) {
+      std::cerr << "trace_lint: " << path << ':' << lineNo << ": missing \"ts_ns\"\n";
+      return 1;
+    }
+    for (const auto& field : requiredFields) {
+      if (value->find(field) == nullptr) {
+        std::cerr << "trace_lint: " << path << ':' << lineNo << ": missing required field \""
+                  << field << "\" (event type " << type->string << ")\n";
+        return 1;
+      }
+    }
+    ++events;
+  }
+  if (events == 0) {
+    std::cerr << "trace_lint: " << path << " contains no events\n";
+    return 1;
+  }
+  std::cout << path << ": " << events << " events ok\n";
+  return 0;
+}
+
+int lintMetrics(const std::string& path, const std::vector<std::string>& requiredCounters) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "trace_lint: cannot open " << path << '\n';
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::string error;
+  const auto value = json::parse(buffer.str(), &error);
+  if (!value) {
+    std::cerr << "trace_lint: " << path << ": " << error << '\n';
+    return 1;
+  }
+  const json::Value* counters = value->isObject() ? value->find("counters") : nullptr;
+  if (counters == nullptr || !counters->isObject()) {
+    std::cerr << "trace_lint: " << path << ": missing \"counters\" object\n";
+    return 1;
+  }
+  for (const auto& name : requiredCounters) {
+    const json::Value* counter = counters->find(name);
+    if (counter == nullptr || !counter->isNumber()) {
+      std::cerr << "trace_lint: " << path << ": missing counter \"" << name << "\"\n";
+      return 1;
+    }
+    if (counter->number <= 0) {
+      std::cerr << "trace_lint: " << path << ": counter \"" << name << "\" is zero\n";
+      return 1;
+    }
+  }
+  std::cout << path << ": metrics ok (" << counters->object.size() << " counters)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ec::CliParser cli(
+      "trace_lint — validate telemetry traces (JSONL) and metrics snapshots.");
+  cli.addString("trace", "", "JSONL trace file to validate");
+  cli.addString("metrics", "", "metrics JSON snapshot to validate");
+  cli.addString("require-field", "",
+                "comma-separated fields every trace event must carry");
+  cli.addString("require-counter", "",
+                "comma-separated counters that must be present and non-zero");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    const std::string tracePath = cli.getString("trace");
+    const std::string metricsPath = cli.getString("metrics");
+    if (tracePath.empty() && metricsPath.empty()) {
+      std::cerr << "trace_lint: nothing to do (--trace and/or --metrics)\n";
+      return 1;
+    }
+    int status = 0;
+    if (!tracePath.empty()) {
+      status |= lintTrace(tracePath, splitCsv(cli.getString("require-field")));
+    }
+    if (!metricsPath.empty()) {
+      status |= lintMetrics(metricsPath, splitCsv(cli.getString("require-counter")));
+    }
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_lint: " << e.what() << '\n';
+    return 1;
+  }
+}
