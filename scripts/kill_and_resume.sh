@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Real-signal variant of the nvct_resilience_* ctest fixtures: start a
+# campaign with a journal, kill it mid-flight, resume from the journal, and
+# require the resumed CSV to be byte-identical to an uninterrupted run's
+# (docs/ROBUSTNESS.md).
+#
+#   scripts/kill_and_resume.sh <build-dir> [TERM|KILL]
+#
+# SIGTERM exercises the graceful path: nvct drains in-flight trials, flushes
+# the journal, and exits 130. SIGKILL proves crash safety: the process gets
+# no chance to clean up, yet the journal on disk is still a complete,
+# lintable prefix (at most one un-flushed batch of trials is lost).
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: kill_and_resume.sh <build-dir> [TERM|KILL]}
+SIGNAL=${2:-TERM}
+NVCT="$BUILD_DIR/tools/nvct"
+TRACE_LINT="$BUILD_DIR/tools/trace_lint"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+APP=sp
+TESTS=120
+JOURNAL="$WORK/journal.jsonl"
+
+echo "== campaign under SIG$SIGNAL =="
+"$NVCT" --app "$APP" --tests "$TESTS" --no-progress \
+  --journal "$JOURNAL" --journal-flush-every 4 &
+PID=$!
+
+# Wait until the journal holds at least a header plus 8 decided trials, so
+# the kill lands mid-campaign rather than before or after it.
+for _ in $(seq 1 300); do
+  if [[ -f "$JOURNAL" ]] && (( $(wc -l < "$JOURNAL") >= 9 )); then
+    break
+  fi
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: campaign finished before the kill (grow TESTS)"
+    wait "$PID" || true
+    exit 1
+  fi
+  sleep 0.2
+done
+
+kill "-$SIGNAL" "$PID"
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+if [[ "$SIGNAL" == TERM ]]; then
+  # Graceful drain: distinct interrupted exit code.
+  [[ $STATUS -eq 130 ]] || { echo "FAIL: expected exit 130, got $STATUS"; exit 1; }
+else
+  # SIGKILL: death by signal (128 + 9).
+  [[ $STATUS -eq 137 ]] || { echo "FAIL: expected exit 137, got $STATUS"; exit 1; }
+fi
+
+DECIDED=$(( $(wc -l < "$JOURNAL") - 1 ))
+echo "== journal holds $DECIDED decided trials; linting =="
+"$TRACE_LINT" --journal "$JOURNAL"
+(( DECIDED >= 1 && DECIDED < TESTS )) || {
+  echo "FAIL: kill did not land mid-campaign ($DECIDED/$TESTS)"; exit 1; }
+
+echo "== resuming =="
+"$NVCT" --app "$APP" --tests "$TESTS" --no-progress \
+  --journal "$JOURNAL" --resume "$JOURNAL" \
+  --csv-out "$WORK/resumed.csv"
+
+echo "== uninterrupted reference run =="
+"$NVCT" --app "$APP" --tests "$TESTS" --no-progress \
+  --csv-out "$WORK/fresh.csv"
+
+if cmp "$WORK/resumed.csv" "$WORK/fresh.csv"; then
+  echo "PASS: resumed campaign is byte-identical to the uninterrupted run"
+else
+  echo "FAIL: resumed CSV differs from the uninterrupted run"
+  exit 1
+fi

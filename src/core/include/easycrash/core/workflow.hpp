@@ -30,6 +30,11 @@ struct WorkflowConfig {
   int maxFlushesPerActivation = 2;
   /// Run a final validation campaign under the chosen plan (step 4).
   bool validateFinal = true;
+  /// Fault tolerance applied to every campaign the workflow runs. The
+  /// journal/resume paths are used as a base: each campaign phase appends
+  /// its own suffix (`<path>.baseline`, `.everywhere`, `.validation`), and
+  /// resume skips phases whose journal file does not exist yet.
+  crash::ResilienceConfig resilience;
 };
 
 struct WorkflowResult {
@@ -40,6 +45,9 @@ struct WorkflowResult {
   RegionSelectionResult regions;           ///< step 3 decision
   runtime::PersistencePlan plan;           ///< the production plan
   std::optional<crash::CampaignResult> validation;  ///< step 4
+  /// A stop request (SIGINT/SIGTERM) landed mid-pipeline: later phases were
+  /// skipped and the populated results may themselves be partial.
+  bool interrupted = false;
 
   [[nodiscard]] double baselineRecomputability() const {
     return baseline.recomputability();

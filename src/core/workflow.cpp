@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "easycrash/common/check.hpp"
+#include "easycrash/crash/resilience.hpp"
 #include "easycrash/perfmodel/time_model.hpp"
 #include "easycrash/telemetry/metrics.hpp"
 #include "easycrash/telemetry/trace.hpp"
@@ -50,6 +52,21 @@ class PhaseSpan {
   std::uint64_t startNs_;
 };
 
+/// The workflow-level resilience config specialised for one campaign phase:
+/// journal/resume base paths get a per-phase suffix, and resume is only
+/// attempted when the phase's journal already exists (earlier interruptions
+/// never journal later phases).
+crash::ResilienceConfig phaseResilience(const crash::ResilienceConfig& base,
+                                        const char* phase) {
+  crash::ResilienceConfig out = base;
+  if (!out.journalPath.empty()) out.journalPath += std::string(".") + phase;
+  if (!out.resumePath.empty()) {
+    out.resumePath += std::string(".") + phase;
+    if (!std::ifstream(out.resumePath).good()) out.resumePath.clear();
+  }
+  return out;
+}
+
 }  // namespace
 
 PersistencePlan buildEverywherePlan(const crash::GoldenStats& golden,
@@ -85,9 +102,16 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
   base.numTests = config.testsPerCampaign;
   base.seed = config.seed;
   base.cache = config.cache;
+  base.resilience = config.resilience;
   {
     PhaseSpan phase("baseline_campaign");
-    result.baseline = CampaignRunner(factory, base).run();
+    CampaignConfig baseline = base;
+    baseline.resilience = phaseResilience(config.resilience, "baseline");
+    result.baseline = CampaignRunner(factory, baseline).run();
+  }
+  if (result.baseline.interrupted || crash::stopRequested()) {
+    result.interrupted = true;
+    return result;
   }
 
   // ---- Step 2: critical data objects. --------------------------------------
@@ -107,9 +131,14 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
   CampaignConfig everywhere = base;
   everywhere.seed = config.seed + 1;
   everywhere.plan = result.everywherePlan;
+  everywhere.resilience = phaseResilience(config.resilience, "everywhere");
   {
     PhaseSpan phase("everywhere_campaign");
     result.everywhere = CampaignRunner(factory, everywhere).run();
+  }
+  if (result.everywhere.interrupted || crash::stopRequested()) {
+    result.interrupted = true;
+    return result;
   }
 
   // Model inputs: a_k and c_k from the baseline, c_k^max extrapolated from
@@ -187,7 +216,9 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
     CampaignConfig validation = base;
     validation.seed = config.seed + 2;
     validation.plan = result.plan;
+    validation.resilience = phaseResilience(config.resilience, "validation");
     result.validation = CampaignRunner(factory, validation).run();
+    result.interrupted = result.validation->interrupted;
   }
   return result;
 }

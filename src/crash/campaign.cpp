@@ -1,14 +1,21 @@
 #include "easycrash/crash/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <iostream>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/common/rng.hpp"
+#include "easycrash/crash/report.hpp"
+#include "easycrash/crash/resilience.hpp"
 #include "easycrash/runtime/runtime.hpp"
+#include "easycrash/telemetry/log.hpp"
 #include "easycrash/telemetry/metrics.hpp"
 #include "easycrash/telemetry/progress.hpp"
 #include "easycrash/telemetry/timer.hpp"
@@ -38,6 +45,10 @@ struct CampaignMetrics {
   telemetry::Counter& trials;
   std::array<telemetry::Counter*, 4> responses;
   telemetry::Histogram& trialUs;
+  telemetry::Counter& trialFailures;
+  telemetry::Counter& trialRetries;
+  telemetry::Counter& trialTimeouts;
+  telemetry::Counter& resumedTrials;
 
   static CampaignMetrics& get() {
     auto& reg = telemetry::MetricsRegistry::instance();
@@ -54,7 +65,11 @@ struct CampaignMetrics {
         {&reg.counter("campaign.responses.s1"), &reg.counter("campaign.responses.s2"),
          &reg.counter("campaign.responses.s3"), &reg.counter("campaign.responses.s4")},
         reg.histogram("campaign.trial_us",
-                      telemetry::Histogram::exponentialBounds(100.0, 4.0, 12))};
+                      telemetry::Histogram::exponentialBounds(100.0, 4.0, 12)),
+        reg.counter("campaign.trial_failures"),
+        reg.counter("campaign.trial_retries"),
+        reg.counter("campaign.trial_timeouts"),
+        reg.counter("campaign.resumed_trials")};
     return m;
   }
 
@@ -191,7 +206,27 @@ GoldenStats CampaignRunner::goldenRun() const {
   return golden;
 }
 
+namespace {
+
+/// Throws unless the resumed journal was drawn for exactly this campaign.
+void checkHeaderMatches(const JournalHeader& journal, const JournalHeader& ours,
+                        const std::string& path) {
+  const auto mismatch = [&path](const std::string& what) {
+    throw std::runtime_error("--resume " + path + ": journal " + what +
+                             " does not match this campaign");
+  };
+  if (journal.app != ours.app) mismatch("app (" + journal.app + ")");
+  if (journal.seed != ours.seed) mismatch("seed");
+  if (journal.tests != ours.tests) mismatch("test count");
+  if (journal.mode != ours.mode) mismatch("snapshot mode");
+  if (journal.planFingerprint != ours.planFingerprint) mismatch("persistence plan");
+  if (journal.windowAccesses != ours.windowAccesses) mismatch("golden crash window");
+}
+
+}  // namespace
+
 CampaignResult CampaignRunner::run() const {
+  const ResilienceConfig& res = config_.resilience;
   if (telemetry::tracing()) {
     telemetry::TraceEvent("campaign_begin")
         .field("tests", config_.numTests)
@@ -201,31 +236,106 @@ CampaignResult CampaignRunner::run() const {
         .emit();
   }
 
+  // Parse any resume journal before spending time on the golden run, so a
+  // bad path/file fails fast.
+  std::optional<JournalReplay> replay;
+  if (!res.resumePath.empty()) replay = readJournal(res.resumePath);
+
   CampaignResult result;
+  result.plannedTests = config_.numTests;
+  const auto goldenStart = std::chrono::steady_clock::now();
   result.golden = goldenRun();
+  const auto goldenMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - goldenStart)
+                            .count();
   EC_CHECK_MSG(result.golden.windowAccesses > 0, "empty crash window");
 
   // Pre-draw every crash point so the campaign is identical regardless of
-  // the number of worker threads.
+  // the number of worker threads — and so a resumed campaign re-draws the
+  // exact sequence and only executes the trials the journal is missing.
   Rng rng(config_.seed);
   std::vector<std::uint64_t> crashIndices(static_cast<std::size_t>(config_.numTests));
   for (auto& index : crashIndices) {
     index = rng.between(1, result.golden.windowAccesses);
   }
+  const std::size_t n = crashIndices.size();
 
-  result.tests.resize(crashIndices.size());
+  JournalHeader header;
+  header.app = config_.appLabel;
+  header.seed = config_.seed;
+  header.tests = config_.numTests;
+  header.mode = config_.mode == SnapshotMode::NvmImage ? "nvm" : "coherent";
+  header.planFingerprint = planFingerprint(config_.plan);
+  header.windowAccesses = result.golden.windowAccesses;
+
+  // Per-index decision slots. A trial is decided once it has a record or a
+  // failure; interruption simply leaves the rest unset.
+  std::vector<std::optional<CrashTestRecord>> records(n);
+  std::vector<std::optional<TrialFailure>> failures(n);
+
+  std::size_t resumedTrials = 0;
+  std::size_t resumedFailures = 0;
+  if (replay) {
+    checkHeaderMatches(replay->header, header, res.resumePath);
+    for (auto& [trial, record] : replay->trials) {
+      if (trial >= n) {
+        throw std::runtime_error("--resume " + res.resumePath +
+                                 ": trial index out of range");
+      }
+      EC_CHECK_MSG(record.crashAccessIndex == crashIndices[trial],
+                   "resumed journal crash point diverges from the re-drawn "
+                   "sequence — journal does not belong to this campaign");
+      records[trial] = std::move(record);
+      ++resumedTrials;
+    }
+    for (auto& [trial, failure] : replay->failures) {
+      if (trial >= n) {
+        throw std::runtime_error("--resume " + res.resumePath +
+                                 ": failure index out of range");
+      }
+      failures[trial] = std::move(failure);
+      ++resumedFailures;
+    }
+    CampaignMetrics::get().resumedTrials.add(resumedTrials);
+    EC_LOG_INFO("resumed " << resumedTrials << " trials and " << resumedFailures
+                           << " failures from " << res.resumePath);
+    if (telemetry::tracing()) {
+      telemetry::TraceEvent("campaign_resumed")
+          .field("journal", res.resumePath)
+          .field("trials", static_cast<std::uint64_t>(resumedTrials))
+          .field("failures", static_cast<std::uint64_t>(resumedFailures))
+          .emit();
+    }
+  }
+
+  std::optional<TrialJournal> journal;
+  if (!res.journalPath.empty()) {
+    journal.emplace(res.journalPath, header, res.journalFlushEvery);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (records[t]) journal->recordTrial(t, *records[t]);
+      else if (failures[t]) journal->recordFailure(*failures[t]);
+    }
+    journal->flush();  // always leave a resumable file behind, even header-only
+  }
+
   telemetry::ProgressMeter meter(
       (config_.appLabel.empty() ? "campaign" : config_.appLabel) + " trials",
-      crashIndices.size(), config_.progress ? &std::cerr : nullptr);
+      n, config_.progress ? &std::cerr : nullptr);
   std::mutex tallyMutex;
   std::array<int, 4> tally{};
   std::size_t done = 0;
-  const auto recordOutcome = [&](const CrashTestRecord& record) {
+  for (const auto& record : records) {
+    if (record) tally[static_cast<int>(record->response)] += 1;
+  }
+  done = resumedTrials + resumedFailures;
+  if (config_.progress && done > 0) meter.update(done, responseTally(tally));
+  // Called for every newly decided trial (completion or permanent failure).
+  const auto recordDecided = [&](const CrashTestRecord* record) {
     std::array<int, 4> counts;
     std::size_t doneNow;
     {
       std::lock_guard<std::mutex> lock(tallyMutex);
-      tally[static_cast<int>(record.response)] += 1;
+      if (record != nullptr) tally[static_cast<int>(record->response)] += 1;
       counts = tally;
       doneNow = ++done;
     }
@@ -235,29 +345,164 @@ CampaignResult CampaignRunner::run() const {
   int threads = config_.threads == 0
                     ? static_cast<int>(std::thread::hardware_concurrency())
                     : config_.threads;
-  threads = std::max(1, std::min<int>(threads, config_.numTests));
-  if (threads <= 1) {
-    for (std::size_t t = 0; t < crashIndices.size(); ++t) {
-      result.tests[t] = runOneTest(result.golden, crashIndices[t], t);
-      recordOutcome(result.tests[t]);
+  threads = std::max(1, std::min<int>(threads, std::max(1, config_.numTests)));
+
+  // Watchdog deadline: explicit --trial-timeout-ms wins; otherwise a golden
+  // run multiple. A trial simulates at most ~(1 + maxIterationFactor) golden
+  // executions, so any generous multiple is safe from false positives.
+  std::optional<Watchdog> watchdog;
+  std::uint64_t timeoutMs = 0;
+  if (res.isolate && (res.trialTimeoutMs > 0 || res.goldenTimeoutMultiple > 0)) {
+    if (!runtime::kWatchdogCompiledIn) {
+      EC_LOG_WARN(
+          "trial watchdog requested but the cancellation poll is compiled out "
+          "(EASYCRASH_WATCHDOG=OFF); deadlines are disabled");
+    } else {
+      timeoutMs = res.trialTimeoutMs > 0
+                      ? res.trialTimeoutMs
+                      : std::max<std::uint64_t>(
+                            1000, static_cast<std::uint64_t>(
+                                      static_cast<double>(goldenMs) *
+                                      res.goldenTimeoutMultiple));
+      watchdog.emplace(std::chrono::milliseconds(timeoutMs), threads);
     }
-  } else {
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&] {
-      for (;;) {
-        const std::size_t t = next.fetch_add(1);
-        if (t >= crashIndices.size()) return;
-        result.tests[t] = runOneTest(result.golden, crashIndices[t], t);
-        recordOutcome(result.tests[t]);
+  }
+
+  std::atomic<int> failureCount{static_cast<int>(resumedFailures)};
+  std::atomic<bool> budgetExceeded{false};
+  std::atomic<int> newlyCompleted{0};
+  std::atomic<std::size_t> next{0};
+
+  // Runs the trial at index t on worker slot w, honouring isolation, the
+  // watchdog and the retry budget. Exceptions propagate only when isolation
+  // is off (the legacy all-or-nothing behaviour).
+  const auto runTrial = [&](std::size_t t, int w) {
+    if (!res.isolate) {
+      CrashTestRecord record;
+      runOneTest(result.golden, crashIndices[t], t, nullptr, record);
+      records[t] = std::move(record);
+    } else {
+      const int maxAttempts = 1 + std::max(0, res.maxRetries);
+      TrialFailure failure;
+      failure.trial = t;
+      failure.crashAccessIndex = crashIndices[t];
+      bool completed = false;
+      for (int attempt = 1; attempt <= maxAttempts && !completed; ++attempt) {
+        failure.attempts = attempt;
+        std::atomic<bool>* cancel = watchdog ? &watchdog->arm(w) : nullptr;
+        CrashTestRecord record;
+        try {
+          runOneTest(result.golden, crashIndices[t], t, cancel, record);
+          completed = true;
+          records[t] = std::move(record);
+        } catch (const runtime::TrialCancelled&) {
+          failure.timeout = true;
+          failure.reason = "watchdog: trial exceeded its " +
+                           std::to_string(timeoutMs) + " ms deadline";
+          failure.regionPath = formatRegionPath(record.regionPath);
+          CampaignMetrics::get().trialTimeouts.add();
+        } catch (const std::exception& e) {
+          failure.timeout = false;
+          failure.reason = e.what();
+          failure.regionPath = formatRegionPath(record.regionPath);
+        }
+        if (watchdog) watchdog->disarm(w);
+        if (!completed && attempt < maxAttempts) {
+          CampaignMetrics::get().trialRetries.add();
+          EC_LOG_DEBUG("trial " << t << " attempt " << attempt
+                                << " failed (" << failure.reason << "), retrying");
+        }
       }
-    };
+      if (!completed) {
+        CampaignMetrics::get().trialFailures.add();
+        EC_LOG_WARN("trial " << t << " abandoned after " << failure.attempts
+                             << " attempt(s): " << failure.reason);
+        if (telemetry::tracing()) {
+          telemetry::TraceEvent("trial_failed")
+              .field("trial", static_cast<std::uint64_t>(t))
+              .field("crash_access", failure.crashAccessIndex)
+              .field("timeout", failure.timeout)
+              .field("attempts", failure.attempts)
+              .field("reason", failure.reason)
+              .emit();
+        }
+        failures[t] = failure;
+        if (journal) journal->recordFailure(failure);
+        const int count = failureCount.fetch_add(1) + 1;
+        if (res.maxFailures >= 0 && count > res.maxFailures) {
+          budgetExceeded.store(true);
+        }
+        recordDecided(nullptr);
+        return;
+      }
+    }
+    if (journal) journal->recordTrial(t, *records[t]);
+    recordDecided(&*records[t]);
+    const int completedNow = newlyCompleted.fetch_add(1) + 1;
+    if (res.stopAfterTrials > 0 && completedNow >= res.stopAfterTrials) {
+      requestStop();
+    }
+  };
+
+  const auto worker = [&](int w) {
+    for (;;) {
+      if (stopRequested() || budgetExceeded.load()) return;
+      const std::size_t t = next.fetch_add(1);
+      if (t >= n) return;
+      if (records[t] || failures[t]) continue;  // replayed from the journal
+      runTrial(t, w);
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) pool.emplace_back(worker);
+    for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
     for (auto& thread : pool) thread.join();
   }
 
-  if (config_.progress) meter.finish(responseTally(tally));
+  if (journal) journal->close();
+
+  if (budgetExceeded.load()) {
+    throw std::runtime_error(
+        "campaign aborted: " + std::to_string(failureCount.load()) +
+        " trial failures exceeded the budget of " + std::to_string(res.maxFailures) +
+        (res.journalPath.empty() ? "" : " — journal kept at " + res.journalPath));
+  }
+
+  std::size_t undecided = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!records[t] && !failures[t]) ++undecided;
+  }
+  result.interrupted = undecided > 0;
+  if (result.interrupted) {
+    EC_LOG_WARN("campaign interrupted: " << (n - undecided) << "/" << n
+                                         << " trials decided"
+                                         << (stopSignal() != 0
+                                                 ? " (signal " +
+                                                       std::to_string(stopSignal()) + ")"
+                                                 : ""));
+    if (telemetry::tracing()) {
+      telemetry::TraceEvent("campaign_interrupted")
+          .field("decided", static_cast<std::uint64_t>(n - undecided))
+          .field("remaining", static_cast<std::uint64_t>(undecided))
+          .field("signal", stopSignal())
+          .emit();
+    }
+  }
+
+  result.resumedTrials = resumedTrials;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (records[t]) {
+      result.tests.push_back(std::move(*records[t]));
+    } else if (failures[t]) {
+      result.failures.push_back(std::move(*failures[t]));
+    }
+  }
+
+  if (config_.progress && !result.interrupted) meter.finish(responseTally(tally));
   if (telemetry::tracing()) {
     const auto counts = result.responseCounts();
     telemetry::TraceEvent("campaign_end")
@@ -267,21 +512,24 @@ CampaignResult CampaignRunner::run() const {
         .field("s3", counts[2])
         .field("s4", counts[3])
         .field("recomputability", result.recomputability())
+        .field("failures", static_cast<std::uint64_t>(result.failures.size()))
+        .field("interrupted", result.interrupted)
         .emit();
   }
   return result;
 }
 
-CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
-                                           std::uint64_t crashIndex,
-                                           std::size_t trial) const {
+void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIndex,
+                                std::size_t trial, const std::atomic<bool>* cancel,
+                                CrashTestRecord& record) const {
   telemetry::ScopedTimer trialTimer(CampaignMetrics::get().trialUs);
-  CrashTestRecord record;
+  record = CrashTestRecord{};
   record.crashAccessIndex = crashIndex;
 
   // --- Crashing run -----------------------------------------------------
   Runtime rt(config_.cache);
   rt.setPlan(config_.plan);
+  rt.setCancelFlag(cancel);
   rt.setTraceRun("crash:" + std::to_string(trial));
   auto app = factory_();
   app->setup(rt);
@@ -322,6 +570,7 @@ CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
   // --- Restart ------------------------------------------------------------
   Runtime restartRt(config_.cache);
   restartRt.setPlan(config_.plan);
+  restartRt.setCancelFlag(cancel);
   restartRt.setTraceRun("restart:" + std::to_string(trial));
   auto restartApp = factory_();
   restartApp->setup(restartRt);
@@ -367,7 +616,6 @@ CrashTestRecord CampaignRunner::runOneTest(const GoldenStats& golden,
         .field("extra_iterations", record.extraIterations)
         .emit();
   }
-  return record;
 }
 
 }  // namespace easycrash::crash

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,6 +42,49 @@ enum class SnapshotMode {
              ///< "verified" methodology in Figure 6)
 };
 
+/// A trial the resilience layer gave up on: every retry either threw or was
+/// cancelled by the watchdog. Failed trials are excluded from the S1–S4
+/// rates (CampaignResult::tests) but reported here and in the journal, so a
+/// campaign sweep never silently loses statistics to a harness bug.
+struct TrialFailure {
+  std::size_t trial = 0;              ///< campaign test index
+  std::uint64_t crashAccessIndex = 0; ///< the trial's pre-drawn crash point
+  bool timeout = false;               ///< watchdog deadline, not an exception
+  int attempts = 1;                   ///< tries spent (1 + retries)
+  std::string reason;                 ///< exception text or "watchdog ..."
+  std::string regionPath;             ///< crash-site path if the crash fired
+};
+
+/// Fault-tolerance knobs for one campaign (docs/ROBUSTNESS.md). Defaults
+/// keep the legacy all-or-nothing behaviour: no isolation, no watchdog, no
+/// journal; the first trial exception propagates out of run().
+struct ResilienceConfig {
+  /// Trap per-trial exceptions/EC_CHECK failures into TrialFailure records
+  /// instead of aborting the campaign. Also a prerequisite for the watchdog.
+  bool isolate = false;
+  /// Abort the campaign once more than this many trials fail for good
+  /// (after retries). Negative = unlimited.
+  int maxFailures = -1;
+  /// Re-run a failing trial this many times before recording the failure.
+  int maxRetries = 1;
+  /// Per-trial wall-clock deadline. 0 = derive from the golden run:
+  /// max(1s, goldenRunTime * goldenTimeoutMultiple).
+  std::uint64_t trialTimeoutMs = 0;
+  /// Golden-run multiple used when trialTimeoutMs == 0. 0 disables the
+  /// watchdog unless trialTimeoutMs is set explicitly.
+  double goldenTimeoutMultiple = 0.0;
+  /// Append completed trials to this crash-safe JSONL journal (empty = off).
+  std::string journalPath;
+  /// Replay this journal before running: already-decided trials are not
+  /// re-executed, so an interrupted campaign resumes where it stopped.
+  std::string resumePath;
+  /// Journal flush cadence (temp-file + rename every N decided trials).
+  int journalFlushEvery = 8;
+  /// Test hook: request a graceful stop (as SIGINT/SIGTERM would) once this
+  /// many new trials have completed. 0 = off.
+  int stopAfterTrials = 0;
+};
+
 struct CampaignConfig {
   std::uint64_t seed = 1;
   int numTests = 200;
@@ -58,6 +103,8 @@ struct CampaignConfig {
   std::string appLabel;
   /// Render a live progress line on stderr: trials done, S1-S4 tally, ETA.
   bool progress = false;
+  /// Fault tolerance: trial isolation, watchdog, journal/resume (see above).
+  ResilienceConfig resilience;
 };
 
 /// Statistics of the golden (crash-free) execution.
@@ -93,7 +140,15 @@ struct CrashTestRecord {
 
 struct CampaignResult {
   GoldenStats golden;
+  /// Completed trials in campaign test-index order. Without failures or an
+  /// interruption this holds every planned test, exactly as before the
+  /// resilience layer; failed/undone trials are simply absent.
   std::vector<CrashTestRecord> tests;
+  /// Trials abandoned after retries (excluded from the S1-S4 rates).
+  std::vector<TrialFailure> failures;
+  int plannedTests = 0;            ///< numTests this campaign was drawn for
+  std::size_t resumedTrials = 0;   ///< trials replayed from --resume
+  bool interrupted = false;        ///< stopped early by SIGINT/SIGTERM
 
   /// The paper's application recomputability: S1 fraction.
   [[nodiscard]] double recomputability() const;
@@ -122,9 +177,13 @@ class CampaignRunner {
   [[nodiscard]] CampaignResult run() const;
 
  private:
-  [[nodiscard]] CrashTestRecord runOneTest(const GoldenStats& golden,
-                                           std::uint64_t crashIndex,
-                                           std::size_t trial) const;
+  /// Fills `record` in place so that a mid-trial exception leaves the
+  /// partial progress (crash site, region path) readable for the failure
+  /// report. `cancel` is the watchdog flag installed on both simulated
+  /// machines (nullptr = no watchdog).
+  void runOneTest(const GoldenStats& golden, std::uint64_t crashIndex,
+                  std::size_t trial, const std::atomic<bool>* cancel,
+                  CrashTestRecord& record) const;
 
   runtime::AppFactory factory_;
   CampaignConfig config_;

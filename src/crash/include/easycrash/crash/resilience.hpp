@@ -1,0 +1,157 @@
+// Fault tolerance for crash-test campaigns (docs/ROBUSTNESS.md).
+//
+// A tool whose subject is surviving failures should itself survive them:
+// this layer keeps a campaign alive through throwing trials (isolation into
+// TrialFailure records), runaway trials (watchdog deadlines + cooperative
+// cancellation in the tracked-access path), process death (a crash-safe
+// JSONL journal of decided trials, replayed by --resume), and operator
+// interruption (a SIGINT/SIGTERM stop flag workers drain against).
+//
+// The journal is written with the same discipline the paper demands of its
+// subject applications: a flush batch is written to `<path>.tmp`, fsynced,
+// and renamed over the journal, so the file on disk is always a complete,
+// parseable prefix of the campaign — never a torn line. Trials are recorded
+// in test-index order (a contiguous prefix), which makes resume trivially
+// deterministic and lets trace_lint --journal insist on monotone indices.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "easycrash/crash/campaign.hpp"
+
+namespace easycrash::crash {
+
+// ---- Graceful interruption ---------------------------------------------------
+
+/// Install SIGINT/SIGTERM handlers that set the process-wide stop flag.
+/// Workers finish the trial they are on, the journal and telemetry sinks
+/// flush, and run() returns a partial CampaignResult with interrupted=true.
+void installStopSignalHandlers();
+/// Set the stop flag programmatically (tests, embedders).
+void requestStop() noexcept;
+[[nodiscard]] bool stopRequested() noexcept;
+/// Signal number that set the flag, or 0 when it was set programmatically.
+[[nodiscard]] int stopSignal() noexcept;
+/// Reset the flag (tests; a campaign never clears it on its own).
+void clearStopFlag() noexcept;
+
+// ---- Watchdog ---------------------------------------------------------------
+
+/// Monitor thread enforcing one wall-clock deadline per worker slot. A
+/// worker arms its slot before each trial attempt and installs the returned
+/// flag on the trial's runtimes (Runtime::setCancelFlag); the monitor sets
+/// the flag once the deadline passes and the next tracked access throws
+/// TrialCancelled. Requires EASYCRASH_WATCHDOG=ON (the default) to have any
+/// effect — with the poll compiled out, arm/disarm still work but nothing
+/// observes the flag.
+class Watchdog {
+ public:
+  Watchdog(std::chrono::milliseconds timeout, int slots);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Reset the slot's flag and start its deadline clock. The reference stays
+  /// valid for the watchdog's lifetime.
+  std::atomic<bool>& arm(int slot);
+  /// Stop the slot's clock. Returns true iff the deadline fired.
+  bool disarm(int slot);
+
+  [[nodiscard]] std::chrono::milliseconds timeout() const { return timeout_; }
+
+ private:
+  struct Slot {
+    std::atomic<bool> cancel{false};
+    std::atomic<std::int64_t> deadlineNs{0};  ///< 0 = disarmed
+  };
+
+  void monitorLoop();
+
+  std::chrono::milliseconds timeout_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::thread monitor_;
+};
+
+// ---- Journal ----------------------------------------------------------------
+
+/// First line of every journal: identifies the campaign so --resume can
+/// refuse a journal drawn for different work. windowAccesses pins the golden
+/// run (and therefore the whole pre-drawn crash-point sequence).
+struct JournalHeader {
+  std::string app;
+  std::uint64_t seed = 0;
+  int tests = 0;
+  std::string mode;  ///< "nvm" | "coherent"
+  std::uint64_t planFingerprint = 0;
+  std::uint64_t windowAccesses = 0;
+};
+
+/// FNV-1a over the plan's points/frequencies/objects — cheap identity check
+/// for the journal header (full plan round-tripping is not needed: any
+/// difference changes results, which the header exists to prevent).
+[[nodiscard]] std::uint64_t planFingerprint(const runtime::PersistencePlan& plan);
+
+/// Crash-safe writer. Thread-safe; records may arrive in any order but only
+/// the contiguous prefix of decided test indices is persisted, every
+/// `flushEvery` newly decided trials and on close()/destruction. Nothing is
+/// written until the first flush() — the campaign seeds replayed records
+/// first, so resuming into the same path never truncates the journal.
+class TrialJournal {
+ public:
+  TrialJournal(std::string path, const JournalHeader& header, int flushEvery);
+  ~TrialJournal();
+  TrialJournal(const TrialJournal&) = delete;
+  TrialJournal& operator=(const TrialJournal&) = delete;
+
+  void recordTrial(std::size_t trial, const CrashTestRecord& record);
+  void recordFailure(const TrialFailure& failure);
+  /// Write the current contiguous prefix via temp-file + fsync + rename.
+  void flush();
+  void close();
+
+ private:
+  void flushLocked();
+
+  std::string path_;
+  std::mutex mutex_;
+  std::map<std::size_t, std::string> pending_;  ///< serialized, by test index
+  std::size_t nextToPersist_ = 0;  ///< first test index not yet durable
+  std::string durable_;            ///< exact content of the last good write
+  int flushEvery_ = 8;
+  bool closed_ = false;
+};
+
+/// A parsed journal: the header plus every decided trial. Only the
+/// contiguous prefix is ever on disk, but the reader tolerates (and
+/// ignores) a trailing partial line from a torn append.
+struct JournalReplay {
+  JournalHeader header;
+  std::map<std::size_t, CrashTestRecord> trials;
+  std::map<std::size_t, TrialFailure> failures;
+};
+
+/// Parse `path`. Throws std::runtime_error on a missing file or a journal
+/// whose prefix is malformed.
+[[nodiscard]] JournalReplay readJournal(const std::string& path);
+
+// ---- Atomic file replacement -------------------------------------------------
+
+/// Replace `path` with `content` atomically: write `<path>.tmp`, fsync,
+/// rename. Retries once on a transient I/O failure (EC_LOG_WARN in between)
+/// before throwing std::runtime_error, so output files are never silently
+/// truncated by a failed in-place write.
+void atomicWriteFile(const std::string& path, const std::string& content);
+
+}  // namespace easycrash::crash

@@ -79,6 +79,25 @@ void writeCampaignSummary(const CampaignResult& campaign, std::ostream& os) {
      << "  window accesses:  " << campaign.golden.windowAccesses << '\n'
      << "  golden iterations:" << campaign.golden.finalIteration << '\n'
      << "  footprint:        " << campaign.golden.footprintBytes << " bytes\n";
+  // Resilience lines appear only when something went wrong, so the summary
+  // of a resumed-then-completed campaign stays byte-identical to the same
+  // campaign run uninterrupted.
+  if (campaign.interrupted) {
+    os << "  INTERRUPTED:      " << campaign.tests.size() + campaign.failures.size()
+       << '/' << campaign.plannedTests
+       << " trials decided; rates below are partial\n";
+  }
+  if (!campaign.failures.empty()) {
+    int timeouts = 0;
+    for (const auto& failure : campaign.failures) timeouts += failure.timeout ? 1 : 0;
+    os << "  trial failures:   " << campaign.failures.size() << " (" << timeouts
+       << " watchdog timeouts) — excluded from the S1-S4 rates\n";
+    for (const auto& failure : campaign.failures) {
+      os << "    trial " << failure.trial << " @access " << failure.crashAccessIndex
+         << (failure.regionPath.empty() ? "" : " in " + failure.regionPath) << ": "
+         << failure.reason << " (" << failure.attempts << " attempts)\n";
+    }
+  }
   if (total > 0) {
     os << std::fixed << std::setprecision(1);
     os << "  S1 " << 100.0 * counts[0] / total << "%  S2 "

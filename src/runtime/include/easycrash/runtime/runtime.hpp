@@ -7,6 +7,7 @@
 // (cache_block_flush calls) at region/main-loop persist points.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -39,6 +40,20 @@ struct CrashEvent {
 /// response class S3 "Interruption").
 struct AppInterrupt {
   std::string reason;
+};
+
+#ifdef EASYCRASH_WATCHDOG_DISABLED
+inline constexpr bool kWatchdogCompiledIn = false;
+#else
+inline constexpr bool kWatchdogCompiledIn = true;
+#endif
+
+/// Thrown from a tracked access when the installed cancellation flag is set
+/// (the campaign watchdog flagging a runaway trial). Distinct from both
+/// CrashEvent (simulated power loss) and AppInterrupt (simulated segfault):
+/// cancellation is a harness decision, never an application response class.
+struct TrialCancelled {
+  std::uint64_t accessIndex = 0;  ///< window access count when cancelled
 };
 
 class Runtime {
@@ -157,6 +172,17 @@ class Runtime {
   /// Simulate the power loss itself: drop all cache contents.
   void powerLoss();
 
+  // ---- Cooperative cancellation (campaign watchdog) --------------------------
+
+  /// Install a cancellation flag polled by tracked accesses inside the crash
+  /// window; when it reads true the access throws TrialCancelled. nullptr
+  /// (the default) removes the check down to a single predictable branch;
+  /// -DEASYCRASH_WATCHDOG=OFF compiles the poll out of the access path
+  /// entirely. The pointee must outlive the runtime or a later reset call.
+  void setCancelFlag(const std::atomic<bool>* flag) noexcept {
+    if constexpr (kWatchdogCompiledIn) cancel_ = flag;
+  }
+
   // ---- Telemetry ---------------------------------------------------------------
 
   /// Label this runtime's trace events (crash injections, region spans,
@@ -207,6 +233,7 @@ class Runtime {
   bool crashWindowActive_ = false;
   std::uint64_t windowAccesses_ = 0;
   std::uint64_t crashAt_ = 0;  ///< 0 = disarmed
+  const std::atomic<bool>* cancel_ = nullptr;  ///< watchdog cancellation flag
 };
 
 }  // namespace easycrash::runtime

@@ -82,6 +82,11 @@ std::vector<ObjectId> Runtime::candidateObjects() const {
 
 void Runtime::onAccess(std::uint64_t count) {
   if (!crashWindowActive_) return;
+  if constexpr (kWatchdogCompiledIn) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      throw TrialCancelled{windowAccesses_};
+    }
+  }
   const PointId region = activeRegion();
   regionAccesses_[region] += count;
   windowAccesses_ += count;

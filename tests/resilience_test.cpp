@@ -1,0 +1,473 @@
+// Tests for the campaign fault-tolerance layer (docs/ROBUSTNESS.md): trial
+// isolation, watchdog deadlines, the crash-safe resume journal, and the
+// graceful stop flag. The miniature apps mirror campaign_test's ProbeApp but
+// add controllable failure modes: throwing on inconsistent restart state and
+// spinning forever on it (the watchdog's prey).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/report.hpp"
+#include "easycrash/crash/resilience.hpp"
+#include "easycrash/runtime/runtime.hpp"
+#include "easycrash/runtime/tracked.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+
+namespace rt = easycrash::runtime;
+namespace cr = easycrash::crash;
+namespace ms = easycrash::memsim;
+namespace tl = easycrash::telemetry;
+
+namespace {
+
+/// Accumulator app with controllable failure behaviour on inconsistent
+/// state: FailMode::None behaves like campaign_test's ProbeApp, Throw raises
+/// a plain std::runtime_error (a harness bug, not an AppInterrupt), Hang
+/// spins on tracked loads forever (only the watchdog can stop it).
+class FaultyApp final : public rt::IApp {
+ public:
+  enum class FailMode { None, Throw, Hang };
+
+  struct Knobs {
+    int iterations = 6;
+    int cells = 256;
+    FailMode failMode = FailMode::None;
+  };
+
+  explicit FaultyApp(Knobs knobs) : knobs_(knobs) {}
+
+  [[nodiscard]] const rt::AppInfo& info() const override { return info_; }
+
+  void setup(rt::Runtime& runtime) override {
+    runtime.declareRegionCount(2);
+    data_ = rt::TrackedArray<std::int64_t>(runtime, "data", knobs_.cells, true);
+    sum_ = rt::TrackedScalar<std::int64_t>(runtime, "sum", true);
+  }
+
+  void initialize(rt::Runtime& runtime) override {
+    (void)runtime;
+    for (int i = 0; i < knobs_.cells; ++i) data_.set(i, 0);
+    sum_.set(0);
+  }
+
+  void iterate(rt::Runtime& runtime, int iteration) override {
+    (void)iteration;
+    {
+      rt::RegionScope region(runtime, 0);
+      for (int i = 0; i < knobs_.cells; ++i) data_.set(i, data_.get(i) + 1);
+      region.iterationEnd();
+    }
+    {
+      rt::RegionScope region(runtime, 1);
+      std::int64_t total = 0;
+      for (int i = 0; i < knobs_.cells; ++i) total += data_.get(i);
+      if (knobs_.failMode != FailMode::None && !uniform()) {
+        if (knobs_.failMode == FailMode::Throw) {
+          throw std::runtime_error("faulty: non-uniform state");
+        }
+        // Hang: spin on tracked loads so the cancellation poll runs.
+        for (;;) {
+          total += data_.get(0);
+        }
+      }
+      sum_.set(total);
+      region.iterationEnd();
+    }
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return knobs_.iterations; }
+
+  [[nodiscard]] bool converged(rt::Runtime& runtime, int iteration) override {
+    (void)runtime;
+    return iteration >= knobs_.iterations;
+  }
+
+  [[nodiscard]] rt::VerifyOutcome verify(rt::Runtime& runtime) override {
+    (void)runtime;
+    rt::VerifyOutcome out;
+    std::int64_t total = 0;
+    for (int i = 0; i < knobs_.cells; ++i) total += data_.peek(i);
+    const auto expected =
+        static_cast<std::int64_t>(knobs_.iterations) * knobs_.cells;
+    out.metric = static_cast<double>(total);
+    out.pass = total == expected;
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool uniform() const {
+    const std::int64_t first = data_.peek(0);
+    for (int s = 1; s < 16; ++s) {
+      if (data_.peek((s * 37) % knobs_.cells) != first) return false;
+    }
+    return true;
+  }
+
+  Knobs knobs_;
+  rt::AppInfo info_{"faulty", "controllable-failure test app"};
+  rt::TrackedArray<std::int64_t> data_;
+  rt::TrackedScalar<std::int64_t> sum_;
+};
+
+rt::AppFactory faultyFactory(FaultyApp::Knobs knobs) {
+  return [knobs] { return std::make_unique<FaultyApp>(knobs); };
+}
+
+cr::CampaignConfig tinyConfig(int tests) {
+  cr::CampaignConfig config;
+  config.numTests = tests;
+  config.cache = ms::CacheConfig::tiny();
+  return config;
+}
+
+std::string tempPath(const char* name) {
+  return testing::TempDir() + name;
+}
+
+void expectSameRecords(const cr::CampaignResult& a, const cr::CampaignResult& b) {
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    const auto& x = a.tests[i];
+    const auto& y = b.tests[i];
+    EXPECT_EQ(x.crashAccessIndex, y.crashAccessIndex) << "trial " << i;
+    EXPECT_EQ(x.region, y.region) << "trial " << i;
+    EXPECT_EQ(x.regionPath, y.regionPath) << "trial " << i;
+    EXPECT_EQ(x.crashIteration, y.crashIteration) << "trial " << i;
+    EXPECT_EQ(x.restartIteration, y.restartIteration) << "trial " << i;
+    EXPECT_EQ(x.response, y.response) << "trial " << i;
+    EXPECT_EQ(x.extraIterations, y.extraIterations) << "trial " << i;
+    EXPECT_EQ(x.inconsistentRate, y.inconsistentRate) << "trial " << i;
+  }
+}
+
+std::uint64_t counterValue(const char* name) {
+  return tl::MetricsRegistry::instance().counter(name).value();
+}
+
+/// RAII guard: resilience tests that request a stop must not leak the
+/// process-wide flag into later tests.
+struct StopFlagGuard {
+  StopFlagGuard() { cr::clearStopFlag(); }
+  ~StopFlagGuard() { cr::clearStopFlag(); }
+};
+
+}  // namespace
+
+// ---- Determinism ------------------------------------------------------------
+
+TEST(ResilienceTest, ThreadedCampaignMatchesSingleThreaded) {
+  auto config = tinyConfig(40);
+  config.resilience.isolate = true;
+  const auto single = cr::CampaignRunner(faultyFactory({}), config).run();
+  config.threads = 4;
+  const auto threaded = cr::CampaignRunner(faultyFactory({}), config).run();
+  expectSameRecords(single, threaded);
+  EXPECT_TRUE(single.failures.empty());
+  EXPECT_TRUE(threaded.failures.empty());
+}
+
+TEST(ResilienceTest, JournalResumeReproducesCampaignExactly) {
+  StopFlagGuard guard;
+  const std::string journal = tempPath("resume_roundtrip.jsonl");
+  std::remove(journal.c_str());
+
+  auto config = tinyConfig(30);
+  config.resilience.isolate = true;
+  config.resilience.journalPath = journal;
+  config.resilience.journalFlushEvery = 4;
+  config.resilience.stopAfterTrials = 11;
+  const auto partial = cr::CampaignRunner(faultyFactory({}), config).run();
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_LT(partial.tests.size(), 30u);
+  EXPECT_GE(partial.tests.size(), 11u);
+
+  cr::clearStopFlag();
+  config.resilience.stopAfterTrials = 0;
+  config.resilience.resumePath = journal;
+  config.threads = 4;  // resume must stay deterministic across thread counts
+  const auto resumed = cr::CampaignRunner(faultyFactory({}), config).run();
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_GE(resumed.resumedTrials, partial.tests.size());
+
+  auto freshConfig = tinyConfig(30);
+  const auto fresh = cr::CampaignRunner(faultyFactory({}), freshConfig).run();
+  expectSameRecords(fresh, resumed);
+
+  // The resumed campaign's CSV is byte-identical to the uninterrupted one.
+  std::ostringstream a;
+  std::ostringstream b;
+  cr::writeCampaignCsv(fresh, a);
+  cr::writeCampaignCsv(resumed, b);
+  EXPECT_EQ(a.str(), b.str());
+  std::remove(journal.c_str());
+}
+
+// ---- Trial isolation --------------------------------------------------------
+
+TEST(ResilienceTest, ThrowingTrialsBecomeFailuresNotAborts) {
+  FaultyApp::Knobs knobs;
+  knobs.failMode = FaultyApp::FailMode::Throw;
+  auto config = tinyConfig(40);
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 0;
+  const auto before = counterValue("campaign.trial_failures");
+  const auto result = cr::CampaignRunner(faultyFactory(knobs), config).run();
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_GT(result.failures.size(), 0u) << "expected some restarts to throw";
+  EXPECT_EQ(result.tests.size() + result.failures.size(), 40u);
+  EXPECT_EQ(counterValue("campaign.trial_failures") - before,
+            result.failures.size());
+  for (const auto& failure : result.failures) {
+    EXPECT_FALSE(failure.timeout);
+    EXPECT_NE(failure.reason.find("non-uniform"), std::string::npos);
+    EXPECT_EQ(failure.attempts, 1);
+  }
+  // Failed trials are excluded from the S1-S4 statistics.
+  const auto counts = result.responseCounts();
+  EXPECT_EQ(static_cast<std::size_t>(counts[0] + counts[1] + counts[2] + counts[3]),
+            result.tests.size());
+}
+
+TEST(ResilienceTest, WithoutIsolationFirstThrowAborts) {
+  FaultyApp::Knobs knobs;
+  knobs.failMode = FaultyApp::FailMode::Throw;
+  auto config = tinyConfig(40);
+  config.resilience.isolate = false;
+  EXPECT_THROW(cr::CampaignRunner(faultyFactory(knobs), config).run(),
+               std::runtime_error);
+}
+
+TEST(ResilienceTest, FailureBudgetAbortsTheCampaign) {
+  FaultyApp::Knobs knobs;
+  knobs.failMode = FaultyApp::FailMode::Throw;
+  auto config = tinyConfig(40);
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 0;
+  config.resilience.maxFailures = 0;
+  EXPECT_THROW(cr::CampaignRunner(faultyFactory(knobs), config).run(),
+               std::runtime_error);
+}
+
+TEST(ResilienceTest, RetriesAreCountedOnPermanentFailures) {
+  FaultyApp::Knobs knobs;
+  knobs.failMode = FaultyApp::FailMode::Throw;
+  auto config = tinyConfig(20);
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 2;
+  const auto before = counterValue("campaign.trial_retries");
+  const auto result = cr::CampaignRunner(faultyFactory(knobs), config).run();
+  ASSERT_GT(result.failures.size(), 0u);
+  for (const auto& failure : result.failures) EXPECT_EQ(failure.attempts, 3);
+  EXPECT_EQ(counterValue("campaign.trial_retries") - before,
+            2 * result.failures.size());
+}
+
+// ---- Watchdog ---------------------------------------------------------------
+
+TEST(ResilienceTest, WatchdogCancelsHungTrials) {
+  if (!rt::kWatchdogCompiledIn) {
+    GTEST_SKIP() << "EASYCRASH_WATCHDOG is OFF";
+  }
+  FaultyApp::Knobs knobs;
+  knobs.failMode = FaultyApp::FailMode::Hang;
+  auto config = tinyConfig(6);
+  config.threads = 2;
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 0;
+  config.resilience.trialTimeoutMs = 150;
+  const auto before = counterValue("campaign.trial_timeouts");
+  const auto result = cr::CampaignRunner(faultyFactory(knobs), config).run();
+  EXPECT_GT(result.failures.size(), 0u) << "expected hung restarts";
+  EXPECT_EQ(result.tests.size() + result.failures.size(), 6u)
+      << "non-hanging trials must still complete";
+  std::uint64_t timeouts = 0;
+  for (const auto& failure : result.failures) {
+    if (failure.timeout) {
+      ++timeouts;
+      EXPECT_NE(failure.reason.find("watchdog"), std::string::npos);
+    }
+  }
+  EXPECT_GT(timeouts, 0u);
+  EXPECT_EQ(counterValue("campaign.trial_timeouts") - before, timeouts);
+}
+
+TEST(ResilienceTest, WatchdogArmDisarmLifecycle) {
+  cr::Watchdog watchdog(std::chrono::milliseconds(40), 2);
+  std::atomic<bool>& flag = watchdog.arm(0);
+  EXPECT_FALSE(flag.load());
+  EXPECT_FALSE(watchdog.disarm(0));  // deadline has not passed
+  watchdog.arm(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_TRUE(flag.load()) << "monitor should have fired the deadline";
+  EXPECT_TRUE(watchdog.disarm(0));
+  // Re-arming clears the flag for the next attempt.
+  EXPECT_FALSE(watchdog.arm(0).load());
+  EXPECT_FALSE(watchdog.disarm(0));
+}
+
+// ---- Journal ----------------------------------------------------------------
+
+TEST(ResilienceTest, JournalRoundTripsTrialsAndFailures) {
+  const std::string path = tempPath("journal_roundtrip.jsonl");
+  std::remove(path.c_str());
+  cr::JournalHeader header;
+  header.app = "probe";
+  header.seed = 7;
+  header.tests = 3;
+  header.mode = "nvm";
+  header.planFingerprint = 0xFEEDFACECAFEBEEFull;  // exceeds 2^53: must survive
+  header.windowAccesses = 123456;
+
+  cr::CrashTestRecord record;
+  record.crashAccessIndex = 42;
+  record.region = 1;
+  record.regionPath = {0, 1};
+  record.crashIteration = 3;
+  record.restartIteration = 4;
+  record.response = cr::Response::S2;
+  record.extraIterations = 2;
+  record.inconsistentRate[1] = 0.12345678901234567;
+  record.note = "quoted \"note\"";
+
+  cr::TrialFailure failure;
+  failure.trial = 1;
+  failure.crashAccessIndex = 99;
+  failure.timeout = true;
+  failure.attempts = 2;
+  failure.reason = "watchdog deadline (150 ms)";
+  failure.regionPath = "R1>R2";
+
+  {
+    cr::TrialJournal journal(path, header, 1);
+    journal.recordTrial(0, record);
+    journal.recordFailure(failure);
+    journal.close();
+  }
+
+  const auto replay = cr::readJournal(path);
+  EXPECT_EQ(replay.header.app, "probe");
+  EXPECT_EQ(replay.header.seed, 7u);
+  EXPECT_EQ(replay.header.tests, 3);
+  EXPECT_EQ(replay.header.mode, "nvm");
+  EXPECT_EQ(replay.header.planFingerprint, 0xFEEDFACECAFEBEEFull);
+  EXPECT_EQ(replay.header.windowAccesses, 123456u);
+  ASSERT_EQ(replay.trials.size(), 1u);
+  const auto& r = replay.trials.at(0);
+  EXPECT_EQ(r.crashAccessIndex, 42u);
+  EXPECT_EQ(r.region, 1);
+  EXPECT_EQ(r.regionPath, (std::vector<rt::PointId>{0, 1}));
+  EXPECT_EQ(r.response, cr::Response::S2);
+  EXPECT_EQ(r.extraIterations, 2);
+  EXPECT_EQ(r.inconsistentRate.at(1), 0.12345678901234567);  // exact round trip
+  EXPECT_EQ(r.note, "quoted \"note\"");
+  ASSERT_EQ(replay.failures.size(), 1u);
+  const auto& f = replay.failures.at(1);
+  EXPECT_TRUE(f.timeout);
+  EXPECT_EQ(f.attempts, 2);
+  EXPECT_EQ(f.reason, "watchdog deadline (150 ms)");
+  EXPECT_EQ(f.regionPath, "R1>R2");
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceTest, JournalPersistsOnlyTheContiguousPrefix) {
+  const std::string path = tempPath("journal_prefix.jsonl");
+  std::remove(path.c_str());
+  cr::JournalHeader header;
+  header.app = "probe";
+  header.tests = 10;
+  header.mode = "nvm";
+  {
+    cr::TrialJournal journal(path, header, 1);
+    cr::CrashTestRecord record;
+    journal.recordTrial(0, record);
+    journal.recordTrial(5, record);  // gap: trials 1..4 still undecided
+    journal.close();
+  }
+  const auto replay = cr::readJournal(path);
+  EXPECT_EQ(replay.trials.size(), 1u) << "only the prefix (trial 0) is durable";
+  EXPECT_TRUE(replay.trials.count(0));
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceTest, ResumeRejectsMismatchedJournal) {
+  StopFlagGuard guard;
+  const std::string journal = tempPath("resume_mismatch.jsonl");
+  std::remove(journal.c_str());
+  auto config = tinyConfig(10);
+  config.resilience.isolate = true;
+  config.resilience.journalPath = journal;
+  (void)cr::CampaignRunner(faultyFactory({}), config).run();
+
+  auto other = config;
+  other.resilience.journalPath.clear();
+  other.resilience.resumePath = journal;
+  other.seed = config.seed + 1;  // different campaign: different crash draw
+  EXPECT_THROW(cr::CampaignRunner(faultyFactory({}), other).run(),
+               std::exception);
+  std::remove(journal.c_str());
+}
+
+TEST(ResilienceTest, ReadJournalToleratesTornFinalLine) {
+  const std::string path = tempPath("journal_torn.jsonl");
+  {
+    std::ofstream os(path);
+    os << R"({"type":"campaign_header","app":"probe","seed":1,"tests":5,)"
+       << R"("mode":"nvm","plan_fingerprint":"1","window_accesses":10})" << '\n';
+    os << R"({"type":"trial","trial":0,"crash_access":3,"region":-1,)"
+       << R"("region_path":[],"crash_iteration":1,"restart_iteration":1,)"
+       << R"("response":"S1","extra_iterations":0,"rates":{},"note":""})" << '\n';
+    os << R"({"type":"trial","trial":1,"crash_ac)";  // torn mid-record
+  }
+  const auto replay = cr::readJournal(path);
+  EXPECT_EQ(replay.trials.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---- Graceful interruption --------------------------------------------------
+
+TEST(ResilienceTest, StopFlagInterruptsTheCampaignCleanly) {
+  StopFlagGuard guard;
+  auto config = tinyConfig(30);
+  config.resilience.isolate = true;
+  config.resilience.stopAfterTrials = 5;
+  const auto result = cr::CampaignRunner(faultyFactory({}), config).run();
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(cr::stopRequested());
+  EXPECT_GE(result.tests.size(), 5u);
+  EXPECT_LT(result.tests.size(), 30u);
+  EXPECT_EQ(result.plannedTests, 30);
+  // The partial summary announces the interruption.
+  std::ostringstream os;
+  cr::writeCampaignSummary(result, os);
+  EXPECT_NE(os.str().find("INTERRUPTED"), std::string::npos);
+}
+
+// ---- Atomic file replacement ------------------------------------------------
+
+TEST(ResilienceTest, AtomicWriteFileReplacesContent) {
+  const std::string path = tempPath("atomic_write.txt");
+  cr::atomicWriteFile(path, "first\n");
+  cr::atomicWriteFile(path, "second\n");
+  std::ifstream is(path);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_EQ(buffer.str(), "second\n");
+  // No temp file is left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceTest, AtomicWriteFileThrowsOnUnwritablePath) {
+  EXPECT_THROW(cr::atomicWriteFile("/nonexistent-dir/x/y.txt", "data"),
+               std::runtime_error);
+}

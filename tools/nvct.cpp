@@ -13,14 +13,25 @@
 // Observability (docs/OBSERVABILITY.md): --trace-out writes a JSONL event
 // trace, --metrics-out a counters/histograms snapshot, --log-level tunes
 // stderr diagnostics, and a live progress line tracks the campaign.
+//
+// Fault tolerance (docs/ROBUSTNESS.md): trials are isolated (a throwing
+// trial becomes a reported TrialFailure, bounded by --max-trial-failures),
+// a watchdog cancels hung trials (--trial-timeout-ms), --journal records
+// decided trials crash-safely and --resume replays such a journal, and
+// SIGINT/SIGTERM drain the in-flight trials then exit with code 130 and a
+// partial summary.
+//
+// Exit codes: 0 success, 1 error, 130 interrupted (SIGINT/SIGTERM).
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "easycrash/apps/registry.hpp"
 #include "easycrash/common/cli.hpp"
 #include "easycrash/crash/campaign.hpp"
 #include "easycrash/crash/plan_spec.hpp"
 #include "easycrash/crash/report.hpp"
+#include "easycrash/crash/resilience.hpp"
 #include "easycrash/runtime/runtime.hpp"
 #include "easycrash/telemetry/log.hpp"
 #include "easycrash/telemetry/metrics.hpp"
@@ -28,21 +39,44 @@
 
 namespace ec = easycrash;
 
+namespace {
+
+constexpr int kExitInterrupted = 130;
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ec::CliParser cli(
       "nvct — crash-test campaigns on the simulated NVM machine.\n"
       "Plan spec grammar: obj[+obj...]@(main|R<k>)[:everyN], comma-separated;\n"
-      "'candidates' expands to every candidate object.");
+      "'candidates' expands to every candidate object.\n"
+      "Exit codes: 0 success, 1 error, 130 interrupted (SIGINT/SIGTERM).");
   cli.addString("app", "mg", "benchmark to study (see --list-apps)");
   cli.addInt("tests", 200, "number of crash tests");
   cli.addInt("seed", 1, "campaign master seed");
   cli.addString("plan", "none", "persistence plan spec");
   cli.addString("mode", "nvm", "snapshot mode: nvm (NVCT) or coherent (verified)");
+  cli.addInt("threads", 1, "campaign worker threads (0 = hardware concurrency)");
   cli.addString("csv-out", "", "write the per-test CSV to this file");
   cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
   cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
   cli.addString("log-level", "", "stderr log level: error|warn|info|debug|trace");
   cli.addFlag("no-progress", "suppress the live campaign progress line");
+  cli.addString("journal", "", "append decided trials to this crash-safe JSONL journal");
+  cli.addString("resume", "", "replay this journal; only missing trials are re-run");
+  cli.addInt("journal-flush-every", 8, "journal flush cadence in decided trials");
+  cli.addInt("max-trial-failures", 25,
+             "abort once more than this many trials fail (-1 = unlimited)");
+  cli.addInt("trial-retries", 1, "retries per failing trial before recording it");
+  cli.addInt("trial-timeout-ms", 0,
+             "per-trial watchdog deadline (0 = golden-run multiple)");
+  cli.addDouble("timeout-golden-multiple", 20.0,
+                "watchdog deadline as a multiple of the golden run "
+                "(used when --trial-timeout-ms is 0; 0 disables the watchdog)");
+  cli.addFlag("no-isolate",
+              "legacy all-or-nothing trials: first trial exception aborts");
+  cli.addInt("stop-after", 0,
+             "test hook: request a graceful stop after N new trials (0 = off)");
   cli.addFlag("list-apps", "list the bundled benchmarks and exit");
   cli.addFlag("list-objects", "list the app's data objects and exit");
   if (!cli.parse(argc, argv)) return 0;
@@ -82,6 +116,7 @@ int main(int argc, char** argv) {
     config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     config.plan = ec::crash::parsePlanSpec(cli.getString("plan"), probe);
     config.appLabel = entry.name;
+    config.threads = static_cast<int>(cli.getInt("threads"));
     config.progress = !cli.getFlag("no-progress");
     const std::string mode = cli.getString("mode");
     if (mode == "coherent") {
@@ -89,6 +124,19 @@ int main(int argc, char** argv) {
     } else if (mode != "nvm") {
       throw std::runtime_error("--mode must be 'nvm' or 'coherent'");
     }
+
+    auto& res = config.resilience;
+    res.isolate = !cli.getFlag("no-isolate");
+    res.maxFailures = static_cast<int>(cli.getInt("max-trial-failures"));
+    res.maxRetries = static_cast<int>(cli.getInt("trial-retries"));
+    res.trialTimeoutMs = static_cast<std::uint64_t>(cli.getInt("trial-timeout-ms"));
+    res.goldenTimeoutMultiple = cli.getDouble("timeout-golden-multiple");
+    res.journalPath = cli.getString("journal");
+    res.resumePath = cli.getString("resume");
+    res.journalFlushEvery = static_cast<int>(cli.getInt("journal-flush-every"));
+    res.stopAfterTrials = static_cast<int>(cli.getInt("stop-after"));
+
+    ec::crash::installStopSignalHandlers();
 
     const std::string tracePath = cli.getString("trace-out");
     if (!tracePath.empty()) {
@@ -103,11 +151,14 @@ int main(int argc, char** argv) {
     const auto campaign = ec::crash::CampaignRunner(entry.factory, config).run();
     ec::crash::writeCampaignSummary(campaign, std::cout);
 
+    // Output files are replaced atomically (temp + fsync + rename), so an
+    // interrupted or crashed nvct never leaves a truncated CSV/metrics file
+    // where a previous good one stood.
     const std::string csvPath = cli.getString("csv-out");
     if (!csvPath.empty()) {
-      std::ofstream os(csvPath);
-      if (!os) throw std::runtime_error("cannot open " + csvPath);
+      std::ostringstream os;
       ec::crash::writeCampaignCsv(campaign, os);
+      ec::crash::atomicWriteFile(csvPath, os.str());
       std::cout << "per-test CSV written to " << csvPath << '\n';
     }
 
@@ -117,10 +168,18 @@ int main(int argc, char** argv) {
     }
     const std::string metricsPath = cli.getString("metrics-out");
     if (!metricsPath.empty()) {
-      std::ofstream os(metricsPath);
-      if (!os) throw std::runtime_error("cannot open " + metricsPath);
+      std::ostringstream os;
       ec::telemetry::MetricsRegistry::instance().writeJson(os);
+      ec::crash::atomicWriteFile(metricsPath, os.str());
       std::cout << "metrics snapshot written to " << metricsPath << '\n';
+    }
+
+    if (campaign.interrupted) {
+      std::cout << "interrupted — resume with --resume "
+                << (res.journalPath.empty() ? std::string("<journal>")
+                                            : res.journalPath)
+                << '\n';
+      return kExitInterrupted;
     }
   } catch (const std::exception& e) {
     std::cerr << "nvct: " << e.what() << '\n';

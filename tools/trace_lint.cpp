@@ -4,6 +4,13 @@
 //   trace_lint --trace trace.jsonl                       # every line parses
 //   trace_lint --trace trace.jsonl --require-field app   # field presence
 //   trace_lint --metrics metrics.json --require-counter memsim.nvmBlockWrites
+//   trace_lint --journal campaign.jsonl                  # resume journal
+//
+// Journal mode checks the campaign-journal schema (docs/ROBUSTNESS.md):
+// line 1 is a well-formed campaign_header; every following line is a trial
+// or trial_failure whose indices are strictly monotone (the writer persists
+// a contiguous prefix), unique, and inside [0, tests); trial responses are
+// S1-S4 with inconsistency rates in [0, 1].
 //
 // Exit status 0 iff every check passes; failures name the offending line.
 // Doubles as the e2e check behind the nvct smoke test in tests/.
@@ -114,6 +121,135 @@ int lintMetrics(const std::string& path, const std::vector<std::string>& require
   return 0;
 }
 
+bool numberField(const json::Value& value, const char* name, double* out = nullptr) {
+  const json::Value* field = value.find(name);
+  if (field == nullptr || !field->isNumber()) return false;
+  if (out != nullptr) *out = field->number;
+  return true;
+}
+
+int lintJournal(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "trace_lint: cannot open " << path << '\n';
+    return 1;
+  }
+  std::string line;
+  std::uint64_t lineNo = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  double tests = 0;
+  bool haveLast = false;
+  double lastTrial = -1;
+  const auto fail = [&path, &lineNo](const std::string& what) {
+    std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << what << '\n';
+    return 1;
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::string error;
+    const auto value = json::parse(line, &error);
+    if (!value || !value->isObject()) {
+      return fail(error.empty() ? "not a JSON object" : error);
+    }
+    const json::Value* type = value->find("type");
+    if (type == nullptr || !type->isString()) return fail("missing \"type\"");
+
+    if (lineNo == 1) {
+      if (type->string != "campaign_header") {
+        return fail("first line must be a campaign_header");
+      }
+      const json::Value* app = value->find("app");
+      if (app == nullptr || !app->isString() || app->string.empty()) {
+        return fail("header missing \"app\"");
+      }
+      if (!numberField(*value, "seed")) return fail("header missing \"seed\"");
+      if (!numberField(*value, "tests", &tests) || tests < 1) {
+        return fail("header missing positive \"tests\"");
+      }
+      const json::Value* mode = value->find("mode");
+      if (mode == nullptr || !mode->isString() ||
+          (mode->string != "nvm" && mode->string != "coherent")) {
+        return fail("header \"mode\" must be nvm or coherent");
+      }
+      const json::Value* fp = value->find("plan_fingerprint");
+      if (fp == nullptr || !fp->isString() || fp->string.empty() ||
+          fp->string.find_first_not_of("0123456789") != std::string::npos) {
+        return fail("header \"plan_fingerprint\" must be a decimal string");
+      }
+      if (!numberField(*value, "window_accesses")) {
+        return fail("header missing \"window_accesses\"");
+      }
+      continue;
+    }
+    if (type->string != "trial" && type->string != "trial_failure") {
+      return fail("unknown record type \"" + type->string + "\"");
+    }
+
+    double trial = 0;
+    if (!numberField(*value, "trial", &trial) || trial < 0) {
+      return fail("missing trial index");
+    }
+    if (trial >= tests) return fail("trial index beyond the header's tests");
+    if (haveLast && trial <= lastTrial) {
+      return fail(trial == lastTrial ? "duplicate trial index"
+                                     : "trial indices are not monotone");
+    }
+    haveLast = true;
+    lastTrial = trial;
+    if (!numberField(*value, "crash_access")) return fail("missing \"crash_access\"");
+
+    if (type->string == "trial") {
+      ++trials;
+      const json::Value* response = value->find("response");
+      if (response == nullptr || !response->isString() ||
+          (response->string != "S1" && response->string != "S2" &&
+           response->string != "S3" && response->string != "S4")) {
+        return fail("trial \"response\" must be S1..S4");
+      }
+      if (!numberField(*value, "region") ||
+          !numberField(*value, "crash_iteration") ||
+          !numberField(*value, "restart_iteration") ||
+          !numberField(*value, "extra_iterations")) {
+        return fail("trial missing iteration/region fields");
+      }
+      const json::Value* rates = value->find("rates");
+      if (rates == nullptr || !rates->isObject()) {
+        return fail("trial missing \"rates\" object");
+      }
+      for (const auto& [id, rate] : rates->object) {
+        if (!rate.isNumber() || rate.number < 0.0 || rate.number > 1.0) {
+          return fail("rate for object " + id + " outside [0, 1]");
+        }
+      }
+    } else {
+      ++failures;
+      double attempts = 0;
+      if (!numberField(*value, "attempts", &attempts) || attempts < 1) {
+        return fail("trial_failure missing positive \"attempts\"");
+      }
+      const json::Value* reason = value->find("reason");
+      if (reason == nullptr || !reason->isString() || reason->string.empty()) {
+        return fail("trial_failure missing \"reason\"");
+      }
+      const json::Value* timeout = value->find("timeout");
+      if (timeout == nullptr ||
+          !(timeout->kind == json::Value::Kind::Bool || timeout->isNumber())) {
+        return fail("trial_failure missing \"timeout\"");
+      }
+    }
+  }
+  if (lineNo == 0) {
+    std::cerr << "trace_lint: " << path << " is empty\n";
+    return 1;
+  }
+  std::cout << path << ": journal ok (" << trials << " trials, " << failures
+            << " failures of " << static_cast<std::uint64_t>(tests)
+            << " planned)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +257,7 @@ int main(int argc, char** argv) {
       "trace_lint — validate telemetry traces (JSONL) and metrics snapshots.");
   cli.addString("trace", "", "JSONL trace file to validate");
   cli.addString("metrics", "", "metrics JSON snapshot to validate");
+  cli.addString("journal", "", "campaign resume journal (JSONL) to validate");
   cli.addString("require-field", "",
                 "comma-separated fields every trace event must carry");
   cli.addString("require-counter", "",
@@ -130,8 +267,9 @@ int main(int argc, char** argv) {
   try {
     const std::string tracePath = cli.getString("trace");
     const std::string metricsPath = cli.getString("metrics");
-    if (tracePath.empty() && metricsPath.empty()) {
-      std::cerr << "trace_lint: nothing to do (--trace and/or --metrics)\n";
+    const std::string journalPath = cli.getString("journal");
+    if (tracePath.empty() && metricsPath.empty() && journalPath.empty()) {
+      std::cerr << "trace_lint: nothing to do (--trace, --metrics and/or --journal)\n";
       return 1;
     }
     int status = 0;
@@ -140,6 +278,9 @@ int main(int argc, char** argv) {
     }
     if (!metricsPath.empty()) {
       status |= lintMetrics(metricsPath, splitCsv(cli.getString("require-counter")));
+    }
+    if (!journalPath.empty()) {
+      status |= lintJournal(journalPath);
     }
     return status;
   } catch (const std::exception& e) {
