@@ -6,6 +6,7 @@
 
 #include "easycrash/apps/registry.hpp"
 #include "easycrash/common/rng.hpp"
+#include "easycrash/crash/campaign.hpp"
 #include "easycrash/memsim/hierarchy.hpp"
 #include "easycrash/runtime/runtime.hpp"
 
@@ -105,6 +106,26 @@ void BM_AppIteration(benchmark::State& state) {
   state.SetLabel(entry.name);
 }
 BENCHMARK(BM_AppIteration)->DenseRange(0, 10)->Unit(benchmark::kMillisecond);
+
+// End-to-end campaign-trial throughput: one full fixed-seed campaign (golden
+// run + 4 crash tests, single-threaded) against the SP benchmark. This is
+// the number that bounds real campaign wall-clock, so it is the headline
+// entry in the checked-in perf baseline (scripts/bench_baseline.py).
+void BM_CampaignTrialThroughput(benchmark::State& state) {
+  const auto& entry = easycrash::apps::findBenchmark("sp");
+  easycrash::crash::CampaignConfig config;
+  config.seed = 1;
+  config.numTests = 4;
+  config.threads = 1;
+  config.appLabel = entry.name;
+  for (auto _ : state) {
+    const auto result =
+        easycrash::crash::CampaignRunner(entry.factory, config).run();
+    benchmark::DoNotOptimize(result.tests.size());
+  }
+  state.SetItemsProcessed(state.iterations() * config.numTests);
+}
+BENCHMARK(BM_CampaignTrialThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

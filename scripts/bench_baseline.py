@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Benchmark-gated perf baseline for the memory-system simulator.
+
+Runs the google-benchmark microbenchmark suite (bench_memsim_micro) with
+--benchmark_out, then compares each benchmark's real_time against the
+checked-in baseline (bench/baselines/BENCH_memsim.json by default) and fails
+when any benchmark regressed beyond the tolerance. Refresh the baseline on a
+quiet machine with --update after intentional perf changes.
+
+Typical use:
+
+    cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-bench -j --target bench_memsim_micro
+    python3 scripts/bench_baseline.py --binary build-bench/bench/bench_memsim_micro
+
+CI runs with a generous --tolerance (shared runners are noisy); the recorded
+numbers in bench/baselines/ are the authoritative before/after evidence for
+perf PRs (BENCH_memsim.pre.json preserves the pre-optimisation timings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "BENCH_memsim.json"
+
+
+def load_times(path: pathlib.Path) -> dict[str, tuple[float, str]]:
+    """Benchmark name -> (real_time, time_unit) from a --benchmark_out JSON."""
+    with path.open() as fh:
+        doc = json.load(fh)
+    times: dict[str, tuple[float, str]] = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate (mean/median/stddev) rows
+        times[bench["name"]] = (float(bench["real_time"]), bench.get("time_unit", "ns"))
+    return times
+
+
+def run_suite(binary: pathlib.Path, out: pathlib.Path, bench_filter: str,
+              min_time: float) -> None:
+    cmd = [
+        str(binary),
+        f"--benchmark_out={out}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+
+
+def compare(baseline: dict[str, tuple[float, str]],
+            fresh: dict[str, tuple[float, str]], tolerance: float,
+            subset: bool) -> int:
+    """Compare fresh against baseline; with subset=True (a filtered run),
+    baseline entries absent from fresh are skipped instead of failing."""
+    regressions = 0
+    width = max((len(n) for n in baseline), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(baseline):
+        base_time, unit = baseline[name]
+        if name not in fresh:
+            if not subset:
+                print(f"{name:<{width}}  {base_time:>10.1f}{unit}  {'MISSING':>12}  -")
+                regressions += 1
+            continue
+        cur_time, cur_unit = fresh[name]
+        if cur_unit != unit:
+            print(f"{name:<{width}}  unit mismatch: {unit} vs {cur_unit}")
+            regressions += 1
+            continue
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        flag = "" if ratio <= tolerance else "  << REGRESSION"
+        print(f"{name:<{width}}  {base_time:>10.1f}{unit}  {cur_time:>10.1f}{unit}"
+              f"  {ratio:>5.2f}x{flag}")
+        if ratio > tolerance:
+            regressions += 1
+    extra = sorted(set(fresh) - set(baseline))
+    for name in extra:
+        cur_time, unit = fresh[name]
+        print(f"{name:<{width}}  {'(new)':>12}  {cur_time:>10.1f}{unit}  -")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary",
+                        default=str(REPO_ROOT / "build-bench" / "bench" /
+                                    "bench_memsim_micro"),
+                        help="bench_memsim_micro binary (Release build)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="checked-in baseline JSON to compare against")
+    parser.add_argument("--out", default="",
+                        help="where to write the fresh --benchmark_out JSON "
+                             "(default: a temporary file)")
+    parser.add_argument("--parse-only", metavar="RESULT_JSON", default="",
+                        help="skip running the binary; compare this existing "
+                             "--benchmark_out JSON against the baseline")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed to the binary")
+    parser.add_argument("--min-time", type=float, default=0.2,
+                        help="--benchmark_min_time per benchmark (seconds)")
+    parser.add_argument("--tolerance", type=float, default=1.30,
+                        help="fail when current/baseline real_time exceeds "
+                             "this ratio (default 1.30)")
+    parser.add_argument("--update", action="store_true",
+                        help="write the fresh results over the baseline file "
+                             "instead of comparing")
+    args = parser.parse_args()
+
+    if args.parse_only:
+        result_path = pathlib.Path(args.parse_only)
+    else:
+        binary = pathlib.Path(args.binary)
+        if not binary.exists():
+            print(f"error: benchmark binary not found: {binary}", file=sys.stderr)
+            return 2
+        if args.out:
+            result_path = pathlib.Path(args.out)
+        else:
+            result_path = pathlib.Path(tempfile.mkstemp(suffix=".json")[1])
+        run_suite(binary, result_path, args.filter, args.min_time)
+
+    fresh = load_times(result_path)
+    if not fresh:
+        print("error: no benchmark results parsed", file=sys.stderr)
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(result_path.read_text())
+        print(f"baseline updated: {baseline_path} ({len(fresh)} benchmarks)")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: baseline not found: {baseline_path} "
+              "(record one with --update)", file=sys.stderr)
+        return 2
+    regressions = compare(load_times(baseline_path), fresh, args.tolerance,
+                          subset=bool(args.filter) or bool(args.parse_only))
+    if regressions:
+        print(f"FAIL: {regressions} benchmark(s) regressed beyond "
+              f"{args.tolerance:.2f}x", file=sys.stderr)
+        return 1
+    print("OK: no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,5 @@
 #include "easycrash/memsim/cache_level.hpp"
 
-#include <algorithm>
 #include <cstring>
 #include <limits>
 
@@ -8,46 +7,73 @@
 
 namespace easycrash::memsim {
 
+namespace {
+
+[[nodiscard]] constexpr bool isPowerOfTwo(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+[[nodiscard]] std::uint32_t log2Exact(std::uint64_t v) {
+  std::uint32_t shift = 0;
+  while ((1ULL << shift) < v) ++shift;
+  return shift;
+}
+
+}  // namespace
+
 CacheLevel::CacheLevel(const CacheGeometry& geometry, std::uint32_t blockSize)
     : blockSize_(blockSize), assoc_(geometry.associativity) {
   EC_CHECK(geometry.sizeBytes > 0);
   EC_CHECK(assoc_ > 0);
+  EC_CHECK_MSG(isPowerOfTwo(blockSize_), "block size must be a power of two");
+  blockShift_ = log2Exact(blockSize_);
   const std::uint64_t numLines = geometry.sizeBytes / blockSize_;
   EC_CHECK_MSG(numLines * blockSize_ == geometry.sizeBytes,
                "cache size must be a multiple of the block size");
   EC_CHECK_MSG(numLines % assoc_ == 0, "lines must divide evenly into sets");
+  EC_CHECK_MSG(numLines <= std::numeric_limits<std::uint32_t>::max(),
+               "line count must fit a 32-bit index");
   sets_ = numLines / assoc_;
+  setsPow2_ = isPowerOfTwo(sets_);
+  setMask_ = setsPow2_ ? sets_ - 1 : 0;
   lines_.resize(numLines);
   storage_.resize(numLines * blockSize_, 0);
 }
 
-std::uint64_t CacheLevel::setOf(std::uint64_t blockAddr) const {
-  return (blockAddr / blockSize_) % sets_;
-}
-
-std::uint32_t CacheLevel::lineIndex(std::uint64_t set, std::uint32_t way) const {
-  return static_cast<std::uint32_t>(set * assoc_ + way);
-}
-
 std::optional<std::uint32_t> CacheLevel::find(std::uint64_t blockAddr) const {
+  if (mruValid_ && mruBlock_ == blockAddr) return mruLine_;
   const std::uint64_t set = setOf(blockAddr);
+  const std::uint32_t base = lineIndex(set, 0);
   for (std::uint32_t way = 0; way < assoc_; ++way) {
-    const Line& line = lines_[lineIndex(set, way)];
-    if (line.valid && line.blockAddr == blockAddr) return lineIndex(set, way);
+    const Line& line = lines_[base + way];
+    if (line.valid && line.blockAddr == blockAddr) {
+      mruBlock_ = blockAddr;
+      mruLine_ = base + way;
+      mruValid_ = true;
+      return base + way;
+    }
   }
   return std::nullopt;
 }
 
-std::optional<CacheLevel::Evicted> CacheLevel::insert(std::uint64_t blockAddr) {
-  EC_CHECK_MSG(!find(blockAddr).has_value(), "block already resident");
+void CacheLevel::noteRemoved(const Line& line) {
+  --validCount_;
+  if (line.dirty) --dirtyCount_;
+  if (mruValid_ && mruBlock_ == line.blockAddr) mruValid_ = false;
+}
+
+CacheLevel::InsertResult CacheLevel::insert(std::uint64_t blockAddr,
+                                            Evicted& victim) {
+  EC_DCHECK_MSG(!find(blockAddr).has_value(), "block already resident");
   const std::uint64_t set = setOf(blockAddr);
+  const std::uint32_t base = lineIndex(set, 0);
 
   // Prefer an invalid way; otherwise evict LRU.
   std::uint32_t victimWay = 0;
   std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
   bool foundInvalid = false;
   for (std::uint32_t way = 0; way < assoc_; ++way) {
-    const Line& line = lines_[lineIndex(set, way)];
+    const Line& line = lines_[base + way];
     if (!line.valid) {
       victimWay = way;
       foundInvalid = true;
@@ -59,46 +85,71 @@ std::optional<CacheLevel::Evicted> CacheLevel::insert(std::uint64_t blockAddr) {
     }
   }
 
-  const std::uint32_t idx = lineIndex(set, victimWay);
+  const std::uint32_t idx = base + victimWay;
   Line& line = lines_[idx];
-  std::optional<Evicted> evicted;
-  if (!foundInvalid) {
-    Evicted ev;
-    ev.blockAddr = line.blockAddr;
-    ev.dirty = line.dirty;
+  InsertResult result{idx, !foundInvalid};
+  if (result.evicted) {
+    victim.blockAddr = line.blockAddr;
+    victim.dirty = line.dirty;
     const auto src = data(idx);
-    ev.data.assign(src.begin(), src.end());
-    evicted = std::move(ev);
+    victim.data.assign(src.begin(), src.end());
+    noteRemoved(line);
   }
 
   line.blockAddr = blockAddr;
   line.valid = true;
   line.dirty = false;
   line.lastUse = ++tick_;
-  std::memset(storage_.data() + static_cast<std::size_t>(idx) * blockSize_, 0,
-              blockSize_);
-  return evicted;
+  ++validCount_;
+  mruBlock_ = blockAddr;
+  mruLine_ = idx;
+  mruValid_ = true;
+  return result;
 }
 
-CacheLevel::Evicted CacheLevel::extract(std::uint64_t blockAddr) {
+std::optional<CacheLevel::Evicted> CacheLevel::insert(std::uint64_t blockAddr) {
+  EC_CHECK_MSG(!find(blockAddr).has_value(), "block already resident");
+  Evicted victim;
+  const InsertResult result = insert(blockAddr, victim);
+  // The hot-path insert leaves stale bytes for the caller to overwrite; this
+  // wrapper preserves the historical zero-initialised contract.
+  std::memset(storage_.data() + static_cast<std::size_t>(result.line) * blockSize_,
+              0, blockSize_);
+  if (!result.evicted) return std::nullopt;
+  return victim;
+}
+
+void CacheLevel::extractInto(std::uint64_t blockAddr, Evicted& out) {
   const auto idx = find(blockAddr);
   EC_CHECK_MSG(idx.has_value(), "extract of non-resident block");
   Line& line = lines_[*idx];
-  Evicted ev;
-  ev.blockAddr = line.blockAddr;
-  ev.dirty = line.dirty;
+  out.blockAddr = line.blockAddr;
+  out.dirty = line.dirty;
   const auto src = data(*idx);
-  ev.data.assign(src.begin(), src.end());
+  out.data.assign(src.begin(), src.end());
+  noteRemoved(line);
   line.valid = false;
   line.dirty = false;
-  return ev;
+}
+
+CacheLevel::Evicted CacheLevel::extract(std::uint64_t blockAddr) {
+  Evicted out;
+  extractInto(blockAddr, out);
+  return out;
 }
 
 void CacheLevel::invalidate(std::uint64_t blockAddr) {
   if (const auto idx = find(blockAddr)) {
-    lines_[*idx].valid = false;
-    lines_[*idx].dirty = false;
+    invalidateLine(*idx);
   }
+}
+
+void CacheLevel::invalidateLine(std::uint32_t line) {
+  Line& l = lines_[line];
+  EC_DCHECK_MSG(l.valid, "invalidateLine of an invalid line");
+  noteRemoved(l);
+  l.valid = false;
+  l.dirty = false;
 }
 
 void CacheLevel::invalidateAll() {
@@ -106,44 +157,9 @@ void CacheLevel::invalidateAll() {
     line.valid = false;
     line.dirty = false;
   }
-}
-
-std::span<std::uint8_t> CacheLevel::data(std::uint32_t line) {
-  return {storage_.data() + static_cast<std::size_t>(line) * blockSize_, blockSize_};
-}
-
-std::span<const std::uint8_t> CacheLevel::data(std::uint32_t line) const {
-  return {storage_.data() + static_cast<std::size_t>(line) * blockSize_, blockSize_};
-}
-
-bool CacheLevel::dirty(std::uint32_t line) const { return lines_[line].dirty; }
-
-void CacheLevel::setDirty(std::uint32_t line, bool value) {
-  lines_[line].dirty = value;
-}
-
-std::uint64_t CacheLevel::blockAddr(std::uint32_t line) const {
-  return lines_[line].blockAddr;
-}
-
-void CacheLevel::touch(std::uint32_t line) { lines_[line].lastUse = ++tick_; }
-
-void CacheLevel::forEachValid(
-    const std::function<void(std::uint64_t, bool, std::span<const std::uint8_t>)>& fn)
-    const {
-  for (std::uint32_t i = 0; i < lines_.size(); ++i) {
-    if (lines_[i].valid) fn(lines_[i].blockAddr, lines_[i].dirty, data(i));
-  }
-}
-
-std::uint64_t CacheLevel::validLines() const {
-  return static_cast<std::uint64_t>(
-      std::count_if(lines_.begin(), lines_.end(), [](const Line& l) { return l.valid; }));
-}
-
-std::uint64_t CacheLevel::dirtyLines() const {
-  return static_cast<std::uint64_t>(std::count_if(
-      lines_.begin(), lines_.end(), [](const Line& l) { return l.valid && l.dirty; }));
+  validCount_ = 0;
+  dirtyCount_ = 0;
+  mruValid_ = false;
 }
 
 }  // namespace easycrash::memsim

@@ -1,6 +1,7 @@
 #include "easycrash/memsim/hierarchy.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "easycrash/common/check.hpp"
@@ -13,8 +14,10 @@ CacheHierarchy::CacheHierarchy(CacheConfig config, NvmStore& nvm)
   config_.validate();
   EC_CHECK(nvm_.blockSize() == config_.blockSize);
   EC_CHECK_MSG(config_.levels.size() <= kMaxLevels, "too many cache levels");
+  blockMask_ = config_.blockSize - 1;
   levels_.reserve(config_.levels.size());
   for (const CacheGeometry& g : config_.levels) levels_.emplace_back(g, config_.blockSize);
+  fillScratch_.resize(config_.blockSize);
 }
 
 std::size_t CacheHierarchy::lowestResidentLevel(std::uint64_t blockAddr) const {
@@ -24,7 +27,7 @@ std::size_t CacheHierarchy::lowestResidentLevel(std::uint64_t blockAddr) const {
   return kNone;
 }
 
-void CacheHierarchy::handleEviction(std::size_t level, CacheLevel::Evicted victim) {
+void CacheHierarchy::handleEviction(std::size_t level, CacheLevel::Evicted& victim) {
   // Inclusive hierarchy: a victim evicted from `level` may have fresher
   // copies above; merge them and back-invalidate (upper copies cannot outlive
   // the lower one). Iterate upper levels farthest-from-CPU first so that the
@@ -32,9 +35,9 @@ void CacheHierarchy::handleEviction(std::size_t level, CacheLevel::Evicted victi
   // when several levels hold dirty data.
   for (std::size_t upper = level; upper-- > 0;) {
     if (levels_[upper].find(victim.blockAddr)) {
-      CacheLevel::Evicted fresher = levels_[upper].extract(victim.blockAddr);
-      if (fresher.dirty) {
-        victim.data = std::move(fresher.data);
+      levels_[upper].extractInto(victim.blockAddr, mergeScratch_);
+      if (mergeScratch_.dirty) {
+        std::swap(victim.data, mergeScratch_.data);
         victim.dirty = true;
       }
     }
@@ -55,13 +58,13 @@ void CacheHierarchy::handleEviction(std::size_t level, CacheLevel::Evicted victi
   }
 }
 
-void CacheHierarchy::insertAt(std::size_t level, std::uint64_t blockAddr,
-                              std::span<const std::uint8_t> data) {
-  auto victim = levels_[level].insert(blockAddr);
-  if (victim) handleEviction(level, std::move(*victim));
-  const auto line = levels_[level].find(blockAddr);
-  auto dst = levels_[level].data(*line);
+std::uint32_t CacheHierarchy::insertAt(std::size_t level, std::uint64_t blockAddr,
+                                       std::span<const std::uint8_t> data) {
+  const auto result = levels_[level].insert(blockAddr, evictScratch_);
+  if (result.evicted) handleEviction(level, evictScratch_);
+  auto dst = levels_[level].data(result.line);
   std::copy(data.begin(), data.end(), dst.begin());
+  return result.line;
 }
 
 std::uint32_t CacheHierarchy::ensureInL1(std::uint64_t blockAddr) {
@@ -70,65 +73,85 @@ std::uint32_t CacheHierarchy::ensureInL1(std::uint64_t blockAddr) {
     levels_[0].touch(*l1);
     return *l1;
   }
+  return fillToL1(blockAddr);
+}
+
+std::uint32_t CacheHierarchy::fillToL1(std::uint64_t blockAddr) {
   ++events_.misses[0];
 
   // Find the block below L1, filling missing levels top-down from the level
   // (or NVM) that has it.
-  std::vector<std::uint8_t> block(config_.blockSize);
   std::size_t source = levels_.size();  // levels_.size() == NVM
   for (std::size_t i = 1; i < levels_.size(); ++i) {
     if (const auto line = levels_[i].find(blockAddr)) {
       ++events_.hits[i];
       levels_[i].touch(*line);
       const auto src = levels_[i].data(*line);
-      std::copy(src.begin(), src.end(), block.begin());
+      std::copy(src.begin(), src.end(), fillScratch_.begin());
       source = i;
       break;
     }
     ++events_.misses[i];
   }
   if (source == levels_.size()) {
-    nvm_.read(blockAddr, block);
+    nvm_.read(blockAddr, fillScratch_);
     ++events_.nvmBlockReads;
   }
 
   // Fill every level above the source (inclusive hierarchy), bottom-up so a
   // lower-level eviction can still back-invalidate consistently.
+  std::uint32_t l1Line = 0;
   for (std::size_t i = source; i-- > 0;) {
-    insertAt(i, blockAddr, block);
+    l1Line = insertAt(i, blockAddr, fillScratch_);
   }
-  const auto l1 = levels_[0].find(blockAddr);
-  EC_CHECK(l1.has_value());
-  return *l1;
+  return l1Line;
 }
 
-void CacheHierarchy::load(std::uint64_t addr, std::span<std::uint8_t> dst) {
+void CacheHierarchy::loadSlow(std::uint64_t addr, std::span<std::uint8_t> dst) {
+  // Fast path: the whole access falls inside one block (every scalar
+  // loadValue of an aligned element) — one probe, one memcpy.
+  const std::uint64_t inBlock = addr & blockMask_;
+  if (!dst.empty() && inBlock + dst.size() <= config_.blockSize) {
+    const std::uint32_t line = ensureInL1(addr - inBlock);
+    std::memcpy(dst.data(), levels_[0].data(line).data() + inBlock, dst.size());
+    ++events_.loads;
+    return;
+  }
   std::uint64_t offset = 0;
   while (offset < dst.size()) {
     const std::uint64_t a = addr + offset;
     const std::uint64_t base = blockBase(a);
-    const std::uint64_t inBlock = a - base;
+    const std::uint64_t off = a - base;
     const std::uint64_t chunk =
-        std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
+        std::min<std::uint64_t>(config_.blockSize - off, dst.size() - offset);
     const std::uint32_t line = ensureInL1(base);
     const auto src = levels_[0].data(line);
-    std::memcpy(dst.data() + offset, src.data() + inBlock, chunk);
+    std::memcpy(dst.data() + offset, src.data() + off, chunk);
     ++events_.loads;
     offset += chunk;
   }
 }
 
-void CacheHierarchy::store(std::uint64_t addr, std::span<const std::uint8_t> src) {
+void CacheHierarchy::storeSlow(std::uint64_t addr, std::span<const std::uint8_t> src) {
+  // Fast path mirroring load(): single-block stores skip the chunking loop.
+  const std::uint64_t inBlock = addr & blockMask_;
+  if (!src.empty() && inBlock + src.size() <= config_.blockSize) {
+    const std::uint32_t line = ensureInL1(addr - inBlock);
+    std::memcpy(levels_[0].data(line).data() + inBlock, src.data(), src.size());
+    levels_[0].setDirty(line, true);
+    ++events_.stores;
+    return;
+  }
   std::uint64_t offset = 0;
   while (offset < src.size()) {
     const std::uint64_t a = addr + offset;
     const std::uint64_t base = blockBase(a);
-    const std::uint64_t inBlock = a - base;
+    const std::uint64_t off = a - base;
     const std::uint64_t chunk =
-        std::min<std::uint64_t>(config_.blockSize - inBlock, src.size() - offset);
+        std::min<std::uint64_t>(config_.blockSize - off, src.size() - offset);
     const std::uint32_t line = ensureInL1(base);
     auto dst = levels_[0].data(line);
-    std::memcpy(dst.data() + inBlock, src.data() + offset, chunk);
+    std::memcpy(dst.data() + off, src.data() + offset, chunk);
     levels_[0].setDirty(line, true);
     ++events_.stores;
     offset += chunk;
@@ -137,40 +160,49 @@ void CacheHierarchy::store(std::uint64_t addr, std::span<const std::uint8_t> src
 
 void CacheHierarchy::flushBlock(std::uint64_t addr, FlushKind kind) {
   const std::uint64_t base = blockBase(addr);
-  const std::size_t lowest = lowestResidentLevel(base);
+
+  // One probe per level; every later step reuses the cached line indices.
+  std::array<std::int64_t, kMaxLevels> lineAt;
+  std::size_t lowest = kNone;
+  bool dirtyAnywhere = false;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const auto line = levels_[i].find(base);
+    lineAt[i] = line ? static_cast<std::int64_t>(*line) : -1;
+    if (line) {
+      if (lowest == kNone) lowest = i;
+      dirtyAnywhere = dirtyAnywhere || levels_[i].dirty(*line);
+    }
+  }
   if (lowest == kNone) {
     ++events_.flushNonResident;
     return;
   }
 
-  bool dirtyAnywhere = false;
-  for (std::size_t i = lowest; i < levels_.size(); ++i) {
-    if (const auto line = levels_[i].find(base)) {
-      dirtyAnywhere = dirtyAnywhere || levels_[i].dirty(*line);
-    }
-  }
-
   if (dirtyAnywhere) {
-    const auto line = levels_[lowest].find(base);
-    const auto freshest = levels_[lowest].data(*line);
+    const auto freshest =
+        levels_[lowest].data(static_cast<std::uint32_t>(lineAt[lowest]));
     nvm_.writeBlock(base, freshest);
     ++events_.nvmBlockWrites;
     ++events_.flushInducedNvmWrites;
     ++events_.flushDirty;
     // All copies become clean and identical to NVM.
     for (std::size_t i = lowest; i < levels_.size(); ++i) {
-      if (const auto l = levels_[i].find(base)) {
-        auto dst = levels_[i].data(*l);
-        std::copy(freshest.begin(), freshest.end(), dst.begin());
-        levels_[i].setDirty(*l, false);
-      }
+      if (lineAt[i] < 0) continue;
+      const auto l = static_cast<std::uint32_t>(lineAt[i]);
+      auto dst = levels_[i].data(l);
+      std::copy(freshest.begin(), freshest.end(), dst.begin());
+      levels_[i].setDirty(l, false);
     }
   } else {
     ++events_.flushClean;
   }
 
   if (kind != FlushKind::Clwb) {
-    for (auto& level : levels_) level.invalidate(base);
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (lineAt[i] >= 0) {
+        levels_[i].invalidateLine(static_cast<std::uint32_t>(lineAt[i]));
+      }
+    }
   }
 }
 
@@ -252,35 +284,33 @@ std::uint64_t CacheHierarchy::inconsistentBytes(std::uint64_t addr,
 }
 
 void CacheHierarchy::drainAll() {
-  // Propagate dirty data downward level by level, then write LLC dirt to NVM.
+  // Propagate dirty data downward level by level, then write LLC dirt to
+  // NVM. The incremental dirty counter lets a clean level be skipped without
+  // scanning it, and the per-line walk needs no temporary block list: the
+  // walk only flips dirty bits, never moves lines.
   for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
     CacheLevel& upper = levels_[i];
     CacheLevel& lower = levels_[i + 1];
-    std::vector<std::uint64_t> dirtyBlocks;
-    upper.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
-      if (dirty) dirtyBlocks.push_back(blockAddr);
-    });
-    for (std::uint64_t blockAddr : dirtyBlocks) {
-      const auto upLine = upper.find(blockAddr);
+    if (upper.dirtyLines() == 0) continue;
+    for (std::uint32_t line = 0; line < upper.lineCount(); ++line) {
+      if (!upper.valid(line) || !upper.dirty(line)) continue;
+      const std::uint64_t blockAddr = upper.blockAddr(line);
       const auto loLine = lower.find(blockAddr);
       EC_CHECK_MSG(loLine.has_value(), "inclusivity violated during drain");
-      const auto src = upper.data(*upLine);
+      const auto src = upper.data(line);
       auto dst = lower.data(*loLine);
       std::copy(src.begin(), src.end(), dst.begin());
       lower.setDirty(*loLine, true);
-      upper.setDirty(*upLine, false);
+      upper.setDirty(line, false);
     }
   }
   CacheLevel& llc = levels_.back();
-  std::vector<std::uint64_t> dirtyBlocks;
-  llc.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
-    if (dirty) dirtyBlocks.push_back(blockAddr);
-  });
-  for (std::uint64_t blockAddr : dirtyBlocks) {
-    const auto line = llc.find(blockAddr);
-    nvm_.writeBlock(blockAddr, llc.data(*line));
+  if (llc.dirtyLines() == 0) return;
+  for (std::uint32_t line = 0; line < llc.lineCount(); ++line) {
+    if (!llc.valid(line) || !llc.dirty(line)) continue;
+    nvm_.writeBlock(llc.blockAddr(line), llc.data(line));
     ++events_.nvmBlockWrites;
-    llc.setDirty(*line, false);
+    llc.setDirty(line, false);
   }
 }
 

@@ -4,14 +4,28 @@
 // bytes of its block. That is what lets the simulator answer the question at
 // the core of the paper: after an arbitrary crash, which bytes of which data
 // objects differ between the (lost) caches and the (surviving) NVM image?
+//
+// Hot-path design (docs/INTERNALS.md "Simulator performance"):
+//  - set selection uses a shift + mask when the set count is a power of two
+//    (a predictable-branch modulo fallback covers geometries like the Xeon
+//    Gold 6126 L3, whose 11-way layout yields a non-power-of-two set count);
+//  - find() keeps a one-entry MRU cache of (blockAddr, line) so the common
+//    case — consecutive accesses inside the same 64B block — skips the
+//    associative probe entirely;
+//  - insert()/extractInto() copy victim state into caller-owned scratch
+//    buffers and return line indices, so the miss/evict flow performs no heap
+//    allocation and no probe-after-mutation double lookups;
+//  - valid/dirty line counts are maintained incrementally, so validLines() /
+//    dirtyLines() and the drain path never scan the full line array.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "easycrash/common/check.hpp"
 #include "easycrash/memsim/config.hpp"
 
 namespace easycrash::memsim {
@@ -20,47 +34,102 @@ class CacheLevel {
  public:
   CacheLevel(const CacheGeometry& geometry, std::uint32_t blockSize);
 
-  /// A block displaced by an insertion.
+  /// A block displaced by an insertion (or removed by extraction). When used
+  /// with the scratch-buffer APIs the `data` vector's capacity is reused
+  /// across calls, so steady-state eviction traffic allocates nothing.
   struct Evicted {
     std::uint64_t blockAddr = 0;
     bool dirty = false;
     std::vector<std::uint8_t> data;
   };
 
+  /// Result of a hot-path insertion: the line now holding the new block and
+  /// whether a valid victim was displaced into the caller's scratch buffer.
+  struct InsertResult {
+    std::uint32_t line = 0;
+    bool evicted = false;
+  };
+
   /// Line index of `blockAddr` if resident.
   [[nodiscard]] std::optional<std::uint32_t> find(std::uint64_t blockAddr) const;
 
-  /// Insert `blockAddr` (must not be resident); returns the victim, if any.
-  /// The new line is marked most-recently-used and clean; its data is
-  /// zero-initialised — the caller fills it.
+  /// MRU-only probe: the line index when `blockAddr` is the level's most
+  /// recently used block, -1 otherwise (which says nothing about residency).
+  /// This is the inlined first half of find(); the hierarchy's header-level
+  /// load/store fast paths use it to keep an L1 MRU hit free of any
+  /// out-of-line call.
+  [[nodiscard]] std::int64_t mruLineOf(std::uint64_t blockAddr) const {
+    return (mruValid_ && mruBlock_ == blockAddr) ? static_cast<std::int64_t>(mruLine_)
+                                                 : -1;
+  }
+
+  /// Insert `blockAddr` (must not be resident); the victim's state, if any,
+  /// is copied into `victim` (reusing its buffer). Returns the filled line,
+  /// marked most-recently-used and clean. The line's data bytes are NOT
+  /// zeroed — every caller overwrites the full block immediately after.
+  InsertResult insert(std::uint64_t blockAddr, Evicted& victim);
+
+  /// Allocating convenience wrapper around the scratch-buffer insert(): the
+  /// new line's data is zero-initialised, and the victim (if any) is
+  /// returned by value.
   std::optional<Evicted> insert(std::uint64_t blockAddr);
 
-  /// Remove a resident block without write-back; returns its state.
+  /// Remove a resident block without write-back, copying its state into
+  /// `out` (reusing its buffer).
+  void extractInto(std::uint64_t blockAddr, Evicted& out);
+
+  /// Allocating convenience wrapper around extractInto().
   Evicted extract(std::uint64_t blockAddr);
 
   /// Drop a block if resident (no write-back, state discarded).
   void invalidate(std::uint64_t blockAddr);
+  /// Drop a line by index (no write-back); the line must be valid.
+  void invalidateLine(std::uint32_t line);
   /// Drop everything (simulates power loss).
   void invalidateAll();
 
-  [[nodiscard]] std::span<std::uint8_t> data(std::uint32_t line);
-  [[nodiscard]] std::span<const std::uint8_t> data(std::uint32_t line) const;
-  [[nodiscard]] bool dirty(std::uint32_t line) const;
-  void setDirty(std::uint32_t line, bool value);
-  [[nodiscard]] std::uint64_t blockAddr(std::uint32_t line) const;
+  [[nodiscard]] std::span<std::uint8_t> data(std::uint32_t line) {
+    return {storage_.data() + static_cast<std::size_t>(line) * blockSize_, blockSize_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> data(std::uint32_t line) const {
+    return {storage_.data() + static_cast<std::size_t>(line) * blockSize_, blockSize_};
+  }
+  [[nodiscard]] bool valid(std::uint32_t line) const { return lines_[line].valid; }
+  [[nodiscard]] bool dirty(std::uint32_t line) const { return lines_[line].dirty; }
+  void setDirty(std::uint32_t line, bool value) {
+    Line& l = lines_[line];
+    EC_DCHECK_MSG(l.valid, "setDirty on an invalid line");
+    if (l.dirty != value) {
+      if (value) {
+        ++dirtyCount_;
+      } else {
+        --dirtyCount_;
+      }
+      l.dirty = value;
+    }
+  }
+  [[nodiscard]] std::uint64_t blockAddr(std::uint32_t line) const {
+    return lines_[line].blockAddr;
+  }
 
   /// Mark `line` most-recently-used within its set.
-  void touch(std::uint32_t line);
+  void touch(std::uint32_t line) { lines_[line].lastUse = ++tick_; }
 
   /// Visit every valid line: fn(blockAddr, dirty, data).
-  void forEachValid(
-      const std::function<void(std::uint64_t, bool, std::span<const std::uint8_t>)>& fn)
-      const;
+  template <typename Fn>
+  void forEachValid(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < lines_.size(); ++i) {
+      if (lines_[i].valid) fn(lines_[i].blockAddr, lines_[i].dirty, data(i));
+    }
+  }
 
   [[nodiscard]] std::uint64_t sets() const { return sets_; }
   [[nodiscard]] std::uint32_t associativity() const { return assoc_; }
-  [[nodiscard]] std::uint64_t validLines() const;
-  [[nodiscard]] std::uint64_t dirtyLines() const;
+  [[nodiscard]] std::uint32_t lineCount() const {
+    return static_cast<std::uint32_t>(lines_.size());
+  }
+  [[nodiscard]] std::uint64_t validLines() const { return validCount_; }
+  [[nodiscard]] std::uint64_t dirtyLines() const { return dirtyCount_; }
 
  private:
   struct Line {
@@ -70,15 +139,34 @@ class CacheLevel {
     bool dirty = false;
   };
 
-  [[nodiscard]] std::uint64_t setOf(std::uint64_t blockAddr) const;
-  [[nodiscard]] std::uint32_t lineIndex(std::uint64_t set, std::uint32_t way) const;
+  [[nodiscard]] std::uint64_t setOf(std::uint64_t blockAddr) const {
+    const std::uint64_t block = blockAddr >> blockShift_;
+    return setsPow2_ ? (block & setMask_) : (block % sets_);
+  }
+  [[nodiscard]] std::uint32_t lineIndex(std::uint64_t set, std::uint32_t way) const {
+    return static_cast<std::uint32_t>(set * assoc_ + way);
+  }
+  void noteRemoved(const Line& line);
 
   std::uint32_t blockSize_;
+  std::uint32_t blockShift_ = 0;  ///< log2(blockSize_)
   std::uint64_t sets_;
+  std::uint64_t setMask_ = 0;  ///< sets_ - 1 when sets_ is a power of two
+  bool setsPow2_ = false;
   std::uint32_t assoc_;
   std::uint64_t tick_ = 0;
+  std::uint64_t validCount_ = 0;
+  std::uint64_t dirtyCount_ = 0;
   std::vector<Line> lines_;
   std::vector<std::uint8_t> storage_;
+
+  // One-entry MRU cache consulted by find() before the associative probe.
+  // Invalidation rules: cleared whenever the cached block leaves this level
+  // (extract/invalidate/invalidateAll) and redirected on insert (the new
+  // line is by definition the most recently used).
+  mutable std::uint64_t mruBlock_ = 0;
+  mutable std::uint32_t mruLine_ = 0;
+  mutable bool mruValid_ = false;
 };
 
 }  // namespace easycrash::memsim

@@ -4,9 +4,16 @@
 // access(), flush instructions route through flushBlock()/flushRange(), and a
 // crash is modelled by invalidateAll() — everything not written back to the
 // NvmStore is lost, exactly as on app-direct-mode persistent memory.
+//
+// The access path is the inner loop of every crash campaign, so it is built
+// to be allocation-free in steady state: block fills and victim hand-offs go
+// through scratch buffers owned by the hierarchy, single-block accesses skip
+// the chunking loop, and block/set arithmetic is shift/mask (see
+// docs/INTERNALS.md "Simulator performance").
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <vector>
@@ -26,9 +33,41 @@ class CacheHierarchy {
   CacheHierarchy& operator=(const CacheHierarchy&) = delete;
 
   /// Load `dst.size()` bytes from `addr` through the cache hierarchy.
-  void load(std::uint64_t addr, std::span<std::uint8_t> dst);
+  /// The header-level fast path covers the dominant case — a single-block
+  /// access hitting L1's most-recently-used line — without leaving the
+  /// caller's translation unit; everything else goes out of line.
+  void load(std::uint64_t addr, std::span<std::uint8_t> dst) {
+    const std::uint64_t inBlock = addr & blockMask_;
+    if (!dst.empty() && inBlock + dst.size() <= config_.blockSize) {
+      const std::int64_t line = levels_[0].mruLineOf(addr - inBlock);
+      if (line >= 0) {
+        const auto l1 = static_cast<std::uint32_t>(line);
+        ++events_.hits[0];
+        levels_[0].touch(l1);
+        std::memcpy(dst.data(), levels_[0].data(l1).data() + inBlock, dst.size());
+        ++events_.loads;
+        return;
+      }
+    }
+    loadSlow(addr, dst);
+  }
   /// Store `src.size()` bytes at `addr` through the cache hierarchy.
-  void store(std::uint64_t addr, std::span<const std::uint8_t> src);
+  void store(std::uint64_t addr, std::span<const std::uint8_t> src) {
+    const std::uint64_t inBlock = addr & blockMask_;
+    if (!src.empty() && inBlock + src.size() <= config_.blockSize) {
+      const std::int64_t line = levels_[0].mruLineOf(addr - inBlock);
+      if (line >= 0) {
+        const auto l1 = static_cast<std::uint32_t>(line);
+        ++events_.hits[0];
+        levels_[0].touch(l1);
+        std::memcpy(levels_[0].data(l1).data() + inBlock, src.data(), src.size());
+        levels_[0].setDirty(l1, true);
+        ++events_.stores;
+        return;
+      }
+    }
+    storeSlow(addr, src);
+  }
 
   /// Apply a flush instruction to the block containing `addr`.
   void flushBlock(std::uint64_t addr, FlushKind kind);
@@ -68,19 +107,29 @@ class CacheHierarchy {
 
  private:
   [[nodiscard]] std::uint64_t blockBase(std::uint64_t addr) const {
-    return addr - addr % config_.blockSize;
+    return addr & ~blockMask_;
   }
+
+  /// Out-of-line halves of load()/store(): multi-block accesses and
+  /// single-block accesses that miss the L1 MRU entry.
+  void loadSlow(std::uint64_t addr, std::span<std::uint8_t> dst);
+  void storeSlow(std::uint64_t addr, std::span<const std::uint8_t> src);
 
   /// Make `blockAddr` resident in L1; returns the L1 line index.
   std::uint32_t ensureInL1(std::uint64_t blockAddr);
+  /// Miss path of ensureInL1 (kept out of line so the L1-hit fast path stays
+  /// small enough to inline into load()/store()).
+  std::uint32_t fillToL1(std::uint64_t blockAddr);
 
-  /// Insert a block at `level` with the given data, handling the eviction.
-  void insertAt(std::size_t level, std::uint64_t blockAddr,
-                std::span<const std::uint8_t> data);
+  /// Insert a block at `level` with the given data, handling the eviction;
+  /// returns the filled line index.
+  std::uint32_t insertAt(std::size_t level, std::uint64_t blockAddr,
+                         std::span<const std::uint8_t> data);
 
-  /// Process a victim displaced from `level`: merge fresher upper-level
-  /// copies, then write back downwards (or to NVM from the LLC).
-  void handleEviction(std::size_t level, CacheLevel::Evicted victim);
+  /// Process a victim displaced from `level` (held in a scratch buffer):
+  /// merge fresher upper-level copies, then write back downwards (or to NVM
+  /// from the LLC).
+  void handleEviction(std::size_t level, CacheLevel::Evicted& victim);
 
   /// Lowest level (closest to the CPU) holding the block, or npos.
   [[nodiscard]] std::size_t lowestResidentLevel(std::uint64_t blockAddr) const;
@@ -88,9 +137,18 @@ class CacheHierarchy {
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
   CacheConfig config_;
+  std::uint64_t blockMask_ = 0;  ///< blockSize - 1 (blockSize is power of two)
   NvmStore& nvm_;
   std::vector<CacheLevel> levels_;
   MemEvents events_;
+
+  // Reusable scratch state for the miss/evict flow: one in-flight victim,
+  // one buffer for upper-level merges, one block-sized fill buffer. At most
+  // one of each is live at a time (insertions never recurse), so a single
+  // set suffices and steady-state misses allocate nothing.
+  CacheLevel::Evicted evictScratch_;
+  CacheLevel::Evicted mergeScratch_;
+  std::vector<std::uint8_t> fillScratch_;
 };
 
 }  // namespace easycrash::memsim

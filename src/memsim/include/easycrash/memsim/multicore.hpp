@@ -93,7 +93,7 @@ class MulticoreSystem {
   };
 
   [[nodiscard]] std::uint64_t blockBase(std::uint64_t addr) const {
-    return addr - addr % config_.blockSize;
+    return addr & ~static_cast<std::uint64_t>(config_.blockSize - 1);
   }
 
   /// Make `blockAddr` usable by `core` (exclusive if `forWrite`); returns
@@ -101,10 +101,10 @@ class MulticoreSystem {
   std::uint32_t acquire(int core, std::uint64_t blockAddr, bool forWrite);
 
   /// Handle a victim evicted from a private cache: merge into the LLC.
-  void privateVictimToLlc(int core, CacheLevel::Evicted victim);
+  void privateVictimToLlc(int core, const CacheLevel::Evicted& victim);
   /// Handle a victim evicted from the LLC: back-invalidate all cores, merge
   /// the freshest dirty data, write to NVM if dirty.
-  void llcVictim(CacheLevel::Evicted victim);
+  void llcVictim(CacheLevel::Evicted& victim);
 
   /// Freshest data for a block: Modified owner's copy > LLC > NVM.
   void freshestBlock(std::uint64_t blockAddr, std::span<std::uint8_t> out) const;
@@ -114,6 +114,12 @@ class MulticoreSystem {
   std::vector<CacheLevel> private_;  // one per core
   CacheLevel llc_;
   std::vector<CoherenceEvents> events_;
+
+  // Reusable scratch buffers for the miss/evict/snoop flow (same rationale
+  // as CacheHierarchy: steady-state coherence traffic allocates nothing).
+  CacheLevel::Evicted evictScratch_;
+  CacheLevel::Evicted mergeScratch_;
+  std::vector<std::uint8_t> fillScratch_;
 };
 
 }  // namespace easycrash::memsim

@@ -17,7 +17,9 @@ class NvmStore {
 
   [[nodiscard]] std::uint32_t blockSize() const { return blockSize_; }
 
-  /// Read `dst.size()` bytes starting at `addr` (zero-filled if never written).
+  /// Read `dst.size()` bytes starting at `addr` (zero-filled if never
+  /// written). Reads never grow the materialised image: unbacked bytes are
+  /// served as zeros without allocating backing storage.
   void read(std::uint64_t addr, std::span<std::uint8_t> dst) const;
 
   /// Write one full cache block at block-aligned `addr`, counting the write.
@@ -41,10 +43,10 @@ class NvmStore {
   void resetCounters() { blockWrites_ = 0; }
 
  private:
-  void ensure(std::uint64_t endAddr) const;
+  void ensure(std::uint64_t endAddr);
 
   std::uint32_t blockSize_;
-  mutable std::vector<std::uint8_t> image_;
+  std::vector<std::uint8_t> image_;
   std::uint64_t blockWrites_ = 0;
 };
 

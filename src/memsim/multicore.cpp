@@ -24,9 +24,10 @@ MulticoreSystem::MulticoreSystem(MulticoreConfig config, NvmStore& nvm)
     private_.emplace_back(config_.privateCache, config_.blockSize);
   }
   events_.resize(static_cast<std::size_t>(config_.cores));
+  fillScratch_.resize(config_.blockSize);
 }
 
-void MulticoreSystem::privateVictimToLlc(int core, CacheLevel::Evicted victim) {
+void MulticoreSystem::privateVictimToLlc(int core, const CacheLevel::Evicted& victim) {
   (void)core;
   const auto llcLine = llc_.find(victim.blockAddr);
   EC_CHECK_MSG(llcLine.has_value(), "inclusivity violated: private victim not in LLC");
@@ -37,13 +38,13 @@ void MulticoreSystem::privateVictimToLlc(int core, CacheLevel::Evicted victim) {
   }
 }
 
-void MulticoreSystem::llcVictim(CacheLevel::Evicted victim) {
+void MulticoreSystem::llcVictim(CacheLevel::Evicted& victim) {
   // Back-invalidate every core; at most one holds a Modified (fresher) copy.
   for (auto& cache : private_) {
     if (cache.find(victim.blockAddr)) {
-      CacheLevel::Evicted copy = cache.extract(victim.blockAddr);
-      if (copy.dirty) {
-        victim.data = std::move(copy.data);
+      cache.extractInto(victim.blockAddr, mergeScratch_);
+      if (mergeScratch_.dirty) {
+        std::swap(victim.data, mergeScratch_.data);
         victim.dirty = true;
       }
     }
@@ -101,31 +102,28 @@ std::uint32_t MulticoreSystem::acquire(int core, std::uint64_t blockAddr,
   }
 
   // Fetch the block into the LLC if absent.
-  std::vector<std::uint8_t> block(config_.blockSize);
   if (const auto llcLine = llc_.find(blockAddr)) {
     ev.llcHits += 1;
     llc_.touch(*llcLine);
     const auto src = llc_.data(*llcLine);
-    std::copy(src.begin(), src.end(), block.begin());
+    std::copy(src.begin(), src.end(), fillScratch_.begin());
   } else {
     ev.llcMisses += 1;
     ev.nvmBlockReads += 1;
-    nvm_.read(blockAddr, block);
-    auto victim = llc_.insert(blockAddr);
-    if (victim) llcVictim(std::move(*victim));
-    const auto inserted = llc_.find(blockAddr);
-    auto dst = llc_.data(*inserted);
-    std::copy(block.begin(), block.end(), dst.begin());
+    nvm_.read(blockAddr, fillScratch_);
+    const auto inserted = llc_.insert(blockAddr, evictScratch_);
+    if (inserted.evicted) llcVictim(evictScratch_);
+    auto dst = llc_.data(inserted.line);
+    std::copy(fillScratch_.begin(), fillScratch_.end(), dst.begin());
   }
 
   // Install in the requesting core's private cache.
-  auto victim = mine.insert(blockAddr);
-  if (victim) privateVictimToLlc(core, std::move(*victim));
-  const auto line = mine.find(blockAddr);
-  auto dst = mine.data(*line);
-  std::copy(block.begin(), block.end(), dst.begin());
-  if (forWrite) mine.setDirty(*line, true);
-  return *line;
+  const auto installed = mine.insert(blockAddr, evictScratch_);
+  if (installed.evicted) privateVictimToLlc(core, evictScratch_);
+  auto dst = mine.data(installed.line);
+  std::copy(fillScratch_.begin(), fillScratch_.end(), dst.begin());
+  if (forWrite) mine.setDirty(installed.line, true);
+  return installed.line;
 }
 
 void MulticoreSystem::load(int core, std::uint64_t addr,
@@ -200,7 +198,7 @@ void MulticoreSystem::flushBlock(std::uint64_t addr, FlushKind kind) {
     return;
   }
   if (dirtyAnywhere) {
-    std::vector<std::uint8_t> fresh(config_.blockSize);
+    std::span<std::uint8_t> fresh(fillScratch_);
     freshestBlock(base, fresh);
     nvm_.writeBlock(base, fresh);
     ev.nvmBlockWrites += 1;
@@ -286,32 +284,28 @@ void MulticoreSystem::invalidateAll() {
 }
 
 void MulticoreSystem::drainAll() {
-  // Private dirt into the LLC first, then the LLC into NVM.
+  // Private dirt into the LLC first, then the LLC into NVM. The walk only
+  // flips dirty bits, so it can iterate lines in place (no block list), and
+  // the incremental dirty counters skip clean caches entirely.
   for (auto& cache : private_) {
-    std::vector<std::uint64_t> dirtyBlocks;
-    cache.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
-      if (dirty) dirtyBlocks.push_back(blockAddr);
-    });
-    for (std::uint64_t blockAddr : dirtyBlocks) {
-      const auto line = cache.find(blockAddr);
-      const auto llcLine = llc_.find(blockAddr);
+    if (cache.dirtyLines() == 0) continue;
+    for (std::uint32_t line = 0; line < cache.lineCount(); ++line) {
+      if (!cache.valid(line) || !cache.dirty(line)) continue;
+      const auto llcLine = llc_.find(cache.blockAddr(line));
       EC_CHECK_MSG(llcLine.has_value(), "inclusivity violated during drain");
-      const auto src = cache.data(*line);
+      const auto src = cache.data(line);
       auto dst = llc_.data(*llcLine);
       std::copy(src.begin(), src.end(), dst.begin());
       llc_.setDirty(*llcLine, true);
-      cache.setDirty(*line, false);
+      cache.setDirty(line, false);
     }
   }
-  std::vector<std::uint64_t> dirtyBlocks;
-  llc_.forEachValid([&](std::uint64_t blockAddr, bool dirty, auto) {
-    if (dirty) dirtyBlocks.push_back(blockAddr);
-  });
-  for (std::uint64_t blockAddr : dirtyBlocks) {
-    const auto line = llc_.find(blockAddr);
-    nvm_.writeBlock(blockAddr, llc_.data(*line));
+  if (llc_.dirtyLines() == 0) return;
+  for (std::uint32_t line = 0; line < llc_.lineCount(); ++line) {
+    if (!llc_.valid(line) || !llc_.dirty(line)) continue;
+    nvm_.writeBlock(llc_.blockAddr(line), llc_.data(line));
     events_[0].nvmBlockWrites += 1;
-    llc_.setDirty(*line, false);
+    llc_.setDirty(line, false);
   }
 }
 

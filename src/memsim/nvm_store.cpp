@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "easycrash/common/check.hpp"
 
@@ -11,18 +12,29 @@ NvmStore::NvmStore(std::uint32_t blockSize) : blockSize_(blockSize) {
   EC_CHECK(blockSize_ > 0 && (blockSize_ & (blockSize_ - 1)) == 0);
 }
 
-void NvmStore::ensure(std::uint64_t endAddr) const {
+void NvmStore::ensure(std::uint64_t endAddr) {
+  // Round capacity growth to 1MiB chunks to amortise resizes.
+  constexpr std::uint64_t kChunk = 1ULL << 20;
+  EC_CHECK_MSG(endAddr <= std::numeric_limits<std::uint64_t>::max() - kChunk,
+               "NvmStore address range overflows");
   if (endAddr > image_.size()) {
-    // Round capacity growth to 1MiB chunks to amortise resizes.
-    constexpr std::uint64_t kChunk = 1ULL << 20;
     const std::uint64_t target = (endAddr + kChunk - 1) / kChunk * kChunk;
     image_.resize(target, 0);
   }
 }
 
 void NvmStore::read(std::uint64_t addr, std::span<std::uint8_t> dst) const {
-  ensure(addr + dst.size());
-  std::memcpy(dst.data(), image_.data() + addr, dst.size());
+  if (dst.empty()) return;
+  EC_CHECK_MSG(addr + dst.size() > addr, "NvmStore read range overflows");
+  // Reads never materialise backing storage: bytes beyond the written image
+  // are served as zeros, so scanning a large never-written object does not
+  // balloon the store (reads of unbacked NVM are architecturally zero).
+  const std::uint64_t backed =
+      addr < image_.size()
+          ? std::min<std::uint64_t>(dst.size(), image_.size() - addr)
+          : 0;
+  if (backed > 0) std::memcpy(dst.data(), image_.data() + addr, backed);
+  if (backed < dst.size()) std::memset(dst.data() + backed, 0, dst.size() - backed);
 }
 
 void NvmStore::writeBlock(std::uint64_t addr, std::span<const std::uint8_t> src) {
@@ -34,6 +46,8 @@ void NvmStore::writeBlock(std::uint64_t addr, std::span<const std::uint8_t> src)
 }
 
 void NvmStore::poke(std::uint64_t addr, std::span<const std::uint8_t> src) {
+  if (src.empty()) return;
+  EC_CHECK_MSG(addr + src.size() > addr, "NvmStore poke range overflows");
   ensure(addr + src.size());
   std::memcpy(image_.data() + addr, src.data(), src.size());
 }

@@ -77,8 +77,17 @@ class Runtime {
 
   // ---- Tracked access (the instrumented load/store path) --------------------
 
-  void load(std::uint64_t addr, std::span<std::uint8_t> dst);
-  void store(std::uint64_t addr, std::span<const std::uint8_t> src);
+  /// Tracked load/store: one simulated access plus one crash-clock tick.
+  /// Inline so the memory system's header-level L1 fast path and the
+  /// crash-window guard stay visible to the instrumented app's loops.
+  void load(std::uint64_t addr, std::span<std::uint8_t> dst) {
+    hierarchy_.load(addr, dst);
+    onAccess(1);
+  }
+  void store(std::uint64_t addr, std::span<const std::uint8_t> src) {
+    hierarchy_.store(addr, src);
+    onAccess(1);
+  }
   /// Architecturally-current value without counters or cache perturbation.
   void peek(std::uint64_t addr, std::span<std::uint8_t> dst) const;
   /// Read straight from the NVM image (what survives a crash).
@@ -93,6 +102,17 @@ class Runtime {
   template <typename T>
   void storeValue(std::uint64_t addr, const T& v) {
     store(addr, {reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)});
+  }
+  /// Read-modify-write of one value: a tracked load, the mutation, and a
+  /// tracked store (two clock ticks, exactly like loadValue + storeValue),
+  /// but with the address computed once. Backs TrackedArray::Ref's compound
+  /// assignments. Returns the stored value.
+  template <typename T, typename Mutator>
+  T updateValue(std::uint64_t addr, Mutator&& mutate) {
+    T v = loadValue<T>(addr);
+    v = mutate(v);
+    storeValue(addr, v);
+    return v;
   }
   template <typename T>
   [[nodiscard]] T peekValue(std::uint64_t addr) const {
@@ -139,16 +159,18 @@ class Runtime {
 
   /// Dynamic accesses attributed to each region during the crash window
   /// (region kMainLoopEnd collects accesses outside any region). Used to
-  /// compute the paper's a_k time ratios.
-  [[nodiscard]] const std::map<PointId, std::uint64_t>& regionAccesses() const {
-    return regionAccesses_;
+  /// compute the paper's a_k time ratios. The hot-path counter is a flat
+  /// vector indexed by point slot; this materialises the historical map view
+  /// (keys present iff the region was ever charged an access).
+  [[nodiscard]] std::map<PointId, std::uint64_t> regionAccesses() const {
+    return pointMapView(regionAccesses_);
   }
 
   /// Number of iteration-end persist points reached per region (and per
   /// main loop, keyed kMainLoopEnd) — the denominator of the paper's
   /// flush-frequency model (Equation 5).
-  [[nodiscard]] const std::map<PointId, std::uint64_t>& regionIterationEnds() const {
-    return regionIterationEnds_;
+  [[nodiscard]] std::map<PointId, std::uint64_t> regionIterationEnds() const {
+    return pointMapView(regionIterationEnds_);
   }
 
   // ---- Persistence plan ------------------------------------------------------
@@ -200,8 +222,25 @@ class Runtime {
   [[nodiscard]] const memsim::MemEvents& events() const { return hierarchy_.events(); }
 
  private:
-  void onAccess(std::uint64_t count);
+  /// Crash-clock tick. Outside the crash window this is a single predictable
+  /// branch; inside it the out-of-line slow path handles counting, the
+  /// watchdog poll and crash injection.
+  void onAccess(std::uint64_t count) {
+    if (!crashWindowActive_) return;
+    onAccessSlow(count);
+  }
+  void onAccessSlow(std::uint64_t count);
   void executeDirective(const PersistDirective& directive, PointId point);
+
+  /// Per-point counters are flat vectors indexed by `point + 1` (slot 0 is
+  /// kMainLoopEnd), sized by beginRegion() before any hot-path increment —
+  /// the per-access path is a single indexed add, no map lookup.
+  [[nodiscard]] static std::size_t pointSlot(PointId point) {
+    return static_cast<std::size_t>(point + 1);
+  }
+  void growPointSlots(std::size_t minSize);
+  [[nodiscard]] static std::map<PointId, std::uint64_t> pointMapView(
+      const std::vector<std::uint64_t>& counters);
 
   memsim::NvmStore nvm_;
   memsim::CacheHierarchy hierarchy_;
@@ -210,13 +249,13 @@ class Runtime {
   std::uint64_t nextAddr_ = 0;
 
   PersistencePlan plan_;
-  std::map<PointId, std::uint64_t> pointCounters_;
-  std::map<PointId, std::uint64_t> regionIterationEnds_;
+  std::vector<std::uint64_t> pointCounters_;
+  std::vector<std::uint64_t> regionIterationEnds_;
   std::uint64_t persistenceOps_ = 0;
 
   std::vector<PointId> regionStack_;
   std::uint32_t regionCount_ = 0;
-  std::map<PointId, std::uint64_t> regionAccesses_;
+  std::vector<std::uint64_t> regionAccesses_;
 
   /// Telemetry bookkeeping parallel to regionStack_: entry wall-clock and
   /// (when tracing) the MemEvents snapshot used for the per-region delta.

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/runtime/runtime.hpp"
@@ -50,6 +51,15 @@ class TrackedArray {
     return rt_->peekValue<T>(base_ + i * sizeof(T));
   }
 
+  /// Read-modify-write of one element: one bounds check and one address
+  /// computation for the load/store pair (compound assignments route here).
+  template <typename Mutator>
+  T apply(std::uint64_t i, Mutator&& mutate) {
+    EC_CHECK(i < count_);
+    return rt_->updateValue<T>(base_ + i * sizeof(T),
+                               std::forward<Mutator>(mutate));
+  }
+
   /// Element proxy enabling natural assignment/compound-assignment syntax.
   class Ref {
    public:
@@ -60,10 +70,22 @@ class TrackedArray {
       return *this;
     }
     Ref& operator=(const Ref& other) { return *this = static_cast<T>(other); }
-    Ref& operator+=(const T& v) { return *this = array_.get(index_) + v; }
-    Ref& operator-=(const T& v) { return *this = array_.get(index_) - v; }
-    Ref& operator*=(const T& v) { return *this = array_.get(index_) * v; }
-    Ref& operator/=(const T& v) { return *this = array_.get(index_) / v; }
+    Ref& operator+=(const T& v) {
+      array_.apply(index_, [&](T cur) { return cur + v; });
+      return *this;
+    }
+    Ref& operator-=(const T& v) {
+      array_.apply(index_, [&](T cur) { return cur - v; });
+      return *this;
+    }
+    Ref& operator*=(const T& v) {
+      array_.apply(index_, [&](T cur) { return cur * v; });
+      return *this;
+    }
+    Ref& operator/=(const T& v) {
+      array_.apply(index_, [&](T cur) { return cur / v; });
+      return *this;
+    }
 
    private:
     TrackedArray& array_;

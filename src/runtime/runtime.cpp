@@ -36,9 +36,31 @@ struct RuntimeMetrics {
 
 Runtime::Runtime(memsim::CacheConfig config)
     : nvm_(config.blockSize), hierarchy_(std::move(config), nvm_) {
+  // Slot 0 (kMainLoopEnd) must exist before any access; region slots are
+  // grown by beginRegion() so the per-access increment never bounds-checks.
+  growPointSlots(1);
   // Object 0 is the loop-iterator bookmark (paper footnote 3: always
   // persisted; almost zero cost).
   iterObject_ = allocate("__iter", sizeof(int), /*candidate=*/false);
+}
+
+void Runtime::growPointSlots(std::size_t minSize) {
+  if (regionAccesses_.size() < minSize) {
+    regionAccesses_.resize(minSize, 0);
+    regionIterationEnds_.resize(minSize, 0);
+    pointCounters_.resize(minSize, 0);
+  }
+}
+
+std::map<PointId, std::uint64_t> Runtime::pointMapView(
+    const std::vector<std::uint64_t>& counters) {
+  std::map<PointId, std::uint64_t> out;
+  for (std::size_t slot = 0; slot < counters.size(); ++slot) {
+    if (counters[slot] != 0) {
+      out.emplace(static_cast<PointId>(slot) - 1, counters[slot]);
+    }
+  }
+  return out;
 }
 
 ObjectId Runtime::allocate(std::string name, std::uint64_t bytes, bool candidate,
@@ -80,15 +102,14 @@ std::vector<ObjectId> Runtime::candidateObjects() const {
   return ids;
 }
 
-void Runtime::onAccess(std::uint64_t count) {
-  if (!crashWindowActive_) return;
+void Runtime::onAccessSlow(std::uint64_t count) {
   if constexpr (kWatchdogCompiledIn) {
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
       throw TrialCancelled{windowAccesses_};
     }
   }
   const PointId region = activeRegion();
-  regionAccesses_[region] += count;
+  regionAccesses_[pointSlot(region)] += count;
   windowAccesses_ += count;
   if (crashAt_ != 0 && windowAccesses_ >= crashAt_) {
     CrashEvent crash;
@@ -111,16 +132,6 @@ void Runtime::onAccess(std::uint64_t count) {
     // against the NVM image, as NVCT does), then calls powerLoss().
     throw crash;
   }
-}
-
-void Runtime::load(std::uint64_t addr, std::span<std::uint8_t> dst) {
-  hierarchy_.load(addr, dst);
-  onAccess(1);
-}
-
-void Runtime::store(std::uint64_t addr, std::span<const std::uint8_t> src) {
-  hierarchy_.store(addr, src);
-  onAccess(1);
 }
 
 void Runtime::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const {
@@ -164,6 +175,7 @@ double Runtime::inconsistentRate(ObjectId id) const {
 
 void Runtime::beginRegion(PointId region) {
   EC_CHECK(region >= 0);
+  growPointSlots(pointSlot(region) + 1);
   regionStack_.push_back(region);
   RegionSpan span;
   span.startNs = telemetry::nowNs();
@@ -209,20 +221,20 @@ void Runtime::endRegion(PointId region) {
 void Runtime::regionIterationEnd(PointId region) {
   EC_CHECK_MSG(!regionStack_.empty() && regionStack_.back() == region,
                "iteration end outside its region");
-  ++regionIterationEnds_[region];
+  ++regionIterationEnds_[pointSlot(region)];
   const auto it = plan_.points.find(region);
   if (it == plan_.points.end() || it->second.everyN == 0) return;
-  if (++pointCounters_[region] % it->second.everyN == 0) {
+  if (++pointCounters_[pointSlot(region)] % it->second.everyN == 0) {
     executeDirective(it->second, region);
   }
 }
 
 void Runtime::mainLoopIterationEnd(int iteration) {
   bookmarkIteration(iteration);
-  ++regionIterationEnds_[kMainLoopEnd];
+  ++regionIterationEnds_[pointSlot(kMainLoopEnd)];
   const auto it = plan_.points.find(kMainLoopEnd);
   if (it == plan_.points.end() || it->second.everyN == 0) return;
-  if (++pointCounters_[kMainLoopEnd] % it->second.everyN == 0) {
+  if (++pointCounters_[pointSlot(kMainLoopEnd)] % it->second.everyN == 0) {
     executeDirective(it->second, kMainLoopEnd);
   }
 }
@@ -250,7 +262,7 @@ PointId Runtime::activeRegion() const {
 
 void Runtime::setPlan(PersistencePlan plan) {
   plan_ = std::move(plan);
-  pointCounters_.clear();
+  std::fill(pointCounters_.begin(), pointCounters_.end(), 0);
 }
 
 void Runtime::executeDirective(const PersistDirective& directive, PointId point) {
