@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -49,6 +54,9 @@ struct CampaignMetrics {
   telemetry::Counter& trialRetries;
   telemetry::Counter& trialTimeouts;
   telemetry::Counter& resumedTrials;
+  telemetry::Counter& sweepRuns;
+  telemetry::Counter& sweepCaptures;
+  telemetry::Counter& sweepFallbacks;
 
   static CampaignMetrics& get() {
     auto& reg = telemetry::MetricsRegistry::instance();
@@ -69,7 +77,10 @@ struct CampaignMetrics {
         reg.counter("campaign.trial_failures"),
         reg.counter("campaign.trial_retries"),
         reg.counter("campaign.trial_timeouts"),
-        reg.counter("campaign.resumed_trials")};
+        reg.counter("campaign.resumed_trials"),
+        reg.counter("campaign.sweep_runs"),
+        reg.counter("campaign.sweep_captures"),
+        reg.counter("campaign.sweep_fallbacks")};
     return m;
   }
 
@@ -83,6 +94,68 @@ struct CampaignMetrics {
     flushNonResident.add(ev.flushNonResident);
     flushInducedNvmWrites.add(ev.flushInducedNvmWrites);
   }
+};
+
+/// One queued restart: a trial index plus its (possibly shared, when several
+/// trials drew the same crash point) read-only capture.
+struct PendingRestart {
+  std::size_t trial = 0;
+  std::shared_ptr<const SweepCapture> capture;
+};
+
+/// Thrown by the sweep's capture hook to end the crashing run early: a stop
+/// was requested, or the restart pipeline went away (abort/budget).
+struct SweepAbort {};
+
+/// Bounded hand-off between the sweep producer (the single crashing run) and
+/// the restart workers. push() blocks while full — that backpressure bounds
+/// how many object snapshots are alive at once — and returns false once the
+/// queue is aborted. pop() blocks for an entry and drains what was already
+/// queued after close(); abort() drops everything and wakes both sides.
+class RestartQueue {
+ public:
+  explicit RestartQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool push(PendingRestart entry) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    spaceCv_.wait(lock, [&] { return entries_.size() < capacity_ || aborted_; });
+    if (aborted_) return false;
+    entries_.push_back(std::move(entry));
+    entryCv_.notify_one();
+    return true;
+  }
+
+  [[nodiscard]] std::optional<PendingRestart> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entryCv_.wait(lock, [&] { return !entries_.empty() || closed_ || aborted_; });
+    if (aborted_ || entries_.empty()) return std::nullopt;
+    PendingRestart entry = std::move(entries_.front());
+    entries_.pop_front();
+    spaceCv_.notify_one();
+    return entry;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    entryCv_.notify_all();
+  }
+
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    entryCv_.notify_all();
+    spaceCv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entryCv_;
+  std::condition_variable spaceCv_;
+  std::deque<PendingRestart> entries_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+  bool aborted_ = false;
 };
 
 std::string responseTally(const std::array<int, 4>& counts) {
@@ -330,22 +403,49 @@ CampaignResult CampaignRunner::run() const {
   done = resumedTrials + resumedFailures;
   if (config_.progress && done > 0) meter.update(done, responseTally(tally));
   // Called for every newly decided trial (completion or permanent failure).
+  // Progress is throttled to percentage-point or >=100 ms boundaries: with
+  // small trials at high --threads, having every decided trial format a
+  // tally string and serialise on the meter is measurable overhead.
+  std::size_t lastPercent = n == 0 ? 0 : done * 100 / n;
+  auto lastEmit = std::chrono::steady_clock::now();
   const auto recordDecided = [&](const CrashTestRecord* record) {
-    std::array<int, 4> counts;
-    std::size_t doneNow;
+    std::array<int, 4> counts{};
+    std::size_t doneNow = 0;
+    bool emit = false;
     {
       std::lock_guard<std::mutex> lock(tallyMutex);
       if (record != nullptr) tally[static_cast<int>(record->response)] += 1;
-      counts = tally;
       doneNow = ++done;
+      if (config_.progress) {
+        const std::size_t percent = n == 0 ? 100 : doneNow * 100 / n;
+        const auto now = std::chrono::steady_clock::now();
+        if (doneNow == n || percent != lastPercent ||
+            now - lastEmit >= std::chrono::milliseconds(100)) {
+          lastPercent = percent;
+          lastEmit = now;
+          counts = tally;
+          emit = true;
+        }
+      }
     }
-    if (config_.progress) meter.update(doneNow, responseTally(counts));
+    if (emit) meter.update(doneNow, responseTally(counts));
   };
 
   int threads = config_.threads == 0
                     ? static_cast<int>(std::thread::hardware_concurrency())
                     : config_.threads;
   threads = std::max(1, std::min<int>(threads, std::max(1, config_.numTests)));
+
+  // Distinct crash index -> undecided trials that drew it, ascending: the
+  // sweep's capture plan. Duplicate indices (several trials drawing the same
+  // crash point) share one capture. Decided (resumed) trials never re-enter.
+  std::map<std::uint64_t, std::vector<std::size_t>> sweepPlan;
+  if (config_.sweep) {
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!records[t] && !failures[t]) sweepPlan[crashIndices[t]].push_back(t);
+    }
+  }
+  const bool sweepActive = !sweepPlan.empty();
 
   // Watchdog deadline: explicit --trial-timeout-ms wins; otherwise a golden
   // run multiple. A trial simulates at most ~(1 + maxIterationFactor) golden
@@ -364,7 +464,11 @@ CampaignResult CampaignRunner::run() const {
                             1000, static_cast<std::uint64_t>(
                                       static_cast<double>(goldenMs) *
                                       res.goldenTimeoutMultiple));
-      watchdog.emplace(std::chrono::milliseconds(timeoutMs), threads);
+      // One slot per restart worker plus, under the sweep, a slot for the
+      // producer's crashing run (re-armed at every capture, suspended while
+      // parked on restart backpressure).
+      watchdog.emplace(std::chrono::milliseconds(timeoutMs),
+                       threads + (sweepActive ? 1 : 0));
     }
   }
 
@@ -372,14 +476,34 @@ CampaignResult CampaignRunner::run() const {
   std::atomic<bool> budgetExceeded{false};
   std::atomic<int> newlyCompleted{0};
   std::atomic<std::size_t> next{0};
+  // Without isolation an exception must abort the campaign, but letting it
+  // escape a pool thread would terminate the process: the first one is
+  // parked here and rethrown on the calling thread after the join.
+  std::atomic<bool> workersAbort{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  const auto parkError = [&] {
+    {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) firstError = std::current_exception();
+    }
+    workersAbort.store(true);
+  };
 
-  // Runs the trial at index t on worker slot w, honouring isolation, the
-  // watchdog and the retry budget. Exceptions propagate only when isolation
-  // is off (the legacy all-or-nothing behaviour).
-  const auto runTrial = [&](std::size_t t, int w) {
+  // Sweep-claimed trials: flagged by the producer just before the capture is
+  // queued (the queue mutex publishes the write), so the per-trial fallback
+  // loop never re-runs a trial the restart pipeline already owns.
+  std::vector<char> claimed(sweepActive ? n : 0, 0);
+
+  // Decides trial t on worker slot w by running `attempt` — the whole trial
+  // on the per-trial path, just the restart when a sweep capture supplies
+  // the crashing half — honouring isolation, the watchdog and the retry
+  // budget. Exceptions propagate only when isolation is off (the legacy
+  // all-or-nothing behaviour).
+  const auto decideTrial = [&](std::size_t t, int w, auto&& attempt) {
     if (!res.isolate) {
       CrashTestRecord record;
-      runOneTest(result.golden, crashIndices[t], t, nullptr, record);
+      attempt(nullptr, record);
       records[t] = std::move(record);
     } else {
       const int maxAttempts = 1 + std::max(0, res.maxRetries);
@@ -387,12 +511,12 @@ CampaignResult CampaignRunner::run() const {
       failure.trial = t;
       failure.crashAccessIndex = crashIndices[t];
       bool completed = false;
-      for (int attempt = 1; attempt <= maxAttempts && !completed; ++attempt) {
-        failure.attempts = attempt;
+      for (int att = 1; att <= maxAttempts && !completed; ++att) {
+        failure.attempts = att;
         std::atomic<bool>* cancel = watchdog ? &watchdog->arm(w) : nullptr;
         CrashTestRecord record;
         try {
-          runOneTest(result.golden, crashIndices[t], t, cancel, record);
+          attempt(cancel, record);
           completed = true;
           records[t] = std::move(record);
         } catch (const runtime::TrialCancelled&) {
@@ -407,9 +531,9 @@ CampaignResult CampaignRunner::run() const {
           failure.regionPath = formatRegionPath(record.regionPath);
         }
         if (watchdog) watchdog->disarm(w);
-        if (!completed && attempt < maxAttempts) {
+        if (!completed && att < maxAttempts) {
           CampaignMetrics::get().trialRetries.add();
-          EC_LOG_DEBUG("trial " << t << " attempt " << attempt
+          EC_LOG_DEBUG("trial " << t << " attempt " << att
                                 << " failed (" << failure.reason << "), retrying");
         }
       }
@@ -444,26 +568,211 @@ CampaignResult CampaignRunner::run() const {
     }
   };
 
+  const auto runTrial = [&](std::size_t t, int w) {
+    decideTrial(t, w, [&](const std::atomic<bool>* cancel, CrashTestRecord& record) {
+      runOneTest(result.golden, crashIndices[t], t, cancel, record);
+    });
+  };
+
+  // Per-trial claim loop: the whole campaign without the sweep, the fallback
+  // for whatever the sweep could not capture with it.
   const auto worker = [&](int w) {
     for (;;) {
-      if (stopRequested() || budgetExceeded.load()) return;
+      if (stopRequested() || budgetExceeded.load() || workersAbort.load()) return;
       const std::size_t t = next.fetch_add(1);
       if (t >= n) return;
       if (records[t] || failures[t]) continue;  // replayed from the journal
+      if (!claimed.empty() && claimed[t] != 0) continue;  // owned by the sweep
       runTrial(t, w);
     }
   };
 
-  if (threads <= 1) {
+  // --- Single-sweep evaluator -------------------------------------------
+  // ONE crashing run visits every pending crash point in ascending order and
+  // captures it read-only; a real CrashEvent armed at the last index ends
+  // the run without simulating the tail. Restarts are consumed concurrently
+  // by the worker pool, overlapping with the sweep itself.
+  const auto runSweep = [&](RestartQueue& queue, int slot) {
+    const std::size_t plannedPoints = sweepPlan.size();
+    std::size_t capturedPoints = 0;
+    bool completedAll = false;
+    CampaignMetrics::get().sweepRuns.add();
+    Runtime rt(config_.cache);
+    rt.setPlan(config_.plan);
+    rt.setTraceRun("sweep");
+    if (watchdog) rt.setCancelFlag(&watchdog->arm(slot));
+    try {
+      auto app = factory_();
+      app->setup(rt);
+      app->initialize(rt);
+      std::vector<std::uint64_t> indices;
+      indices.reserve(plannedPoints);
+      for (const auto& [index, trials] : sweepPlan) indices.push_back(index);
+      auto pending = sweepPlan.cbegin();
+      rt.armCrash(indices.back());
+      rt.armCaptures(std::move(indices), [&](const CrashEvent& at) {
+        EC_CHECK(pending != sweepPlan.cend());
+        const std::uint64_t index = pending->first;
+        const std::vector<std::size_t>& trials = pending->second;
+        ++pending;
+        auto capture = std::make_shared<SweepCapture>();
+        // The trial records the pre-drawn index it was armed for, exactly as
+        // the per-trial path does, while the context fields come from the
+        // access that crossed it — identical to what CrashEvent would carry.
+        capture->crashAccessIndex = index;
+        capture->region = at.activeRegion;
+        capture->regionPath = at.regionPath;
+        capture->crashIteration = at.iteration;
+        for (const auto& object : rt.objects()) {
+          if (!object.candidate) continue;
+          capture->inconsistentRate[object.id] = rt.inconsistentRate(object.id);
+          capture->snapshots[object.id] = config_.mode == SnapshotMode::NvmImage
+                                              ? rt.dumpObjectNvm(object.id)
+                                              : rt.dumpObjectCurrent(object.id);
+        }
+        capture->restartIteration = config_.mode == SnapshotMode::NvmImage
+                                        ? rt.bookmarkedIterationNvm()
+                                        : at.iteration;
+        ++capturedPoints;
+        CampaignMetrics::get().sweepCaptures.add();
+        if (telemetry::tracing()) {
+          telemetry::TraceEvent("sweep_capture")
+              .field("run", rt.traceRun())
+              .field("crash_access", index)
+              .field("region", at.activeRegion)
+              .field("iteration", at.iteration)
+              .field("trials", static_cast<std::uint64_t>(trials.size()))
+              .emit();
+        }
+        for (const std::size_t t : trials) {
+          claimed[t] = 1;
+          // Waiting on a full queue is restart backpressure, not a hung
+          // simulation: suspend the sweep's deadline while parked.
+          if (watchdog) watchdog->disarm(slot);
+          const bool queued = queue.push({t, capture});
+          if (watchdog) watchdog->arm(slot);
+          if (!queued) throw SweepAbort{};
+        }
+        if (stopRequested()) throw SweepAbort{};
+      });
+      const auto run = Driver::run(*app, rt, 1, result.golden.finalIteration);
+      (void)run;
+      EC_CHECK_MSG(false, "armed crash did not fire — app is non-deterministic");
+    } catch (const CrashEvent&) {
+      // The arranged end of the sweep: the last pending index was captured
+      // on this very access, then the crash fired.
+      completedAll = capturedPoints == plannedPoints;
+    } catch (const SweepAbort&) {
+      // Stop requested or the restart pipeline went away; not an error.
+    } catch (const runtime::TrialCancelled&) {
+      EC_LOG_WARN("sweep run cancelled by the watchdog after " << capturedPoints
+                  << "/" << plannedPoints << " capture(s); uncaptured trials "
+                  "fall back to the per-trial path");
+    } catch (const std::exception& e) {
+      EC_LOG_WARN("sweep run failed (" << e.what() << ") after " << capturedPoints
+                  << "/" << plannedPoints << " capture(s); uncaptured trials "
+                  "fall back to the per-trial path");
+    } catch (...) {
+      EC_LOG_WARN("sweep run failed after " << capturedPoints << "/"
+                  << plannedPoints << " capture(s); uncaptured trials fall "
+                  "back to the per-trial path");
+    }
+    if (watchdog) watchdog->disarm(slot);
+    rt.powerLoss();
+    CampaignMetrics::get().recordRun(rt.events());
+    if (!completedAll) {
+      CampaignMetrics::get().sweepFallbacks.add(plannedPoints - capturedPoints);
+    }
+    if (telemetry::tracing()) {
+      telemetry::TraceEvent("sweep_end")
+          .field("run", rt.traceRun())
+          .field("captures", static_cast<std::uint64_t>(capturedPoints))
+          .field("planned", static_cast<std::uint64_t>(plannedPoints))
+          .field("completed", completedAll)
+          .emit();
+    }
+  };
+
+  // Restart worker: drain the capture queue, then fall back to the per-trial
+  // loop for anything the sweep missed. A stop request abandons the queued
+  // captures (the queue is deep — draining it would decide most of the
+  // campaign after the operator asked it to stop); in-flight restarts finish
+  // and are journaled, exactly like the per-trial path.
+  const auto sweepWorker = [&](RestartQueue& queue, int w) {
+    try {
+      for (;;) {
+        if (stopRequested() || budgetExceeded.load() || workersAbort.load()) {
+          queue.abort();
+          return;
+        }
+        auto entry = queue.pop();
+        if (!entry) break;
+        decideTrial(entry->trial, w,
+                    [&](const std::atomic<bool>* cancel, CrashTestRecord& record) {
+                      telemetry::ScopedTimer trialTimer(CampaignMetrics::get().trialUs);
+                      runRestart(result.golden, *entry->capture, entry->trial, cancel,
+                                 record);
+                    });
+      }
+      worker(w);
+    } catch (...) {
+      parkError();
+      queue.abort();
+    }
+  };
+
+  if (sweepActive) {
+    // Queue depth is the pipeline's overlap window: deep enough that the
+    // sweep outruns the restart drain and the producer joins the pool for
+    // most of the campaign, while backpressure bounds live snapshot memory
+    // (~64 MB of candidate bytes) for large apps. Never below the
+    // double-buffer floor that keeps every worker fed.
+    std::size_t captureBytes = 0;
+    {
+      Runtime probe;
+      auto app = factory_();
+      app->setup(probe);
+      for (const auto& object : probe.objects()) {
+        if (object.candidate) captureBytes += object.bytes;
+      }
+    }
+    constexpr std::size_t kSnapshotBudgetBytes = std::size_t{64} << 20;
+    const std::size_t capacity =
+        std::max(static_cast<std::size_t>(std::max(2, 2 * threads)),
+                 kSnapshotBudgetBytes / std::max<std::size_t>(1, captureBytes));
+    RestartQueue queue(capacity);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back(sweepWorker, std::ref(queue), w);
+    }
+    runSweep(queue, threads);  // the calling thread is the producer
+    queue.close();
+    // The producer has nothing left to feed: join the restart pool on the
+    // sweep's watchdog slot instead of idling in join() as the legacy
+    // path's calling thread does.
+    sweepWorker(queue, threads);
+    for (auto& thread : pool) thread.join();
+  } else if (threads <= 1) {
     worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          worker(w);
+        } catch (...) {
+          parkError();
+        }
+      });
+    }
     for (auto& thread : pool) thread.join();
   }
 
   if (journal) journal->close();
+
+  if (firstError) std::rethrow_exception(firstError);
 
   if (budgetExceeded.load()) {
     throw std::runtime_error(
@@ -536,7 +845,8 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
   app->initialize(rt);
   rt.armCrash(crashIndex);
 
-  std::map<runtime::ObjectId, std::vector<std::uint8_t>> snapshots;
+  SweepCapture capture;
+  capture.crashAccessIndex = crashIndex;
   try {
     const auto run = Driver::run(*app, rt, 1, golden.finalIteration);
     // Determinism guarantees the armed crash fires; reaching here is a bug
@@ -544,38 +854,60 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
     (void)run;
     EC_CHECK_MSG(false, "armed crash did not fire — app is non-deterministic");
   } catch (const CrashEvent& crash) {
-    record.region = crash.activeRegion;
-    record.regionPath = crash.regionPath;
-    record.crashIteration = crash.iteration;
+    capture.region = crash.activeRegion;
+    capture.regionPath = crash.regionPath;
+    capture.crashIteration = crash.iteration;
     // NVCT post-mortem: inconsistency rates before the caches are dropped.
     for (const auto& object : rt.objects()) {
-      if (object.candidate) {
-        record.inconsistentRate[object.id] = rt.inconsistentRate(object.id);
-      }
+      if (!object.candidate) continue;
+      capture.inconsistentRate[object.id] = rt.inconsistentRate(object.id);
+      capture.snapshots[object.id] = config_.mode == SnapshotMode::NvmImage
+                                         ? rt.dumpObjectNvm(object.id)
+                                         : rt.dumpObjectCurrent(object.id);
     }
-    record.restartIteration = config_.mode == SnapshotMode::NvmImage
-                                  ? rt.bookmarkedIterationNvm()
-                                  : crash.iteration;
-    for (const auto& object : rt.objects()) {
-      if (object.candidate) {
-        snapshots[object.id] = config_.mode == SnapshotMode::NvmImage
-                                   ? rt.dumpObjectNvm(object.id)
-                                   : rt.dumpObjectCurrent(object.id);
-      }
-    }
+    capture.restartIteration = config_.mode == SnapshotMode::NvmImage
+                                   ? rt.bookmarkedIterationNvm()
+                                   : crash.iteration;
     rt.powerLoss();
+  } catch (...) {
+    // The armed crash never fired — the app (or the watchdog) threw mid-run,
+    // so there is no CrashEvent to read the crash site from. Take it from
+    // the runtime's throw-site snapshot (the live stack is already unwound)
+    // so the failure report still names where the run died.
+    const auto& path = rt.throwRegionPath();
+    record.region = path.empty() ? rt.activeRegion() : path.back();
+    record.regionPath = path;
+    throw;
   }
   CampaignMetrics::get().recordRun(rt.events());
 
-  // --- Restart ------------------------------------------------------------
+  runRestart(golden, capture, trial, cancel, record);
+}
+
+void CampaignRunner::runRestart(const GoldenStats& golden, const SweepCapture& capture,
+                                std::size_t trial, const std::atomic<bool>* cancel,
+                                CrashTestRecord& record) const {
+  record = CrashTestRecord{};
+  record.crashAccessIndex = capture.crashAccessIndex;
+  record.region = capture.region;
+  record.regionPath = capture.regionPath;
+  record.crashIteration = capture.crashIteration;
+  record.restartIteration = capture.restartIteration;
+  record.inconsistentRate = capture.inconsistentRate;
+
   Runtime restartRt(config_.cache);
+  // Restarts run in direct-access mode: their outcome (S1-S4, extra
+  // iterations) depends only on computed values, which direct mode preserves
+  // bit-for-bit, and the paper's restarts execute natively anyway — only the
+  // crashing run's cache-vs-NVM divergence needs the hierarchy simulated.
+  restartRt.setDirect(true);
   restartRt.setPlan(config_.plan);
   restartRt.setCancelFlag(cancel);
   restartRt.setTraceRun("restart:" + std::to_string(trial));
   auto restartApp = factory_();
   restartApp->setup(restartRt);
   restartApp->initialize(restartRt);
-  for (const auto& [id, bytes] : snapshots) {
+  for (const auto& [id, bytes] : capture.snapshots) {
     restartRt.restoreObject(id, bytes);
   }
 

@@ -99,6 +99,14 @@ struct CampaignConfig {
   /// identical to a single-threaded run (crash points are pre-drawn and
   /// records land by index). 0 = use the hardware concurrency.
   int threads = 1;
+  /// Single-sweep trial evaluator: ONE crashing run per campaign captures
+  /// every pending crash point read-only (region path, iteration,
+  /// inconsistency rates, snapshots) and restarts consume the captures from
+  /// a queue, overlapping with the sweep. Off = the per-trial path (one
+  /// crashing run per test). Both modes produce byte-identical results for a
+  /// fixed seed; the sweep drops the crashing phase from O(N·W/2) to O(W)
+  /// tracked accesses.
+  bool sweep = true;
   /// App name stamped onto telemetry (trace common field + trial events).
   std::string appLabel;
   /// Render a live progress line on stderr: trials done, S1-S4 tally, ETA.
@@ -122,6 +130,21 @@ struct GoldenStats {
   std::map<runtime::PointId, double> regionTimeShare;
   /// Iteration-end persist points reached per region over the execution.
   std::map<runtime::PointId, std::uint64_t> regionIterationEnds;
+};
+
+/// Everything a trial needs from its crashing run, detached from the runtime
+/// that produced it: the crash-instant context plus the restart inputs. The
+/// per-trial path fills one per test; the sweep evaluator fills one per
+/// distinct crash index during its single crashing run and shares it
+/// (read-only) between every trial that drew that index.
+struct SweepCapture {
+  std::uint64_t crashAccessIndex = 0;
+  runtime::PointId region = runtime::kMainLoopEnd;
+  std::vector<runtime::PointId> regionPath;
+  int crashIteration = 0;
+  int restartIteration = 0;
+  std::map<runtime::ObjectId, double> inconsistentRate;
+  std::map<runtime::ObjectId, std::vector<std::uint8_t>> snapshots;
 };
 
 struct CrashTestRecord {
@@ -177,11 +200,19 @@ class CampaignRunner {
   [[nodiscard]] CampaignResult run() const;
 
  private:
+  /// Per-trial path: one crashing run to `crashIndex`, then runRestart.
   /// Fills `record` in place so that a mid-trial exception leaves the
   /// partial progress (crash site, region path) readable for the failure
   /// report. `cancel` is the watchdog flag installed on both simulated
   /// machines (nullptr = no watchdog).
   void runOneTest(const GoldenStats& golden, std::uint64_t crashIndex,
+                  std::size_t trial, const std::atomic<bool>* cancel,
+                  CrashTestRecord& record) const;
+
+  /// Restart + S1–S4 classification from a capture. Shared verbatim by both
+  /// evaluator paths — this is what makes sweep and per-trial campaigns
+  /// byte-identical.
+  void runRestart(const GoldenStats& golden, const SweepCapture& capture,
                   std::size_t trial, const std::atomic<bool>* cancel,
                   CrashTestRecord& record) const;
 

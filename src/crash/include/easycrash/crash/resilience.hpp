@@ -8,11 +8,13 @@
 // interruption (a SIGINT/SIGTERM stop flag workers drain against).
 //
 // The journal is written with the same discipline the paper demands of its
-// subject applications: a flush batch is written to `<path>.tmp`, fsynced,
-// and renamed over the journal, so the file on disk is always a complete,
-// parseable prefix of the campaign — never a torn line. Trials are recorded
-// in test-index order (a contiguous prefix), which makes resume trivially
-// deterministic and lets trace_lint --journal insist on monotone indices.
+// subject applications: every flush writes the whole journal to
+// `<path>.tmp`, fsyncs, and renames it over the old file, so the file on
+// disk is always complete and parseable — never a torn line. Entries are
+// written in test-index order regardless of decision order (the sweep
+// evaluator decides trials in crash-index order), which keeps resume
+// trivially deterministic and lets trace_lint --journal insist on monotone
+// indices while still persisting everything an interrupted sweep decided.
 #pragma once
 
 #include <atomic>
@@ -103,8 +105,9 @@ struct JournalHeader {
 /// difference changes results, which the header exists to prevent).
 [[nodiscard]] std::uint64_t planFingerprint(const runtime::PersistencePlan& plan);
 
-/// Crash-safe writer. Thread-safe; records may arrive in any order but only
-/// the contiguous prefix of decided test indices is persisted, every
+/// Crash-safe writer. Thread-safe; records may arrive in any order (worker
+/// interleaving, or the sweep deciding trials in crash-index order) and
+/// every decided trial is persisted, written in test-index order, every
 /// `flushEvery` newly decided trials and on close()/destruction. Nothing is
 /// written until the first flush() — the campaign seeds replayed records
 /// first, so resuming into the same path never truncates the journal.
@@ -117,7 +120,7 @@ class TrialJournal {
 
   void recordTrial(std::size_t trial, const CrashTestRecord& record);
   void recordFailure(const TrialFailure& failure);
-  /// Write the current contiguous prefix via temp-file + fsync + rename.
+  /// Write header + every decided entry via temp-file + fsync + rename.
   void flush();
   void close();
 
@@ -126,16 +129,17 @@ class TrialJournal {
 
   std::string path_;
   std::mutex mutex_;
-  std::map<std::size_t, std::string> pending_;  ///< serialized, by test index
-  std::size_t nextToPersist_ = 0;  ///< first test index not yet durable
-  std::string durable_;            ///< exact content of the last good write
+  std::string header_;                          ///< serialized first line
+  std::map<std::size_t, std::string> entries_;  ///< serialized, by test index
+  std::size_t sinceFlush_ = 0;  ///< entries decided since the last write
+  bool written_ = false;        ///< at least one write has landed
   int flushEvery_ = 8;
   bool closed_ = false;
 };
 
-/// A parsed journal: the header plus every decided trial. Only the
-/// contiguous prefix is ever on disk, but the reader tolerates (and
-/// ignores) a trailing partial line from a torn append.
+/// A parsed journal: the header plus every decided trial. The writer only
+/// renames complete files, but the reader tolerates (and ignores) a
+/// trailing partial line from a torn append.
 struct JournalReplay {
   JournalHeader header;
   std::map<std::size_t, CrashTestRecord> trials;

@@ -345,7 +345,7 @@ std::uint64_t planFingerprint(const runtime::PersistencePlan& plan) {
 TrialJournal::TrialJournal(std::string path, const JournalHeader& header,
                            int flushEvery)
     : path_(std::move(path)),
-      durable_(serializeHeader(header)),
+      header_(serializeHeader(header)),
       flushEvery_(std::max(1, flushEvery)) {
   // Nothing is written yet: when resuming into the same path, the campaign
   // first re-feeds the replayed records, then flushes — the on-disk journal
@@ -363,19 +363,15 @@ TrialJournal::~TrialJournal() {
 void TrialJournal::recordTrial(std::size_t trial, const CrashTestRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return;
-  pending_[trial] = serializeTrial(trial, record);
-  std::size_t ready = 0;
-  while (pending_.count(nextToPersist_ + ready)) ++ready;
-  if (ready >= static_cast<std::size_t>(flushEvery_)) flushLocked();
+  entries_[trial] = serializeTrial(trial, record);
+  if (++sinceFlush_ >= static_cast<std::size_t>(flushEvery_)) flushLocked();
 }
 
 void TrialJournal::recordFailure(const TrialFailure& failure) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return;
-  pending_[failure.trial] = serializeFailure(failure);
-  std::size_t ready = 0;
-  while (pending_.count(nextToPersist_ + ready)) ++ready;
-  if (ready >= static_cast<std::size_t>(flushEvery_)) flushLocked();
+  entries_[failure.trial] = serializeFailure(failure);
+  if (++sinceFlush_ >= static_cast<std::size_t>(flushEvery_)) flushLocked();
 }
 
 void TrialJournal::flush() {
@@ -391,16 +387,15 @@ void TrialJournal::close() {
 }
 
 void TrialJournal::flushLocked() {
-  std::size_t appended = 0;
-  for (auto it = pending_.find(nextToPersist_); it != pending_.end();
-       it = pending_.find(nextToPersist_)) {
-    durable_ += it->second;
-    pending_.erase(it);
-    ++nextToPersist_;
-    ++appended;
-  }
-  if (appended == 0 && nextToPersist_ != 0) return;  // nothing new beyond header
-  atomicWriteFile(path_, durable_);
+  if (sinceFlush_ == 0 && written_) return;  // nothing new since the last write
+  // The whole journal is rewritten each flush (that is what makes the
+  // rename atomic), so decision order is free: entries land sorted by test
+  // index no matter whether workers or the sweep decided them.
+  std::string content = header_;
+  for (const auto& [trial, line] : entries_) content += line;
+  atomicWriteFile(path_, content);
+  sinceFlush_ = 0;
+  written_ = true;
 }
 
 // ---- readJournal ------------------------------------------------------------

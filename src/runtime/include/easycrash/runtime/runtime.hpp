@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -81,11 +82,19 @@ class Runtime {
   /// Inline so the memory system's header-level L1 fast path and the
   /// crash-window guard stay visible to the instrumented app's loops.
   void load(std::uint64_t addr, std::span<std::uint8_t> dst) {
-    hierarchy_.load(addr, dst);
+    if (direct_) {
+      nvm_.read(addr, dst);
+    } else {
+      hierarchy_.load(addr, dst);
+    }
     onAccess(1);
   }
   void store(std::uint64_t addr, std::span<const std::uint8_t> src) {
-    hierarchy_.store(addr, src);
+    if (direct_) {
+      nvm_.poke(addr, src);
+    } else {
+      hierarchy_.store(addr, src);
+    }
     onAccess(1);
   }
   /// Architecturally-current value without counters or cache perturbation.
@@ -186,6 +195,34 @@ class Runtime {
   /// window (1-based). Throws CrashEvent from the access that reaches it.
   void armCrash(std::uint64_t accessIndex);
   void disarmCrash();
+
+  /// Observes one would-be crash point without crashing: receives exactly the
+  /// context a CrashEvent thrown at that access would carry, then the run
+  /// continues. May itself throw to end the run early.
+  using CaptureHook = std::function<void(const CrashEvent&)>;
+  /// Arm read-only captures at the given 1-based window access indices
+  /// (strictly increasing, all beyond the current clock). This is the
+  /// multi-arm sibling of armCrash backing the campaign's single-sweep
+  /// evaluator: one crashing run visits every pending crash point. The hook
+  /// must only use non-perturbing reads (peek/readNvm/dumpObject*/
+  /// inconsistentRate/regionPath) so the run it observes stays bit-identical
+  /// to an unobserved one. A capture armed at the same index as armCrash
+  /// fires before the CrashEvent is thrown.
+  void armCaptures(std::vector<std::uint64_t> indices, CaptureHook hook);
+  void disarmCaptures();
+  /// Region stack at this instant, outermost first (what CrashEvent carries
+  /// as regionPath). Valid between tracked accesses, e.g. inside a capture
+  /// hook or after catching an app exception.
+  [[nodiscard]] const std::vector<PointId>& regionPath() const { return regionStack_; }
+  /// Region stack at the most recent throw site. RegionScope destructors pop
+  /// the live stack during unwinding, so by the time a harness-level catch
+  /// observes an escaped exception regionPath() is already empty; this
+  /// returns the stack as the innermost unwound scope saw it (falling back
+  /// to the live stack when nothing has unwound). Used by the campaign to
+  /// name the crash site of a trial that died before its armed crash fired.
+  [[nodiscard]] const std::vector<PointId>& throwRegionPath() const {
+    return unwindPath_.empty() ? regionStack_ : unwindPath_;
+  }
   /// Crash window control: only accesses inside the window tick the clock
   /// (the paper triggers crashes during the main computation loop).
   void setCrashWindow(bool active) { crashWindowActive_ = active; }
@@ -193,6 +230,20 @@ class Runtime {
 
   /// Simulate the power loss itself: drop all cache contents.
   void powerLoss();
+
+  /// Direct-access mode: tracked loads/stores bypass the cache simulation
+  /// and read/write the NVM image itself. With the caches never populated,
+  /// the NVM image IS the architectural state, so every load returns exactly
+  /// what the simulated hierarchy would have returned — values, control flow
+  /// and therefore campaign results are bit-identical — while the simulation
+  /// cost of a run collapses to raw memory traffic. Restarts run in this
+  /// mode: the paper's restarts execute natively on the machine under study;
+  /// only the crashing run (whose cache-vs-NVM divergence is the object of
+  /// measurement) needs the hierarchy simulated. Crash-clock ticks, the
+  /// watchdog poll and armed crashes/captures behave identically in both
+  /// modes; MemEvents and NVM wear counters record (by design) nothing.
+  void setDirect(bool on) noexcept { direct_ = on; }
+  [[nodiscard]] bool direct() const noexcept { return direct_; }
 
   // ---- Cooperative cancellation (campaign watchdog) --------------------------
 
@@ -230,6 +281,7 @@ class Runtime {
     onAccessSlow(count);
   }
   void onAccessSlow(std::uint64_t count);
+  void fireCaptures();
   void executeDirective(const PersistDirective& directive, PointId point);
 
   /// Per-point counters are flat vectors indexed by `point + 1` (slot 0 is
@@ -254,6 +306,11 @@ class Runtime {
   std::uint64_t persistenceOps_ = 0;
 
   std::vector<PointId> regionStack_;
+  /// Throw-site snapshot for throwRegionPath(): the region stack when the
+  /// current exception's unwind first passed endRegion, keyed by the
+  /// std::uncaught_exceptions() depth that recorded it.
+  std::vector<PointId> unwindPath_;
+  int unwindSeen_ = 0;
   std::uint32_t regionCount_ = 0;
   std::vector<std::uint64_t> regionAccesses_;
 
@@ -270,8 +327,19 @@ class Runtime {
   ObjectId iterObject_ = 0;  ///< the always-persisted loop-iterator bookmark
 
   bool crashWindowActive_ = false;
+  bool direct_ = false;  ///< bypass the hierarchy, touch NVM bytes directly
   std::uint64_t windowAccesses_ = 0;
   std::uint64_t crashAt_ = 0;  ///< 0 = disarmed
+
+  /// Multi-arm capture state. captureNext_ mirrors captureAt_[captureCursor_]
+  /// (kNoCapture when disarmed/exhausted) so the per-access check in
+  /// onAccessSlow stays a single compare against a resident value.
+  static constexpr std::uint64_t kNoCapture = ~std::uint64_t{0};
+  std::vector<std::uint64_t> captureAt_;
+  std::size_t captureCursor_ = 0;
+  std::uint64_t captureNext_ = kNoCapture;
+  CaptureHook captureHook_;
+
   const std::atomic<bool>* cancel_ = nullptr;  ///< watchdog cancellation flag
 };
 

@@ -1,6 +1,7 @@
 #include "easycrash/runtime/runtime.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/telemetry/metrics.hpp"
@@ -111,6 +112,10 @@ void Runtime::onAccessSlow(std::uint64_t count) {
   const PointId region = activeRegion();
   regionAccesses_[pointSlot(region)] += count;
   windowAccesses_ += count;
+  // Captures observe the crash point without ending the run, and must fire
+  // before the armed crash so a sweep's final index is both captured and
+  // crashed on the very same access.
+  if (windowAccesses_ >= captureNext_) fireCaptures();
   if (crashAt_ != 0 && windowAccesses_ >= crashAt_) {
     CrashEvent crash;
     crash.accessIndex = windowAccesses_;
@@ -150,7 +155,11 @@ void Runtime::persistObject(ObjectId id, memsim::FlushKind kind) {
 void Runtime::restoreObject(ObjectId id, std::span<const std::uint8_t> bytes) {
   const DataObjectInfo& info = object(id);
   EC_CHECK_MSG(bytes.size() == info.bytes, "restore size mismatch for " + info.name);
-  hierarchy_.store(info.addr, bytes);
+  if (direct_) {
+    nvm_.poke(info.addr, bytes);
+  } else {
+    hierarchy_.store(info.addr, bytes);
+  }
 }
 
 std::vector<std::uint8_t> Runtime::dumpObjectNvm(ObjectId id) const {
@@ -194,6 +203,16 @@ void Runtime::beginRegion(PointId region) {
 void Runtime::endRegion(PointId region) {
   EC_CHECK_MSG(!regionStack_.empty() && regionStack_.back() == region,
                "unbalanced region markers");
+  // When an exception unwinds through the region scopes, remember the stack
+  // as the first (innermost) scope saw it: that is the throw site, and the
+  // live stack will be empty by the time a harness-level catch can look.
+  const int unwinding = std::uncaught_exceptions();
+  if (unwinding == 0) {
+    unwindSeen_ = 0;
+  } else if (unwinding != unwindSeen_) {
+    unwindSeen_ = unwinding;
+    unwindPath_ = regionStack_;
+  }
   regionStack_.pop_back();
   const RegionSpan span = regionSpans_.back();
   regionSpans_.pop_back();
@@ -303,5 +322,42 @@ void Runtime::armCrash(std::uint64_t accessIndex) {
 }
 
 void Runtime::disarmCrash() { crashAt_ = 0; }
+
+void Runtime::armCaptures(std::vector<std::uint64_t> indices, CaptureHook hook) {
+  EC_CHECK_MSG(!indices.empty(), "armCaptures needs at least one index");
+  EC_CHECK_MSG(static_cast<bool>(hook), "armCaptures needs a hook");
+  EC_CHECK_MSG(indices.front() > windowAccesses_, "capture point already passed");
+  EC_CHECK_MSG(std::is_sorted(indices.begin(), indices.end()) &&
+                   std::adjacent_find(indices.begin(), indices.end()) == indices.end(),
+               "capture indices must be strictly increasing");
+  captureAt_ = std::move(indices);
+  captureCursor_ = 0;
+  captureNext_ = captureAt_.front();
+  captureHook_ = std::move(hook);
+}
+
+void Runtime::disarmCaptures() {
+  captureAt_.clear();
+  captureCursor_ = 0;
+  captureNext_ = kNoCapture;
+  captureHook_ = nullptr;
+}
+
+void Runtime::fireCaptures() {
+  while (captureCursor_ < captureAt_.size() &&
+         windowAccesses_ >= captureAt_[captureCursor_]) {
+    CrashEvent at;
+    at.accessIndex = windowAccesses_;
+    at.activeRegion = activeRegion();
+    at.iteration = bookmarkedIteration();
+    at.regionPath = regionStack_;
+    // Advance before invoking: the hook may throw to abort the run, and a
+    // re-entered fireCaptures must not replay this index.
+    ++captureCursor_;
+    captureNext_ =
+        captureCursor_ < captureAt_.size() ? captureAt_[captureCursor_] : kNoCapture;
+    captureHook_(at);
+  }
+}
 
 }  // namespace easycrash::runtime

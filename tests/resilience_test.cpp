@@ -211,6 +211,48 @@ TEST(ResilienceTest, JournalResumeReproducesCampaignExactly) {
   std::remove(journal.c_str());
 }
 
+TEST(ResilienceTest, InterruptedSweepJournalResumesOnEitherPath) {
+  // Kill a sweep-mode campaign mid-flight (the sweep decides trials in
+  // crash-index order, so the journal holds a scattered set of indices),
+  // then resume it once per evaluator mode: both must reconstruct the
+  // uninterrupted campaign exactly.
+  StopFlagGuard guard;
+  const std::string journal = tempPath("sweep_resume.jsonl");
+  std::remove(journal.c_str());
+
+  auto config = tinyConfig(30);
+  config.sweep = true;
+  config.resilience.isolate = true;
+  config.resilience.journalPath = journal;
+  config.resilience.journalFlushEvery = 2;
+  config.resilience.stopAfterTrials = 7;
+  const auto partial = cr::CampaignRunner(faultyFactory({}), config).run();
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_GE(partial.tests.size(), 7u);
+  EXPECT_LT(partial.tests.size(), 30u);
+
+  cr::clearStopFlag();
+  const auto fresh = cr::CampaignRunner(faultyFactory({}), tinyConfig(30)).run();
+
+  for (const bool sweepOnResume : {true, false}) {
+    cr::clearStopFlag();
+    auto resumeConfig = tinyConfig(30);
+    resumeConfig.sweep = sweepOnResume;
+    resumeConfig.resilience.isolate = true;
+    resumeConfig.resilience.resumePath = journal;
+    const auto resumed = cr::CampaignRunner(faultyFactory({}), resumeConfig).run();
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_GE(resumed.resumedTrials, partial.tests.size());
+    expectSameRecords(fresh, resumed);
+    std::ostringstream a;
+    std::ostringstream b;
+    cr::writeCampaignCsv(fresh, a);
+    cr::writeCampaignCsv(resumed, b);
+    EXPECT_EQ(a.str(), b.str()) << "sweep-on-resume=" << sweepOnResume;
+  }
+  std::remove(journal.c_str());
+}
+
 // ---- Trial isolation --------------------------------------------------------
 
 TEST(ResilienceTest, ThrowingTrialsBecomeFailuresNotAborts) {
@@ -378,7 +420,10 @@ TEST(ResilienceTest, JournalRoundTripsTrialsAndFailures) {
   std::remove(path.c_str());
 }
 
-TEST(ResilienceTest, JournalPersistsOnlyTheContiguousPrefix) {
+TEST(ResilienceTest, JournalPersistsOutOfOrderDecisionsSorted) {
+  // The sweep evaluator decides trials in crash-index order, so decided
+  // test indices are scattered: every one of them must still be durable,
+  // written in test-index order.
   const std::string path = tempPath("journal_prefix.jsonl");
   std::remove(path.c_str());
   cr::JournalHeader header;
@@ -388,13 +433,25 @@ TEST(ResilienceTest, JournalPersistsOnlyTheContiguousPrefix) {
   {
     cr::TrialJournal journal(path, header, 1);
     cr::CrashTestRecord record;
+    journal.recordTrial(5, record);  // gap: trials 0..4 still undecided
     journal.recordTrial(0, record);
-    journal.recordTrial(5, record);  // gap: trials 1..4 still undecided
+    journal.recordTrial(8, record);
     journal.close();
   }
   const auto replay = cr::readJournal(path);
-  EXPECT_EQ(replay.trials.size(), 1u) << "only the prefix (trial 0) is durable";
+  EXPECT_EQ(replay.trials.size(), 3u) << "every decided trial is durable";
   EXPECT_TRUE(replay.trials.count(0));
+  EXPECT_TRUE(replay.trials.count(5));
+  EXPECT_TRUE(replay.trials.count(8));
+  // trace_lint --journal insists on monotone indices: verify the file order.
+  std::ifstream is(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find("\"trial\":0"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"trial\":5"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"trial\":8"), std::string::npos);
   std::remove(path.c_str());
 }
 

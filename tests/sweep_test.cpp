@@ -1,0 +1,378 @@
+// Tests for the single-sweep campaign evaluator (docs/INTERNALS.md): the
+// runtime's multi-arm capture API, capture non-perturbation, and the
+// campaign-level guarantee that --sweep on/off produce byte-identical
+// results across thread counts, duplicate crash indices, and the fallback
+// path taken when the sweep run itself dies.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/report.hpp"
+#include "easycrash/runtime/runtime.hpp"
+#include "easycrash/runtime/tracked.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+
+namespace rt = easycrash::runtime;
+namespace cr = easycrash::crash;
+namespace ms = easycrash::memsim;
+namespace tl = easycrash::telemetry;
+
+namespace {
+
+/// Accumulator app mirroring campaign_test's ProbeApp, with a knob that
+/// throws a harness-level exception (not an AppInterrupt) at a fixed
+/// iteration — the "throw before the armed crash fires" failure path.
+class SweepApp final : public rt::IApp {
+ public:
+  struct Knobs {
+    int iterations = 6;
+    int cells = 256;
+    /// 0 = never; otherwise crashing runs die on reaching this iteration.
+    /// Restarts are exempt (they run in direct mode), and sweepFactory
+    /// exempts the first construction so the golden run completes.
+    int throwAtIteration = 0;
+  };
+
+  explicit SweepApp(Knobs knobs) : knobs_(knobs) {}
+
+  [[nodiscard]] const rt::AppInfo& info() const override { return info_; }
+
+  void setup(rt::Runtime& runtime) override {
+    runtime.declareRegionCount(2);
+    data_ = rt::TrackedArray<std::int64_t>(runtime, "data", knobs_.cells, true);
+    sum_ = rt::TrackedScalar<std::int64_t>(runtime, "sum", true);
+  }
+
+  void initialize(rt::Runtime& runtime) override {
+    (void)runtime;
+    for (int i = 0; i < knobs_.cells; ++i) data_.set(i, 0);
+    sum_.set(0);
+  }
+
+  void iterate(rt::Runtime& runtime, int iteration) override {
+    {
+      rt::RegionScope region(runtime, 0);
+      if (knobs_.throwAtIteration > 0 && !runtime.direct() &&
+          iteration >= knobs_.throwAtIteration) {
+        throw std::runtime_error("sweep-app: induced failure");
+      }
+      for (int i = 0; i < knobs_.cells; ++i) data_.set(i, data_.get(i) + 1);
+      region.iterationEnd();
+    }
+    {
+      rt::RegionScope region(runtime, 1);
+      std::int64_t total = 0;
+      for (int i = 0; i < knobs_.cells; ++i) total += data_.get(i);
+      sum_.set(total);
+      region.iterationEnd();
+    }
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return knobs_.iterations; }
+
+  [[nodiscard]] bool converged(rt::Runtime& runtime, int iteration) override {
+    (void)runtime;
+    return iteration >= knobs_.iterations;
+  }
+
+  [[nodiscard]] rt::VerifyOutcome verify(rt::Runtime& runtime) override {
+    (void)runtime;
+    rt::VerifyOutcome out;
+    std::int64_t total = 0;
+    for (int i = 0; i < knobs_.cells; ++i) total += data_.peek(i);
+    const auto expected =
+        static_cast<std::int64_t>(knobs_.iterations) * knobs_.cells;
+    out.metric = static_cast<double>(total);
+    out.pass = total == expected;
+    return out;
+  }
+
+ private:
+  Knobs knobs_;
+  rt::AppInfo info_{"sweep-app", "sweep evaluator test app"};
+  rt::TrackedArray<std::int64_t> data_;
+  rt::TrackedScalar<std::int64_t> sum_;
+};
+
+rt::AppFactory sweepFactory(SweepApp::Knobs knobs) {
+  // The campaign's golden run is always the factory's first construction;
+  // it must complete for the campaign to start, so it never throws.
+  auto constructions = std::make_shared<std::atomic<int>>(0);
+  return [knobs, constructions] {
+    auto effective = knobs;
+    if (constructions->fetch_add(1) == 0) effective.throwAtIteration = 0;
+    return std::make_unique<SweepApp>(effective);
+  };
+}
+
+cr::CampaignConfig tinyConfig(int tests) {
+  cr::CampaignConfig config;
+  config.numTests = tests;
+  config.cache = ms::CacheConfig::tiny();
+  return config;
+}
+
+void expectSameRecords(const cr::CampaignResult& a, const cr::CampaignResult& b) {
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    const auto& x = a.tests[i];
+    const auto& y = b.tests[i];
+    EXPECT_EQ(x.crashAccessIndex, y.crashAccessIndex) << "trial " << i;
+    EXPECT_EQ(x.region, y.region) << "trial " << i;
+    EXPECT_EQ(x.regionPath, y.regionPath) << "trial " << i;
+    EXPECT_EQ(x.crashIteration, y.crashIteration) << "trial " << i;
+    EXPECT_EQ(x.restartIteration, y.restartIteration) << "trial " << i;
+    EXPECT_EQ(x.response, y.response) << "trial " << i;
+    EXPECT_EQ(x.extraIterations, y.extraIterations) << "trial " << i;
+    EXPECT_EQ(x.inconsistentRate, y.inconsistentRate) << "trial " << i;
+  }
+}
+
+std::string campaignCsv(const cr::CampaignResult& campaign) {
+  std::ostringstream os;
+  cr::writeCampaignCsv(campaign, os);
+  return os.str();
+}
+
+std::uint64_t counterValue(const char* name) {
+  return tl::MetricsRegistry::instance().counter(name).value();
+}
+
+}  // namespace
+
+// ---- Runtime capture API ----------------------------------------------------
+
+TEST(CaptureApiTest, CaptureContextMatchesTheCrashEventAtTheSameIndex) {
+  constexpr std::uint64_t kIndex = 700;
+
+  // Reference: a real crash armed at the index.
+  rt::CrashEvent reference;
+  {
+    rt::Runtime runtime(ms::CacheConfig::tiny());
+    SweepApp app({});
+    app.setup(runtime);
+    app.initialize(runtime);
+    runtime.armCrash(kIndex);
+    try {
+      (void)rt::Driver::run(app, runtime, 1, app.nominalIterations());
+      FAIL() << "armed crash did not fire";
+    } catch (const rt::CrashEvent& crash) {
+      reference = crash;
+    }
+  }
+
+  // A capture at the same index on an identical run, which then completes.
+  std::vector<rt::CrashEvent> captured;
+  {
+    rt::Runtime runtime(ms::CacheConfig::tiny());
+    SweepApp app({});
+    app.setup(runtime);
+    app.initialize(runtime);
+    runtime.armCaptures({kIndex},
+                        [&](const rt::CrashEvent& at) { captured.push_back(at); });
+    const auto run = rt::Driver::run(app, runtime, 1, app.nominalIterations());
+    EXPECT_TRUE(run.verification.pass);
+  }
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].accessIndex, reference.accessIndex);
+  EXPECT_EQ(captured[0].activeRegion, reference.activeRegion);
+  EXPECT_EQ(captured[0].iteration, reference.iteration);
+  EXPECT_EQ(captured[0].regionPath, reference.regionPath);
+}
+
+TEST(CaptureApiTest, CapturesFireInOrderAndDoNotReplayAfterAThrowingHook) {
+  rt::Runtime runtime(ms::CacheConfig::tiny());
+  rt::TrackedArray<std::int64_t> data(runtime, "data", 64, true);
+  runtime.setCrashWindow(true);
+
+  struct StopEarly {};
+  std::vector<std::uint64_t> fired;
+  runtime.armCaptures({10, 20, 30}, [&](const rt::CrashEvent& at) {
+    fired.push_back(at.accessIndex);
+    if (fired.size() == 2) throw StopEarly{};
+  });
+
+  const auto tick = [&] { data.set(0, data.peek(0) + 1); };
+  for (int i = 0; i < 15; ++i) tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10; ++i) tick();
+      },
+      StopEarly);
+  // The cursor advances before the hook runs: continuing the run must fire
+  // the remaining capture, not replay the one whose hook threw.
+  for (int i = 0; i < 15; ++i) tick();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 10u);
+  EXPECT_EQ(fired[1], 20u);
+  EXPECT_EQ(fired[2], 30u);
+}
+
+TEST(CaptureApiTest, ArmCapturesValidatesItsIndices) {
+  rt::Runtime runtime(ms::CacheConfig::tiny());
+  const auto hook = [](const rt::CrashEvent&) {};
+  EXPECT_THROW(runtime.armCaptures({}, hook), std::logic_error);
+  EXPECT_THROW(runtime.armCaptures({0}, hook), std::logic_error);
+  EXPECT_THROW(runtime.armCaptures({5, 4}, hook), std::logic_error);
+  EXPECT_THROW(runtime.armCaptures({5, 5}, hook), std::logic_error);
+  EXPECT_THROW(runtime.armCaptures({1, 2, 3}, nullptr), std::logic_error);
+}
+
+TEST(CaptureApiTest, ArmedCapturesDoNotPerturbTheRun) {
+  const auto execute = [](bool withCaptures, ms::MemEvents* events,
+                          std::uint64_t* windowAccesses, double* metric,
+                          std::uint64_t* nvmWrites) {
+    rt::Runtime runtime(ms::CacheConfig::tiny());
+    SweepApp app({});
+    app.setup(runtime);
+    app.initialize(runtime);
+    if (withCaptures) {
+      // A hook that leans on every read-only inspection path the campaign's
+      // sweep uses: none of them may touch the caches or the clock.
+      runtime.armCaptures({50, 500, 2000}, [&](const rt::CrashEvent&) {
+        for (const auto& object : runtime.objects()) {
+          (void)runtime.dumpObjectNvm(object.id);
+          (void)runtime.dumpObjectCurrent(object.id);
+          (void)runtime.inconsistentRate(object.id);
+        }
+        (void)runtime.bookmarkedIterationNvm();
+        (void)runtime.regionPath();
+      });
+    }
+    const auto run = rt::Driver::run(app, runtime, 1, app.nominalIterations());
+    *events = runtime.events();
+    *windowAccesses = runtime.windowAccesses();
+    *metric = run.verification.metric;
+    *nvmWrites = runtime.nvm().blockWrites();
+  };
+
+  ms::MemEvents bare;
+  ms::MemEvents observed;
+  std::uint64_t bareAccesses = 0;
+  std::uint64_t observedAccesses = 0;
+  double bareMetric = 0;
+  double observedMetric = 0;
+  std::uint64_t bareNvmWrites = 0;
+  std::uint64_t observedNvmWrites = 0;
+  execute(false, &bare, &bareAccesses, &bareMetric, &bareNvmWrites);
+  execute(true, &observed, &observedAccesses, &observedMetric, &observedNvmWrites);
+
+  EXPECT_EQ(observedAccesses, bareAccesses);
+  EXPECT_EQ(observedMetric, bareMetric);
+  EXPECT_EQ(observedNvmWrites, bareNvmWrites);
+  EXPECT_EQ(observed.loads, bare.loads);
+  EXPECT_EQ(observed.stores, bare.stores);
+  EXPECT_EQ(observed.hits, bare.hits);
+  EXPECT_EQ(observed.misses, bare.misses);
+  EXPECT_EQ(observed.nvmBlockReads, bare.nvmBlockReads);
+  EXPECT_EQ(observed.nvmBlockWrites, bare.nvmBlockWrites);
+  EXPECT_EQ(observed.totalFlushes(), bare.totalFlushes());
+}
+
+// ---- Campaign-level equivalence ---------------------------------------------
+
+TEST(SweepTest, SweepOnMatchesSweepOffAcrossThreadCounts) {
+  auto config = tinyConfig(40);
+  config.resilience.isolate = true;
+
+  config.sweep = false;
+  const auto off = cr::CampaignRunner(sweepFactory({}), config).run();
+  EXPECT_TRUE(off.failures.empty());
+
+  config.sweep = true;
+  const auto on1 = cr::CampaignRunner(sweepFactory({}), config).run();
+  config.threads = 4;
+  const auto on4 = cr::CampaignRunner(sweepFactory({}), config).run();
+
+  expectSameRecords(off, on1);
+  expectSameRecords(off, on4);
+  EXPECT_EQ(campaignCsv(off), campaignCsv(on1));
+  EXPECT_EQ(campaignCsv(off), campaignCsv(on4));
+}
+
+TEST(SweepTest, DuplicateCrashIndicesShareOneCaptureAndStayIdentical) {
+  // A window of a few dozen accesses with 200 draws guarantees duplicate
+  // crash indices (pigeonhole), exercising the shared-capture path.
+  SweepApp::Knobs knobs;
+  knobs.cells = 4;
+  knobs.iterations = 3;
+  auto config = tinyConfig(200);
+  config.resilience.isolate = true;
+
+  config.sweep = false;
+  const auto off = cr::CampaignRunner(sweepFactory(knobs), config).run();
+
+  const auto runsBefore = counterValue("campaign.sweep_runs");
+  const auto capturesBefore = counterValue("campaign.sweep_captures");
+  config.sweep = true;
+  const auto on = cr::CampaignRunner(sweepFactory(knobs), config).run();
+  expectSameRecords(off, on);
+  EXPECT_EQ(campaignCsv(off), campaignCsv(on));
+
+  std::set<std::uint64_t> distinct;
+  for (const auto& record : on.tests) distinct.insert(record.crashAccessIndex);
+  ASSERT_EQ(on.tests.size(), 200u);
+  EXPECT_LT(distinct.size(), 200u) << "window too large to force duplicates";
+  // One crashing run, one capture per DISTINCT index — duplicates share.
+  EXPECT_EQ(counterValue("campaign.sweep_runs") - runsBefore, 1u);
+  EXPECT_EQ(counterValue("campaign.sweep_captures") - capturesBefore,
+            distinct.size());
+}
+
+TEST(SweepTest, SweepRunFailureFallsBackToThePerTrialPath) {
+  // The app dies at iteration 3, so the sweep run can only capture crash
+  // points inside the first two iterations; everything later must fall back
+  // to the per-trial path and be recorded as the same trial failures the
+  // legacy mode produces.
+  SweepApp::Knobs knobs;
+  knobs.throwAtIteration = 3;
+  auto config = tinyConfig(30);
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 0;
+
+  config.sweep = false;
+  const auto off = cr::CampaignRunner(sweepFactory(knobs), config).run();
+
+  const auto fallbacksBefore = counterValue("campaign.sweep_fallbacks");
+  config.sweep = true;
+  const auto on = cr::CampaignRunner(sweepFactory(knobs), config).run();
+
+  ASSERT_GT(off.failures.size(), 0u) << "expected late crash points to fail";
+  ASSERT_GT(off.tests.size(), 0u) << "expected early crash points to complete";
+  expectSameRecords(off, on);
+  ASSERT_EQ(on.failures.size(), off.failures.size());
+  for (std::size_t i = 0; i < off.failures.size(); ++i) {
+    EXPECT_EQ(on.failures[i].trial, off.failures[i].trial);
+    EXPECT_EQ(on.failures[i].reason, off.failures[i].reason);
+    EXPECT_EQ(on.failures[i].regionPath, off.failures[i].regionPath);
+  }
+  EXPECT_GT(counterValue("campaign.sweep_fallbacks") - fallbacksBefore, 0u);
+}
+
+TEST(SweepTest, ThrowBeforeArmedCrashStillNamesTheCrashSite) {
+  // Regression: the crashing run re-zeroed the record, so a trial that threw
+  // before its armed crash fired reported regionPath "main" instead of the
+  // region stack the run actually stood in when it died.
+  SweepApp::Knobs knobs;
+  knobs.throwAtIteration = 2;
+  auto config = tinyConfig(20);
+  config.sweep = false;
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 0;
+
+  const auto result = cr::CampaignRunner(sweepFactory(knobs), config).run();
+  ASSERT_GT(result.failures.size(), 0u);
+  for (const auto& failure : result.failures) {
+    // The induced throw happens inside region 0 ("R1").
+    EXPECT_EQ(failure.regionPath, "R1") << "trial " << failure.trial;
+  }
+}

@@ -14,6 +14,10 @@
 // trace, --metrics-out a counters/histograms snapshot, --log-level tunes
 // stderr diagnostics, and a live progress line tracks the campaign.
 //
+// Performance (docs/INTERNALS.md): by default one sweep run captures every
+// pending crash point and the restarts pipeline behind it (--sweep off
+// restores the one-crashing-run-per-trial path; results are byte-identical).
+//
 // Fault tolerance (docs/ROBUSTNESS.md): trials are isolated (a throwing
 // trial becomes a reported TrialFailure, bounded by --max-trial-failures),
 // a watchdog cancels hung trials (--trial-timeout-ms), --journal records
@@ -57,6 +61,10 @@ int main(int argc, char** argv) {
   cli.addString("plan", "none", "persistence plan spec");
   cli.addString("mode", "nvm", "snapshot mode: nvm (NVCT) or coherent (verified)");
   cli.addInt("threads", 1, "campaign worker threads (0 = hardware concurrency)");
+  cli.addString("sweep", "on",
+                "single-sweep evaluator: capture every crash point in one "
+                "crashing run and pipeline the restarts (on|off; off = the "
+                "per-trial path, byte-identical results)");
   cli.addString("csv-out", "", "write the per-test CSV to this file");
   cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
   cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
@@ -123,6 +131,12 @@ int main(int argc, char** argv) {
       config.mode = ec::crash::SnapshotMode::Coherent;
     } else if (mode != "nvm") {
       throw std::runtime_error("--mode must be 'nvm' or 'coherent'");
+    }
+    const std::string sweep = cli.getString("sweep");
+    if (sweep == "off") {
+      config.sweep = false;
+    } else if (sweep != "on") {
+      throw std::runtime_error("--sweep must be 'on' or 'off'");
     }
 
     auto& res = config.resilience;

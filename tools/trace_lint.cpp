@@ -6,11 +6,17 @@
 //   trace_lint --metrics metrics.json --require-counter memsim.nvmBlockWrites
 //   trace_lint --journal campaign.jsonl                  # resume journal
 //
+// Trace mode additionally knows the per-type schema of the sweep
+// evaluator's events (docs/INTERNALS.md): a sweep_capture must carry
+// run/crash_access/region/iteration/trials and a sweep_end must carry
+// run/captures/planned/completed with captures <= planned — an analysis
+// joining captures against trial_end rows breaks silently otherwise.
+//
 // Journal mode checks the campaign-journal schema (docs/ROBUSTNESS.md):
 // line 1 is a well-formed campaign_header; every following line is a trial
 // or trial_failure whose indices are strictly monotone (the writer persists
-// a contiguous prefix), unique, and inside [0, tests); trial responses are
-// S1-S4 with inconsistency rates in [0, 1].
+// every decided trial sorted by index), unique, and inside [0, tests);
+// trial responses are S1-S4 with inconsistency rates in [0, 1].
 //
 // Exit status 0 iff every check passes; failures name the offending line.
 // Doubles as the e2e check behind the nvct smoke test in tests/.
@@ -36,6 +42,47 @@ std::vector<std::string> splitCsv(const std::string& list) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+bool numberField(const json::Value& value, const char* name, double* out = nullptr) {
+  const json::Value* field = value.find(name);
+  if (field == nullptr || !field->isNumber()) return false;
+  if (out != nullptr) *out = field->number;
+  return true;
+}
+
+/// Per-type schema of the sweep evaluator's trace events. Returns an empty
+/// string when the event is well-formed (or not a sweep event).
+std::string lintSweepEvent(const json::Value& value, const std::string& type) {
+  const json::Value* run = value.find("run");
+  if (type == "sweep_capture") {
+    if (run == nullptr || !run->isString()) return "sweep_capture missing \"run\"";
+    if (!numberField(value, "crash_access")) {
+      return "sweep_capture missing \"crash_access\"";
+    }
+    if (!numberField(value, "region") || !numberField(value, "iteration")) {
+      return "sweep_capture missing \"region\"/\"iteration\"";
+    }
+    double trials = 0;
+    if (!numberField(value, "trials", &trials) || trials < 1) {
+      return "sweep_capture must name at least one trial";
+    }
+  } else if (type == "sweep_end") {
+    if (run == nullptr || !run->isString()) return "sweep_end missing \"run\"";
+    double captures = 0;
+    double planned = 0;
+    if (!numberField(value, "captures", &captures) ||
+        !numberField(value, "planned", &planned)) {
+      return "sweep_end missing \"captures\"/\"planned\"";
+    }
+    if (captures > planned) return "sweep_end captured more points than planned";
+    const json::Value* completed = value.find("completed");
+    if (completed == nullptr ||
+        !(completed->kind == json::Value::Kind::Bool || completed->isNumber())) {
+      return "sweep_end missing \"completed\"";
+    }
+  }
+  return {};
 }
 
 int lintTrace(const std::string& path, const std::vector<std::string>& requiredFields) {
@@ -76,6 +123,11 @@ int lintTrace(const std::string& path, const std::vector<std::string>& requiredF
                   << field << "\" (event type " << type->string << ")\n";
         return 1;
       }
+    }
+    const std::string sweepError = lintSweepEvent(*value, type->string);
+    if (!sweepError.empty()) {
+      std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << sweepError << '\n';
+      return 1;
     }
     ++events;
   }
@@ -119,13 +171,6 @@ int lintMetrics(const std::string& path, const std::vector<std::string>& require
   }
   std::cout << path << ": metrics ok (" << counters->object.size() << " counters)\n";
   return 0;
-}
-
-bool numberField(const json::Value& value, const char* name, double* out = nullptr) {
-  const json::Value* field = value.find(name);
-  if (field == nullptr || !field->isNumber()) return false;
-  if (out != nullptr) *out = field->number;
-  return true;
 }
 
 int lintJournal(const std::string& path) {
