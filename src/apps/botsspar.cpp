@@ -10,6 +10,7 @@
 // end-of-iteration flush guarantees. Verification reconstructs sampled
 // entries of L*U and compares them against the original matrix.
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -42,16 +43,18 @@ class BotssparApp final : public AppBase {
   void initialize(Runtime& rt) override {
     (void)rt;
     AppLcg lcg(8088);
+    double ab[kDim];
     for (int r = 0; r < kDim; ++r) {
       for (int c = 0; c < kDim; ++c) {
         // Diagonally dominant matrix with a sparse-ish block texture.
         double value = 0.1 * (lcg.nextDouble() - 0.5);
         if (blockOf(r) == blockOf(c)) value += 0.3 * (lcg.nextDouble() - 0.5);
         if (r == c) value += static_cast<double>(kDim);
-        a_.set(r * kDim + c, value);
-        lu_.set(r * kDim + c, 0.0);
+        ab[c] = value;
       }
+      a_.writeRange(static_cast<std::uint64_t>(r) * kDim, kDim, ab);
     }
+    lu_.fill(0.0);
   }
 
   void iterate(Runtime& rt, int iteration) override {
@@ -60,22 +63,32 @@ class BotssparApp final : public AppBase {
     {  // R1 (bmod/fwd prep): left-looking panel assembly from A and prior
        // panels: panel = A[:, c0:c0+bs] - sum_{j<k} L[:,j] * U[j, panel].
       RegionScope region(rt, 0);
+      double buf[kBs];
       for (int r = 0; r < kDim; ++r) {
-        for (int c = c0; c < c0 + kBs; ++c) {
-          lu_.set(r * kDim + c, a_.get(r * kDim + c));
-        }
+        a_.readRange(static_cast<std::uint64_t>(r) * kDim + c0, kBs, buf);
+        lu_.writeRange(static_cast<std::uint64_t>(r) * kDim + c0, kBs, buf);
         region.iterationEnd();
       }
     }
     {  // R2 (bmod): subtract contributions of finalised panels.
       RegionScope region(rt, 1);
+      double ub[kBs], rb[kBs];
       for (int j = 0; j < c0; ++j) {
-        // Column j of L is final; U(j, panel) entries are final as well.
-        for (int c = c0; c < c0 + kBs; ++c) {
-          const double ujc = lu_.get(j * kDim + c);
-          if (ujc == 0.0) continue;
+        // Column j of L is final; U(j, panel) entries are final as well. The
+        // update is restructured row-wise so each target row moves as one
+        // range load/store; every element still receives its single
+        // subtraction for this j, so values are bit-identical.
+        lu_.readRange(static_cast<std::uint64_t>(j) * kDim + c0, kBs, ub);
+        bool any = false;
+        for (int t = 0; t < kBs; ++t) any = any || ub[t] != 0.0;
+        if (any) {
           for (int r = j + 1; r < kDim; ++r) {
-            lu_[r * kDim + c] -= lu_.get(r * kDim + j) * ujc;
+            const double lrj = lu_.get(r * kDim + j);
+            lu_.readRange(static_cast<std::uint64_t>(r) * kDim + c0, kBs, rb);
+            for (int t = 0; t < kBs; ++t) {
+              if (ub[t] != 0.0) rb[t] -= lrj * ub[t];
+            }
+            lu_.writeRange(static_cast<std::uint64_t>(r) * kDim + c0, kBs, rb);
           }
         }
         region.iterationEnd();
@@ -100,15 +113,24 @@ class BotssparApp final : public AppBase {
     }
     {  // R4 (bdiv): triangular solve for the sub-diagonal part of the panel.
       RegionScope region(rt, 3);
+      // The diagonal block is final after R3: hoist it into one bulk read,
+      // then each sub-diagonal row is solved in a single range load/store.
+      double diag[kBs * kBs], rb[kBs];
+      for (int d = 0; d < kBs; ++d) {
+        lu_.readRange(static_cast<std::uint64_t>(c0 + d) * kDim + c0, kBs,
+                      diag + d * kBs);
+      }
       for (int r = c0 + kBs; r < kDim; ++r) {
-        for (int d = c0; d < c0 + kBs; ++d) {
-          const double pivot = lu_.get(d * kDim + d);
-          double m = lu_.get(r * kDim + d) / pivot;
-          lu_.set(r * kDim + d, m);
-          for (int c = d + 1; c < c0 + kBs; ++c) {
-            lu_[r * kDim + c] -= m * lu_.get(d * kDim + c);
+        lu_.readRange(static_cast<std::uint64_t>(r) * kDim + c0, kBs, rb);
+        for (int d = 0; d < kBs; ++d) {
+          const double pivot = diag[d * kBs + d];
+          const double m = rb[d] / pivot;
+          rb[d] = m;
+          for (int c = d + 1; c < kBs; ++c) {
+            rb[c] -= m * diag[d * kBs + c];
           }
         }
+        lu_.writeRange(static_cast<std::uint64_t>(r) * kDim + c0, kBs, rb);
         region.iterationEnd();
       }
     }

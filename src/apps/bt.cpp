@@ -51,19 +51,22 @@ class BtApp final : public AppBase {
   void initialize(Runtime& rt) override {
     (void)rt;
     AppLcg lcg(6061);
+    double sb[kN], a1[kN], a2[kN];
     for (int j = 0; j < kN; ++j) {
+      const double sy = std::sin(M_PI * j / (kN - 1.0));
       for (int i = 0; i < kN; ++i) {
-        const int k = j * kN + i;
         const double sx = std::sin(M_PI * i / (kN - 1.0));
-        const double sy = std::sin(M_PI * j / (kN - 1.0));
-        src_.set(k, 0.4 * sx * sy);
-        u1_.set(k, 0.15 * (lcg.nextDouble() - 0.5) + 0.1 * sx * sy);
-        u2_.set(k, 0.15 * (lcg.nextDouble() - 0.5));
-        uprev_.set(k, 0.0);
-        rhs1_.set(k, 0.0);
-        rhs2_.set(k, 0.0);
+        sb[i] = 0.4 * sx * sy;
+        a1[i] = 0.15 * (lcg.nextDouble() - 0.5) + 0.1 * sx * sy;
+        a2[i] = 0.15 * (lcg.nextDouble() - 0.5);
       }
+      src_.writeRange(j * kN, kN, sb);
+      u1_.writeRange(j * kN, kN, a1);
+      u2_.writeRange(j * kN, kN, a2);
     }
+    uprev_.fill(0.0);
+    rhs1_.fill(0.0);
+    rhs2_.fill(0.0);
     dnorm_.set(1.0);
   }
 
@@ -138,73 +141,90 @@ class BtApp final : public AppBase {
 
   void snapshotPrevious() {
     // Only the primary field feeds the steadiness norm (keeps one snapshot).
-    for (int k = 0; k < kN * kN; ++k) uprev_.set(k, u1_.get(k));
+    uprev_.copyFrom(u1_);
   }
 
   void buildRhs(TrackedArray<double>& u, TrackedArray<double>& rhs) {
+    double buf[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        rhs.set(j * kN + i, u.get(j * kN + i));
-      }
+      u.readRange(j * kN + 1, kN - 2, buf);
+      rhs.writeRange(j * kN + 1, kN - 2, buf);
     }
   }
 
   void addCouplingAndForcing() {
+    double r1[kN], r2[kN], a1[kN], a2[kN], s[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        rhs1_[k] += kCouple * u2_.get(k) + 0.02 * src_.get(k);
-        rhs2_[k] += kCouple * u1_.get(k);
+      const int k0 = j * kN + 1;
+      rhs1_.readRange(k0, kN - 2, r1);
+      rhs2_.readRange(k0, kN - 2, r2);
+      u1_.readRange(k0, kN - 2, a1);
+      u2_.readRange(k0, kN - 2, a2);
+      src_.readRange(k0, kN - 2, s);
+      for (int t = 0; t < kN - 2; ++t) {
+        r1[t] += kCouple * a2[t] + 0.02 * s[t];
+        r2[t] += kCouple * a1[t];
       }
+      rhs1_.writeRange(k0, kN - 2, r1);
+      rhs2_.writeRange(k0, kN - 2, r2);
     }
   }
 
   void addYDiffusion(TrackedArray<double>& u, TrackedArray<double>& rhs) {
+    double um[kN], uc[kN], up[kN], r[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        rhs[k] += kLambda * (u.get(k - kN) - 2.0 * u.get(k) + u.get(k + kN));
+      u.readRange((j - 1) * kN + 1, kN - 2, um);
+      u.readRange(j * kN + 1, kN - 2, uc);
+      u.readRange((j + 1) * kN + 1, kN - 2, up);
+      rhs.readRange(j * kN + 1, kN - 2, r);
+      for (int t = 0; t < kN - 2; ++t) {
+        r[t] += kLambda * (um[t] - 2.0 * uc[t] + up[t]);
       }
+      rhs.writeRange(j * kN + 1, kN - 2, r);
     }
   }
 
   void addXDiffusion(TrackedArray<double>& u, TrackedArray<double>& rhs) {
+    double uc[kN], r[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        rhs.set(k, u.get(k) +
-                       kLambda * (u.get(k - 1) - 2.0 * u.get(k) + u.get(k + 1)));
+      u.readRange(j * kN, kN, uc);
+      for (int t = 1; t < kN - 1; ++t) {
+        r[t - 1] = uc[t] + kLambda * (uc[t - 1] - 2.0 * uc[t] + uc[t + 1]);
       }
+      rhs.writeRange(j * kN + 1, kN - 2, r);
     }
   }
 
   void xCommit(TrackedArray<double>& rhs, TrackedArray<double>& u) {
+    double buf[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        u.set(j * kN + i, rhs.get(j * kN + i));
-      }
+      rhs.readRange(j * kN + 1, kN - 2, buf);
+      u.writeRange(j * kN + 1, kN - 2, buf);
     }
   }
 
   double commit() {
     double acc = 0.0;
+    double n1[kN], n2[kN], pv[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        const double n1 = rhs1_.get(k);
-        const double d = n1 - uprev_.get(k);
+      const int k0 = j * kN + 1;
+      rhs1_.readRange(k0, kN - 2, n1);
+      rhs2_.readRange(k0, kN - 2, n2);
+      uprev_.readRange(k0, kN - 2, pv);
+      for (int t = 0; t < kN - 2; ++t) {
+        const double d = n1[t] - pv[t];
         acc += 2.0 * d * d;  // both fields weighted into the norm
-        u1_.set(k, n1);
-        u2_.set(k, rhs2_.get(k));
       }
+      u1_.writeRange(k0, kN - 2, n1);
+      u2_.writeRange(k0, kN - 2, n2);
     }
     return acc;
   }
 
   void clampBoundary(TrackedArray<double>& f) {
+    f.fillRange(0, kN, 0.0);
+    f.fillRange((kN - 1) * kN, kN, 0.0);
     for (int i = 0; i < kN; ++i) {
-      f.set(i, 0.0);
-      f.set((kN - 1) * kN + i, 0.0);
       f.set(i * kN, 0.0);
       f.set(i * kN + kN - 1, 0.0);
     }
@@ -212,27 +232,33 @@ class BtApp final : public AppBase {
 
   void thomasRow(TrackedArray<double>& f, int j) {
     const double a = -kLambda, b = 1.0 + 2.0 * kLambda + kSigma;
-    row_.set(0, f.get(j * kN) / b);
+    double fb[kN], rb[kN];
+    f.readRange(j * kN, kN, fb);
+    rb[0] = fb[0] / b;
     for (int i = 1; i < kN; ++i) {
       const double denom = b - a * cp_[i - 1];
-      row_.set(i, (f.get(j * kN + i) - a * row_.get(i - 1)) / denom);
+      rb[i] = (fb[i] - a * rb[i - 1]) / denom;
     }
-    f.set(j * kN + kN - 1, row_.get(kN - 1));
+    row_.writeRange(0, kN, rb);
+    fb[kN - 1] = rb[kN - 1];
     for (int i = kN - 2; i >= 0; --i) {
-      f.set(j * kN + i, row_.get(i) - cp_[i] * f.get(j * kN + i + 1));
+      fb[i] = rb[i] - cp_[i] * fb[i + 1];
     }
+    f.writeRange(j * kN, kN, fb);
   }
 
   void thomasCol(TrackedArray<double>& f, int i) {
     const double a = -kLambda, b = 1.0 + 2.0 * kLambda + kSigma;
-    row_.set(0, f.get(i) / b);
+    double rb[kN];
+    rb[0] = f.get(i) / b;
     for (int j = 1; j < kN; ++j) {
       const double denom = b - a * cp_[j - 1];
-      row_.set(j, (f.get(j * kN + i) - a * row_.get(j - 1)) / denom);
+      rb[j] = (f.get(j * kN + i) - a * rb[j - 1]) / denom;
     }
-    f.set((kN - 1) * kN + i, row_.get(kN - 1));
+    row_.writeRange(0, kN, rb);
+    f.set((kN - 1) * kN + i, rb[kN - 1]);
     for (int j = kN - 2; j >= 0; --j) {
-      f.set(j * kN + i, row_.get(j) - cp_[j] * f.get((j + 1) * kN + i));
+      f.set(j * kN + i, rb[j] - cp_[j] * f.get((j + 1) * kN + i));
     }
   }
 

@@ -10,7 +10,10 @@
 //
 // Code regions (6, Table 1): R1 explicit residual restart, R2 direction
 // update, R3 sparse mat-vec, R4 x update, R5 r update, R6 norm/bookkeeping.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -70,30 +73,35 @@ class CgApp final : public AppBase {
       bNorm_ += sum * sum;
     }
     bNorm_ = std::sqrt(bNorm_);
-    for (int i = 0; i < kRows; ++i) {
-      x_.set(i, 0.0);
-      r_.set(i, 0.0);
-      p_.set(i, 0.0);
-      q_.set(i, 0.0);
-    }
+    x_.fill(0.0);
+    r_.fill(0.0);
+    p_.fill(0.0);
+    q_.fill(0.0);
     rho_.set(0.0);
     rnorm_.set(1.0);
   }
 
   void iterate(Runtime& rt, int iteration) override {
+    constexpr std::uint64_t kChunk = TrackedArray<double>::kChunkElems;
     {  // R1: periodic explicit restart r = b - A x; p = r.
       RegionScope region(rt, 0);
       if ((iteration - 1) % kRestartEvery == 0) {
         double rho = 0.0;
+        // Row results accumulate in a chunk buffer and flush as one range
+        // store to r and p; the loop itself only reads x/b/matrix data, so
+        // deferring the writes cannot feed back into the computation.
+        double rbuf[kChunk];
+        int chunkStart = 0;
         for (int row = 0; row < kRows; ++row) {
-          double ax = 0.0;
-          for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
-            ax += vals_.get(k) * x_.get(cols_.get(k));
-          }
-          const double ri = b_.get(row) - ax;
-          r_.set(row, ri);
-          p_.set(row, ri);
+          const double ri = b_.get(row) - rowTimes(x_, row);
+          rbuf[row - chunkStart] = ri;
           rho += ri * ri;
+          if (row - chunkStart + 1 == static_cast<int>(kChunk) || row == kRows - 1) {
+            const auto n = static_cast<std::uint64_t>(row - chunkStart + 1);
+            r_.writeRange(chunkStart, n, rbuf);
+            p_.writeRange(chunkStart, n, rbuf);
+            chunkStart = row + 1;
+          }
         }
         rho_.set(rho);
         region.iterationEnd();
@@ -103,13 +111,19 @@ class CgApp final : public AppBase {
       RegionScope region(rt, 1);
       if ((iteration - 1) % kRestartEvery != 0) {
         double rho = 0.0;
-        for (int i = 0; i < kRows; ++i) {
-          const double ri = r_.get(i);
-          rho += ri * ri;
-        }
+        r_.forEachChunk([&](std::uint64_t, std::span<const double> c) {
+          for (const double ri : c) rho += ri * ri;
+        });
         const double rhoOld = rho_.get();
         const double beta = rhoOld > 0.0 ? rho / rhoOld : 0.0;
-        for (int i = 0; i < kRows; ++i) p_.set(i, r_.get(i) + beta * p_.get(i));
+        double rbuf[kChunk], pbuf[kChunk];
+        for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(kRows); i += kChunk) {
+          const std::uint64_t n = std::min<std::uint64_t>(kChunk, kRows - i);
+          r_.readRange(i, n, rbuf);
+          p_.readRange(i, n, pbuf);
+          for (std::uint64_t j = 0; j < n; ++j) pbuf[j] = rbuf[j] + beta * pbuf[j];
+          p_.writeRange(i, n, pbuf);
+        }
         rho_.set(rho);
         region.iterationEnd();
       }
@@ -118,10 +132,7 @@ class CgApp final : public AppBase {
     {  // R3: q = A p (the dominant sparse mat-vec).
       RegionScope region(rt, 2);
       for (int row = 0; row < kRows; ++row) {
-        double sum = 0.0;
-        for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
-          sum += vals_.get(k) * p_.get(cols_.get(k));
-        }
+        const double sum = rowTimes(p_, row);
         q_.set(row, sum);
         pq += p_.get(row) * sum;
         region.iterationEnd();
@@ -131,21 +142,20 @@ class CgApp final : public AppBase {
     const double alpha = (pq != 0.0 && std::isfinite(pq)) ? rho / pq : 0.0;
     {  // R4: x += alpha p.
       RegionScope region(rt, 3);
-      for (int i = 0; i < kRows; ++i) x_[i] += alpha * p_.get(i);
+      axpyInto(x_, p_, alpha);
       region.iterationEnd();
     }
     {  // R5: r -= alpha q.
       RegionScope region(rt, 4);
-      for (int i = 0; i < kRows; ++i) r_[i] -= alpha * q_.get(i);
+      axpyInto(r_, q_, -alpha);
       region.iterationEnd();
     }
     {  // R6: residual norm bookkeeping.
       RegionScope region(rt, 5);
       double ss = 0.0;
-      for (int i = 0; i < kRows; ++i) {
-        const double ri = r_.get(i);
-        ss += ri * ri;
-      }
+      r_.forEachChunk([&](std::uint64_t, std::span<const double> c) {
+        for (const double ri : c) ss += ri * ri;
+      });
       rnorm_.set(std::sqrt(ss) / bNorm_);
       region.iterationEnd();
     }
@@ -165,11 +175,7 @@ class CgApp final : public AppBase {
     // True residual against the original system (not the recurrence value).
     double ss = 0.0;
     for (int row = 0; row < kRows; ++row) {
-      double ax = 0.0;
-      for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
-        ax += vals_.get(k) * x_.get(cols_.get(k));
-      }
-      const double d = b_.get(row) - ax;
+      const double d = b_.get(row) - rowTimes(x_, row);
       ss += d * d;
     }
     VerifyOutcome out;
@@ -180,6 +186,38 @@ class CgApp final : public AppBase {
   }
 
  private:
+  static constexpr int kMaxRowNnz = 8;  // 5-point stencil: at most 5 per row
+
+  /// One sparse row of A times tracked vector `v`: the row's vals/cols load
+  /// as two bulk ranges; the gather from `v` stays element-wise (its indices
+  /// are data-dependent). Summation order matches the scalar loop.
+  [[nodiscard]] double rowTimes(const TrackedArray<double>& v, int row) {
+    const std::int32_t k0 = rowPtr_.get(row);
+    const std::int32_t k1 = rowPtr_.get(row + 1);
+    double vbuf[kMaxRowNnz];
+    std::int32_t cbuf[kMaxRowNnz];
+    const auto nnz = static_cast<std::uint64_t>(k1 - k0);
+    vals_.readRange(k0, nnz, vbuf);
+    cols_.readRange(k0, nnz, cbuf);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < nnz; ++k) sum += vbuf[k] * v.get(cbuf[k]);
+    return sum;
+  }
+
+  /// dst += alpha * src over the whole vector, chunked through stack buffers.
+  void axpyInto(TrackedArray<double>& dst, const TrackedArray<double>& src,
+                double alpha) {
+    constexpr std::uint64_t kChunk = TrackedArray<double>::kChunkElems;
+    double dbuf[kChunk], sbuf[kChunk];
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(kRows); i += kChunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(kChunk, kRows - i);
+      dst.readRange(i, n, dbuf);
+      src.readRange(i, n, sbuf);
+      for (std::uint64_t j = 0; j < n; ++j) dbuf[j] += alpha * sbuf[j];
+      dst.writeRange(i, n, dbuf);
+    }
+  }
+
   [[nodiscard]] static int countNonZeros() {
     int nnz = 0;
     for (int j = 0; j < kGrid; ++j) {

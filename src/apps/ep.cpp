@@ -8,6 +8,7 @@
 // paper observes — even EasyCrash cannot help, because the accumulators are
 // updated every one of thousands of tiny iterations and flushing them often
 // enough would blow the t_s runtime budget (Equation 5 territory).
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -41,28 +42,37 @@ class EpApp final : public AppBase {
 
   void initialize(Runtime& rt) override {
     (void)rt;
-    for (int i = 0; i < kScratch; ++i) scratch_.set(i, 0.0);
-    for (int b = 0; b < kBins; ++b) q_.set(b, 0.0);
-    sums_.set(0, 0.0);
-    sums_.set(1, 0.0);
+    scratch_.fill(0.0);
+    q_.fill(0.0);
+    sums_.fill(0.0);
   }
 
   void iterate(Runtime& rt, int iteration) override {
     const int base = (iteration * kPairsPerBatch * 2) % kScratch;
-    {  // R1: generate this batch's uniform pairs into the scratch ring.
+    constexpr int kBatch = 2 * kPairsPerBatch;
+    {  // R1: generate this batch's uniform pairs into the scratch ring. The
+       //     batch lands as one range store (two when it wraps the ring).
       RegionScope region(rt, 0);
       AppLcg lcg(100000 + iteration);  // stateless: seed derived from iteration
+      double buf[kBatch];
       for (int p = 0; p < kPairsPerBatch; ++p) {
-        scratch_.set((base + 2 * p) % kScratch, 2.0 * lcg.nextDouble() - 1.0);
-        scratch_.set((base + 2 * p + 1) % kScratch, 2.0 * lcg.nextDouble() - 1.0);
-        region.iterationEnd();
+        buf[2 * p] = 2.0 * lcg.nextDouble() - 1.0;
+        buf[2 * p + 1] = 2.0 * lcg.nextDouble() - 1.0;
       }
+      const int first = std::min(kBatch, kScratch - base);
+      scratch_.writeRange(base, first, buf);
+      if (first < kBatch) scratch_.writeRange(0, kBatch - first, buf + first);
+      for (int p = 0; p < kPairsPerBatch; ++p) region.iterationEnd();
     }
     {  // R2: polar transform and accumulation.
       RegionScope region(rt, 1);
+      double buf[kBatch];
+      const int first = std::min(kBatch, kScratch - base);
+      scratch_.readRange(base, first, buf);
+      if (first < kBatch) scratch_.readRange(0, kBatch - first, buf + first);
       for (int p = 0; p < kPairsPerBatch; ++p) {
-        const double x = scratch_.get((base + 2 * p) % kScratch);
-        const double y = scratch_.get((base + 2 * p + 1) % kScratch);
+        const double x = buf[2 * p];
+        const double y = buf[2 * p + 1];
         const double t = x * x + y * y;
         if (t >= 1.0 || t == 0.0) continue;  // rejection step
         const double f = std::sqrt(-2.0 * std::log(t) / t);

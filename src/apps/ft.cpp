@@ -16,7 +16,9 @@
 // rewrites Xf, even an end-of-iteration flush leaves a wide tear-exposure
 // window, which is why FT remains the weakest benchmark even with EasyCrash
 // (the paper picks FT as the lowest-recomputability case in Figure 10).
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -61,32 +63,49 @@ class FtApp final : public AppBase {
     for (int i = 0; i < kN; ++i) {
       x0Re_.set(i, lcg.nextDouble() - 0.5);
       x0Im_.set(i, lcg.nextDouble() - 0.5);
-      xfRe_.set(i, x0Re_.peek(i));
-      xfIm_.set(i, x0Im_.peek(i));
-      xsRe_.set(i, 0.0);
-      xsIm_.set(i, 0.0);
     }
-    for (int i = 0; i < kIterations * kSamples; ++i) csum_.set(i, 0.0);
+    xfRe_.copyFrom(x0Re_);
+    xfIm_.copyFrom(x0Im_);
+    xsRe_.fill(0.0);
+    xsIm_.fill(0.0);
+    csum_.fill(0.0);
     csumTotal_.set(0.0);
   }
 
   void iterate(Runtime& rt, int iteration) override {
     (void)iteration;
+    constexpr std::uint64_t kChunk = TrackedArray<double>::kChunkElems;
     {  // R1: evolve the spectrum one time step: Xf *= decay (cumulative).
       RegionScope region(rt, 0);
-      for (int i = 0; i < kN; ++i) {
-        const double d = stepDecay(i);
-        xfRe_.set(i, xfRe_.get(i) * d);
-        xfIm_.set(i, xfIm_.get(i) * d);
+      double re[kChunk], im[kChunk];
+      for (std::uint64_t i0 = 0; i0 < kN; i0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kN - i0);
+        xfRe_.readRange(i0, n, re);
+        xfIm_.readRange(i0, n, im);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const double d = stepDecay(static_cast<int>(i0 + t));
+          re[t] *= d;
+          im[t] *= d;
+        }
+        xfRe_.writeRange(i0, n, re);
+        xfIm_.writeRange(i0, n, im);
       }
       region.iterationEnd();
     }
-    {  // R2: copy the spectrum into the transform buffer, bit-reversed.
+    {  // R2: copy the spectrum into the transform buffer, bit-reversed. The
+       //     sequential spectrum reads are bulk ranges; the scatter stays
+       //     element-wise (its targets are bit-reversed).
       RegionScope region(rt, 1);
-      for (int i = 0; i < kN; ++i) {
-        const int j = bitReverse(i);
-        xsRe_.set(j, xfRe_.get(i));
-        xsIm_.set(j, xfIm_.get(i));
+      double re[kChunk], im[kChunk];
+      for (std::uint64_t i0 = 0; i0 < kN; i0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kN - i0);
+        xfRe_.readRange(i0, n, re);
+        xfIm_.readRange(i0, n, im);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const int j = bitReverse(static_cast<int>(i0 + t));
+          xsRe_.set(j, re[t]);
+          xsIm_.set(j, im[t]);
+        }
       }
       region.iterationEnd();
     }
@@ -112,9 +131,17 @@ class FtApp final : public AppBase {
         region.iterationEnd();
       }
       const double scale = 1.0 / std::sqrt(static_cast<double>(kN));
-      for (int i = 0; i < kN; ++i) {
-        xsRe_[i] *= scale;
-        xsIm_[i] *= scale;
+      double re[kChunk], im[kChunk];
+      for (std::uint64_t i0 = 0; i0 < kN; i0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kN - i0);
+        xsRe_.readRange(i0, n, re);
+        xsIm_.readRange(i0, n, im);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          re[t] *= scale;
+          im[t] *= scale;
+        }
+        xsRe_.writeRange(i0, n, re);
+        xsIm_.writeRange(i0, n, im);
       }
       region.iterationEnd();
     }

@@ -7,8 +7,10 @@
 // with the keys — and the incremental maintenance then walks out of bounds,
 // the simulated analogue of the segmentation faults the paper reports for IS
 // (Table 1: restart "N/A (segfault)"). Persisting C (cheap, 4KB) repairs it.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -46,16 +48,21 @@ class IsApp final : public AppBase {
   void initialize(Runtime& rt) override {
     (void)rt;
     AppLcg lcg(31337);
-    for (int b = 0; b < kBuckets; ++b) hist_.set(b, 0);
+    hist_.fill(0);
     for (int i = 0; i < kKeys; ++i) {
       const auto key = static_cast<std::int32_t>(lcg.nextBelow(kBuckets));
       keys_.set(i, key);
       hist_[key] += 1;
     }
-    for (int b = 0; b <= kBuckets; ++b) prefix_.set(b, 0);
+    prefix_.fill(0);
     computePrefix();
-    for (int i = 0; i < kKeys; ++i) {
-      rank_.set(i, prefix_.get(keys_.get(i)));
+    constexpr std::uint64_t kChunk = TrackedArray<std::int32_t>::kChunkElems;
+    std::int32_t kb[kChunk], rb[kChunk];
+    for (std::uint64_t i0 = 0; i0 < kKeys; i0 += kChunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(kChunk, kKeys - i0);
+      keys_.readRange(i0, n, kb);
+      for (std::uint64_t t = 0; t < n; ++t) rb[t] = prefix_.get(kb[t]);
+      rank_.writeRange(i0, n, rb);
     }
     chk_.set(0.0);
   }
@@ -109,7 +116,9 @@ class IsApp final : public AppBase {
     {  // R5: total-count invariant check (NPB partial verification).
       RegionScope region(rt, 4);
       std::int64_t total = 0;
-      for (int b = 0; b < kBuckets; ++b) total += hist_.get(b);
+      hist_.forEachChunk([&](std::uint64_t, std::span<const std::int32_t> c) {
+        for (const std::int32_t v : c) total += v;
+      });
       if (total != kKeys) {
         throw AppInterrupt{"IS: histogram total diverged (segfault)"};
       }
@@ -176,10 +185,17 @@ class IsApp final : public AppBase {
 
  private:
   void computePrefix() {
+    constexpr std::uint64_t kChunk = TrackedArray<std::int32_t>::kChunkElems;
+    std::int32_t hb[kChunk], pb[kChunk];
     std::int32_t acc = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      prefix_.set(b, acc);
-      acc += hist_.get(b);
+    for (std::uint64_t b = 0; b < kBuckets; b += kChunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(kChunk, kBuckets - b);
+      hist_.readRange(b, n, hb);
+      for (std::uint64_t t = 0; t < n; ++t) {
+        pb[t] = acc;
+        acc += hb[t];
+      }
+      prefix_.writeRange(b, n, pb);
     }
     prefix_.set(kBuckets, acc);
   }

@@ -9,7 +9,9 @@
 // epsilon. Consequently LU practically never recomputes after a bare crash
 // (paper Table 1: "N/A (the verification fails)"); it needs EasyCrash to
 // persist its state at iteration boundaries.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -44,36 +46,46 @@ class LuApp final : public AppBase {
   void initialize(Runtime& rt) override {
     (void)rt;
     hostInit(hostU_, hostV_, hostSrc_);
-    for (int k = 0; k < kN * kN; ++k) {
-      u_.set(k, hostU_[k]);
-      v_.set(k, hostV_[k]);
-      src_.set(k, hostSrc_[k]);
-    }
+    u_.writeRange(0, hostU_.size(), hostU_.data());
+    v_.writeRange(0, hostV_.size(), hostV_.data());
+    src_.writeRange(0, hostSrc_.size(), hostSrc_.data());
     diag_.set(0.0);
   }
 
   void iterate(Runtime& rt, int iteration) override {
     (void)iteration;
+    constexpr std::uint64_t kChunk = TrackedArray<double>::kChunkElems;
     {  // R1: residual-norm diagnostics (reads only; streams over u and v).
       RegionScope region(rt, 0);
       double ss = 0.0;
-      for (int k = 0; k < kN * kN; ++k) {
-        const double d = u_.get(k) - v_.get(k);
-        ss += d * d;
+      double ub[kChunk], vb[kChunk];
+      for (std::uint64_t k0 = 0; k0 < kN * kN; k0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kN * kN - k0);
+        u_.readRange(k0, n, ub);
+        v_.readRange(k0, n, vb);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const double d = ub[t] - vb[t];
+          ss += d * d;
+        }
       }
       diag_.set(std::sqrt(ss / (kN * kN)));
       region.iterationEnd();
     }
     {  // R2: lower sweep — upwind advection of u in +x (rows left to right).
+       //     Each row loads/stores as one bulk range; the carry recurrence
+       //     runs in the stack buffer in the identical order.
       RegionScope region(rt, 1);
+      double ub[kN], sb[kN];
       for (int j = 0; j < kN; ++j) {
-        double carry = u_.get(j * kN + kN - 1);  // periodic wrap value
+        u_.readRange(j * kN, kN, ub);
+        src_.readRange(j * kN, kN, sb);
+        double carry = ub[kN - 1];  // periodic wrap value
         for (int i = 0; i < kN; ++i) {
-          const int k = j * kN + i;
-          const double here = u_.get(k);
-          u_.set(k, here + kCfl * (carry - here) + 0.001 * src_.get(k));
+          const double here = ub[i];
+          ub[i] = here + kCfl * (carry - here) + 0.001 * sb[i];
           carry = here;
         }
+        u_.writeRange(j * kN, kN, ub);
         region.iterationEnd();
       }
     }
@@ -92,10 +104,18 @@ class LuApp final : public AppBase {
     }
     {  // R4: weak field coupling.
       RegionScope region(rt, 3);
-      for (int k = 0; k < kN * kN; ++k) {
-        const double uu = u_.get(k), vv = v_.get(k);
-        u_.set(k, uu + 0.01 * (vv - uu));
-        v_.set(k, vv + 0.01 * (uu - vv));
+      double ub[kChunk], vb[kChunk];
+      for (std::uint64_t k0 = 0; k0 < kN * kN; k0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kN * kN - k0);
+        u_.readRange(k0, n, ub);
+        v_.readRange(k0, n, vb);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const double uu = ub[t], vv = vb[t];
+          ub[t] = uu + 0.01 * (vv - uu);
+          vb[t] = vv + 0.01 * (uu - vv);
+        }
+        u_.writeRange(k0, n, ub);
+        v_.writeRange(k0, n, vb);
       }
       region.iterationEnd();
     }

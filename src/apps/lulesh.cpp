@@ -10,7 +10,9 @@
 // hydro has no restoring force toward the exact conserved value — but small
 // tears stay inside the tolerance, giving LULESH its intermediate intrinsic
 // recomputability.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -54,39 +56,55 @@ class LuleshApp final : public AppBase {
     (void)rt;
     e0_ = 0.0;
     AppLcg lcg(6174);
+    std::vector<double> xb(kElems + 1), vb(kElems + 1);
     for (int i = 0; i <= kElems; ++i) {
-      x_.set(i, static_cast<double>(i) / kElems);
+      xb[i] = static_cast<double>(i) / kElems;
       // Acoustic-wave bath: every node moves every step, so a crash tear
       // anywhere in the domain perturbs the energy balance.
       const double phase = 2.0 * M_PI * 3.0 * i / kElems;
-      v_.set(i, (i == 0 || i == kElems)
-                    ? 0.0
-                    : 0.08 * std::sin(phase) + 0.02 * (lcg.nextDouble() - 0.5));
-      f_.set(i, 0.0);
+      vb[i] = (i == 0 || i == kElems)
+                  ? 0.0
+                  : 0.08 * std::sin(phase) + 0.02 * (lcg.nextDouble() - 0.5);
     }
+    x_.writeRange(0, kElems + 1, xb.data());
+    v_.writeRange(0, kElems + 1, vb.data());
+    f_.fill(0.0);
+    std::vector<double> eb(kElems), pb(kElems), mb(kElems);
     for (int k = 0; k < kElems; ++k) {
       // Sedov-like deposition on top of a warm background.
       const double energy =
           (k < kElems / 64) ? 1.0 : 0.1 + 0.05 * lcg.nextDouble();
-      e_.set(k, energy);
-      mass_.set(k, 1.0 / kElems);
+      eb[k] = energy;
+      mb[k] = 1.0 / kElems;
       const double vol = 1.0 / kElems;
-      const double rho = mass_.peek(k) / vol;
-      p_.set(k, (kGamma - 1.0) * rho * energy);
-      q_.set(k, 0.0);
-      const double ke = 0.25 * (1.0 / kElems) *
-                        (v_.peek(k) * v_.peek(k) + v_.peek(k + 1) * v_.peek(k + 1));
-      e0_ += energy * mass_.peek(k) + ke;
+      const double rho = mb[k] / vol;
+      pb[k] = (kGamma - 1.0) * rho * energy;
+      const double ke =
+          0.25 * (1.0 / kElems) * (vb[k] * vb[k] + vb[k + 1] * vb[k + 1]);
+      e0_ += energy * mb[k] + ke;
     }
+    e_.writeRange(0, kElems, eb.data());
+    mass_.writeRange(0, kElems, mb.data());
+    p_.writeRange(0, kElems, pb.data());
+    q_.fill(0.0);
     etotal_.set(e0_);
   }
 
   void iterate(Runtime& rt, int iteration) override {
     (void)iteration;
+    constexpr std::uint64_t kChunk = TrackedArray<double>::kChunkElems;
     {  // R1: nodal force calculation from pressure + artificial viscosity.
+       //     Chunks carry one element of overlap for the k-1 stencil leg.
       RegionScope region(rt, 0);
-      for (int i = 1; i < kElems; ++i) {
-        f_.set(i, (p_.get(i - 1) + q_.get(i - 1)) - (p_.get(i) + q_.get(i)));
+      double pb[kChunk + 1], qb[kChunk + 1], fb[kChunk];
+      for (std::uint64_t i0 = 1; i0 < kElems; i0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kElems - i0);
+        p_.readRange(i0 - 1, n + 1, pb);
+        q_.readRange(i0 - 1, n + 1, qb);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          fb[t] = (pb[t] + qb[t]) - (pb[t + 1] + qb[t + 1]);
+        }
+        f_.writeRange(i0, n, fb);
       }
       f_.set(0, 0.0);
       f_.set(kElems, 0.0);
@@ -94,37 +112,69 @@ class LuleshApp final : public AppBase {
     }
     {  // R2: velocity and position update (leapfrog).
       RegionScope region(rt, 1);
-      for (int i = 0; i <= kElems; ++i) {
-        const double nodeMass = 1.0 / kElems;
-        v_[i] += kDt * f_.get(i) / nodeMass;
-        x_[i] += kDt * v_.get(i);
+      double vb[kChunk], xb[kChunk], fb[kChunk];
+      for (std::uint64_t i0 = 0; i0 <= kElems; i0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kElems + 1 - i0);
+        v_.readRange(i0, n, vb);
+        x_.readRange(i0, n, xb);
+        f_.readRange(i0, n, fb);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const double nodeMass = 1.0 / kElems;
+          vb[t] += kDt * fb[t] / nodeMass;
+          xb[t] += kDt * vb[t];
+        }
+        v_.writeRange(i0, n, vb);
+        x_.writeRange(i0, n, xb);
       }
       region.iterationEnd();
     }
-    {  // R3: EOS update — volume work and artificial viscosity.
+    {  // R3: EOS update — volume work and artificial viscosity. The nodal
+       //     arrays read n+1 values per chunk for the k+1 stencil leg; a
+       //     tangled mesh aborts before the chunk's writes are issued.
       RegionScope region(rt, 2);
-      for (int k = 0; k < kElems; ++k) {
-        const double vol = x_.get(k + 1) - x_.get(k);
-        if (vol <= 0.0 || !std::isfinite(vol)) {
-          throw AppInterrupt{"LULESH: negative element volume (mesh tangled)"};
+      double xb[kChunk + 1], vb[kChunk + 1];
+      double pb[kChunk], qb[kChunk], eb[kChunk], mb[kChunk];
+      for (std::uint64_t k0 = 0; k0 < kElems; k0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kElems - k0);
+        x_.readRange(k0, n + 1, xb);
+        v_.readRange(k0, n + 1, vb);
+        p_.readRange(k0, n, pb);
+        q_.readRange(k0, n, qb);
+        e_.readRange(k0, n, eb);
+        mass_.readRange(k0, n, mb);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const double vol = xb[t + 1] - xb[t];
+          if (vol <= 0.0 || !std::isfinite(vol)) {
+            throw AppInterrupt{"LULESH: negative element volume (mesh tangled)"};
+          }
+          const double dv = kDt * (vb[t + 1] - vb[t]);
+          const double work = (pb[t] + qb[t]) * dv;
+          eb[t] -= work / mb[t];
+          const double rho = mb[t] / vol;
+          pb[t] = std::max(0.0, (kGamma - 1.0) * rho * eb[t]);
+          const double dvel = vb[t + 1] - vb[t];
+          qb[t] = dvel < 0.0 ? kViscosity * rho * dvel * dvel : 0.0;
         }
-        const double dv = kDt * (v_.get(k + 1) - v_.get(k));
-        const double work = (p_.get(k) + q_.get(k)) * dv;
-        e_[k] -= work / mass_.get(k);
-        const double rho = mass_.get(k) / vol;
-        p_.set(k, std::max(0.0, (kGamma - 1.0) * rho * e_.get(k)));
-        const double dvel = v_.get(k + 1) - v_.get(k);
-        q_.set(k, dvel < 0.0 ? kViscosity * rho * dvel * dvel : 0.0);
+        e_.writeRange(k0, n, eb);
+        p_.writeRange(k0, n, pb);
+        q_.writeRange(k0, n, qb);
       }
       region.iterationEnd();
     }
     {  // R4: time-step control diagnostics + running energy total.
       RegionScope region(rt, 3);
       double total = 0.0;
-      for (int k = 0; k < kElems; ++k) {
-        const double ke = 0.25 * (1.0 / kElems) *
-                          (v_.get(k) * v_.get(k) + v_.get(k + 1) * v_.get(k + 1));
-        total += e_.get(k) * mass_.get(k) + ke;
+      double vb[kChunk + 1], eb[kChunk], mb[kChunk];
+      for (std::uint64_t k0 = 0; k0 < kElems; k0 += kChunk) {
+        const std::uint64_t n = std::min<std::uint64_t>(kChunk, kElems - k0);
+        v_.readRange(k0, n + 1, vb);
+        e_.readRange(k0, n, eb);
+        mass_.readRange(k0, n, mb);
+        for (std::uint64_t t = 0; t < n; ++t) {
+          const double ke = 0.25 * (1.0 / kElems) *
+                            (vb[t] * vb[t] + vb[t + 1] * vb[t + 1]);
+          total += eb[t] * mb[t] + ke;
+        }
       }
       etotal_.set(total);
       region.iterationEnd();

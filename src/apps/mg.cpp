@@ -20,6 +20,7 @@
 // end of the update region guarantees (the paper's Figure 4 observation that
 // one region dominates, and that persisting u matters while r does not: r is
 // fully recomputed before use every cycle).
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -42,7 +43,11 @@ constexpr double kMgBandEps = 1.0e-3;  // NPB-style two-sided verify epsilon
 
 /// All MG numerics, templated over the field type so the tracked run and the
 /// host-side reference replay execute the identical floating-point sequence.
-/// Field must provide `double get(int)` and `void set(int, double)`.
+/// Field must provide `double get(int)` / `void set(int, double)` plus the
+/// bulk mirrors `getRange(int, int, double*)` / `setRange(int, int, const
+/// double*)` — the streaming phases (residual, norms, diagnostics, zeroing)
+/// move whole rows through them, while the red-black smoother and the
+/// stencil transfers keep the scalar accessors.
 template <typename Field>
 class MgKernel {
  public:
@@ -64,25 +69,30 @@ class MgKernel {
     return total;
   }
 
-  /// r_0 = v - L(u_0) on the finest level.
+  /// r_0 = v - L(u_0) on the finest level: three u rows, the v row and the
+  /// r row move as bulk ranges; the stencil combines them from stack buffers
+  /// in the same per-element order as the scalar loop.
   void fineResidual() {
+    double um[kMgN], uc[kMgN], up[kMgN], vrow[kMgN], rrow[kMgN];
     for (int j = 1; j < kMgN - 1; ++j) {
+      u_.getRange((j - 1) * kMgN, kMgN, um);
+      u_.getRange(j * kMgN, kMgN, uc);
+      u_.getRange((j + 1) * kMgN, kMgN, up);
+      v_.getRange(j * kMgN + 1, kMgN - 2, vrow);
       for (int i = 1; i < kMgN - 1; ++i) {
-        const int k = j * kMgN + i;
-        const double lap = u_.get(k - 1) + u_.get(k + 1) + u_.get(k - kMgN) +
-                           u_.get(k + kMgN) - 4.0 * u_.get(k);
-        r_.set(k, v_.get(k) - lap);
+        const double lap = uc[i - 1] + uc[i + 1] + um[i] + up[i] - 4.0 * uc[i];
+        rrow[i - 1] = vrow[i - 1] - lap;
       }
+      r_.setRange(j * kMgN + 1, kMgN - 2, rrow);
     }
   }
 
   [[nodiscard]] double residualNorm() {
     double ss = 0.0;
+    double rrow[kMgN];
     for (int j = 1; j < kMgN - 1; ++j) {
-      for (int i = 1; i < kMgN - 1; ++i) {
-        const double e = r_.get(j * kMgN + i);
-        ss += e * e;
-      }
+      r_.getRange(j * kMgN + 1, kMgN - 2, rrow);
+      for (int i = 0; i < kMgN - 2; ++i) ss += rrow[i] * rrow[i];
     }
     return std::sqrt(ss / (kMgN * kMgN));
   }
@@ -90,20 +100,31 @@ class MgKernel {
   /// Solution diagnostics: checksum/extrema/profile sweeps over u, v and r
   /// (read-only — this models MG's periodic solution-output phase).
   [[nodiscard]] double diagnostics() {
+    constexpr int kCells = kMgN * kMgN;
+    double a[kDiagChunk], b[kDiagChunk];
     double sum = 0.0, mx = 0.0;
-    for (int k = 0; k < kMgN * kMgN; ++k) {
-      const double uv = u_.get(k);
-      sum += uv * v_.get(k);
-      mx = std::max(mx, std::abs(uv));
+    for (int k = 0; k < kCells; k += kDiagChunk) {
+      const int n = std::min(kDiagChunk, kCells - k);
+      u_.getRange(k, n, a);
+      v_.getRange(k, n, b);
+      for (int t = 0; t < n; ++t) {
+        sum += a[t] * b[t];
+        mx = std::max(mx, std::abs(a[t]));
+      }
     }
     double profile = 0.0;
-    for (int k = 0; k < kMgN * kMgN; ++k) {
-      profile += std::abs(u_.get(k) - r_.get(k));
+    for (int k = 0; k < kCells; k += kDiagChunk) {
+      const int n = std::min(kDiagChunk, kCells - k);
+      u_.getRange(k, n, a);
+      r_.getRange(k, n, b);
+      for (int t = 0; t < n; ++t) profile += std::abs(a[t] - b[t]);
     }
     double moments = 0.0;
-    for (int k = 0; k < kMgN * kMgN; ++k) {
-      const double uv = u_.get(k);
-      moments += uv * uv * v_.get(k);
+    for (int k = 0; k < kCells; k += kDiagChunk) {
+      const int n = std::min(kDiagChunk, kCells - k);
+      u_.getRange(k, n, a);
+      v_.getRange(k, n, b);
+      for (int t = 0; t < n; ++t) moments += a[t] * a[t] * b[t];
     }
     return sum + mx + profile + moments;
   }
@@ -138,7 +159,10 @@ class MgKernel {
 
   void zeroLevel(int level) {
     const int n = size_[level];
-    for (int k = 0; k < n * n; ++k) u_.set(offset_[level] + k, 0.0);
+    const double zeros[kDiagChunk] = {};
+    for (int k = 0; k < n * n; k += kDiagChunk) {
+      u_.setRange(offset_[level] + k, std::min(kDiagChunk, n * n - k), zeros);
+    }
   }
 
   void smoothLevel(int level, int sweeps) {
@@ -217,6 +241,8 @@ class MgKernel {
     }
   }
 
+  static constexpr int kDiagChunk = 512;  ///< stack-buffer elements per range op
+
   Field u_, r_, v_;
   int size_[kMgLevels] = {};
   int offset_[kMgLevels] = {};
@@ -226,12 +252,20 @@ struct TrackedField {
   TrackedArray<double>* a;
   [[nodiscard]] double get(int i) const { return a->get(i); }
   void set(int i, double v) { a->set(i, v); }
+  void getRange(int i, int n, double* out) const { a->readRange(i, n, out); }
+  void setRange(int i, int n, const double* src) { a->writeRange(i, n, src); }
 };
 
 struct HostField {
   std::vector<double>* a;
   [[nodiscard]] double get(int i) const { return (*a)[i]; }
   void set(int i, double v) { (*a)[i] = v; }
+  void getRange(int i, int n, double* out) const {
+    std::copy_n(a->data() + i, n, out);
+  }
+  void setRange(int i, int n, const double* src) {
+    std::copy_n(src, n, a->data() + i);
+  }
 };
 
 void fillRhs(std::vector<double>& v) {
@@ -285,14 +319,11 @@ class MgApp final : public AppBase {
 
   void initialize(Runtime& rt) override {
     (void)rt;
-    const int total = MgKernel<TrackedField>::totalCells();
-    for (int i = 0; i < total; ++i) {
-      u_.set(i, 0.0);
-      r_.set(i, 0.0);
-    }
+    u_.fill(0.0);
+    r_.fill(0.0);
     std::vector<double> v;
     fillRhs(v);
-    for (int i = 0; i < kMgN * kMgN; ++i) v_.set(i, v[i]);
+    v_.writeRange(0, v.size(), v.data());
     rnorm_.set(1.0);
     diag_.set(0.0);
   }

@@ -52,17 +52,19 @@ class SpApp final : public AppBase {
   void initialize(Runtime& rt) override {
     (void)rt;
     AppLcg lcg(5150);
+    double sb[kN], ub[kN];
     for (int j = 0; j < kN; ++j) {
+      const double sy = std::sin(M_PI * j / (kN - 1.0));
       for (int i = 0; i < kN; ++i) {
-        const int k = j * kN + i;
         const double sx = std::sin(M_PI * i / (kN - 1.0));
-        const double sy = std::sin(M_PI * j / (kN - 1.0));
-        src_.set(k, 0.5 * sx * sy);
-        u_.set(k, 0.2 * (lcg.nextDouble() - 0.5) + 0.1 * sx * sy);
-        uprev_.set(k, 0.0);
-        rhs_.set(k, 0.0);
+        sb[i] = 0.5 * sx * sy;
+        ub[i] = 0.2 * (lcg.nextDouble() - 0.5) + 0.1 * sx * sy;
       }
+      src_.writeRange(j * kN, kN, sb);
+      u_.writeRange(j * kN, kN, ub);
     }
+    uprev_.fill(0.0);
+    rhs_.fill(0.0);
     dnorm_.set(1.0);
   }
 
@@ -132,88 +134,102 @@ class SpApp final : public AppBase {
     region.iterationEnd();
   }
 
-  void snapshotPrevious() {
-    for (int k = 0; k < kN * kN; ++k) uprev_.set(k, u_.get(k));
-  }
+  void snapshotPrevious() { uprev_.copyFrom(u_); }
 
   void buildRhsFromU() {
+    double buf[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        rhs_.set(j * kN + i, u_.get(j * kN + i));
-      }
+      u_.readRange(j * kN + 1, kN - 2, buf);
+      rhs_.writeRange(j * kN + 1, kN - 2, buf);
     }
   }
 
   void addForcing() {
+    double r[kN], s[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        rhs_[j * kN + i] += 0.02 * src_.get(j * kN + i);
-      }
+      const int k0 = j * kN + 1;
+      rhs_.readRange(k0, kN - 2, r);
+      src_.readRange(k0, kN - 2, s);
+      for (int t = 0; t < kN - 2; ++t) r[t] += 0.02 * s[t];
+      rhs_.writeRange(k0, kN - 2, r);
     }
   }
 
   void addYDiffusionToRhs() {
+    double um[kN], uc[kN], up[kN], r[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        rhs_[k] += kLambda * (u_.get(k - kN) - 2.0 * u_.get(k) + u_.get(k + kN));
+      u_.readRange((j - 1) * kN + 1, kN - 2, um);
+      u_.readRange(j * kN + 1, kN - 2, uc);
+      u_.readRange((j + 1) * kN + 1, kN - 2, up);
+      rhs_.readRange(j * kN + 1, kN - 2, r);
+      for (int t = 0; t < kN - 2; ++t) {
+        r[t] += kLambda * (um[t] - 2.0 * uc[t] + up[t]);
       }
+      rhs_.writeRange(j * kN + 1, kN - 2, r);
     }
   }
 
   void addXDiffusionToRhs() {
     // Rebuild the rhs for the y-sweep from the x-solved field (now in u).
+    double uc[kN], r[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        rhs_.set(k, u_.get(k) +
-                        kLambda * (u_.get(k - 1) - 2.0 * u_.get(k) + u_.get(k + 1)));
+      u_.readRange(j * kN, kN, uc);
+      for (int t = 1; t < kN - 1; ++t) {
+        r[t - 1] = uc[t] + kLambda * (uc[t - 1] - 2.0 * uc[t] + uc[t + 1]);
       }
+      rhs_.writeRange(j * kN + 1, kN - 2, r);
     }
   }
 
   void clampBoundary(TrackedArray<double>& f) {
+    f.fillRange(0, kN, 0.0);
+    f.fillRange((kN - 1) * kN, kN, 0.0);
     for (int i = 0; i < kN; ++i) {
-      f.set(i, 0.0);
-      f.set((kN - 1) * kN + i, 0.0);
       f.set(i * kN, 0.0);
       f.set(i * kN + kN - 1, 0.0);
     }
   }
 
-  /// Thomas solve of one x-row: forward elimination into the row buffer,
-  /// back substitution into rhs.
+  /// Thomas solve of one x-row: the row loads as one bulk range, the
+  /// recurrences run in stack buffers (same arithmetic order), and the row
+  /// buffer plus the solved row store back as bulk ranges.
   void thomasRowX(int j) {
     const double a = -kLambda, b = 1.0 + 2.0 * kLambda + kSigma;
-    row_.set(0, rhs_.get(j * kN) / b);
+    double fb[kN], rb[kN];
+    rhs_.readRange(j * kN, kN, fb);
+    rb[0] = fb[0] / b;
     for (int i = 1; i < kN; ++i) {
       const double denom = b - a * cp_[i - 1];
-      row_.set(i, (rhs_.get(j * kN + i) - a * row_.get(i - 1)) / denom);
+      rb[i] = (fb[i] - a * rb[i - 1]) / denom;
     }
-    rhs_.set(j * kN + kN - 1, row_.get(kN - 1));
+    row_.writeRange(0, kN, rb);
+    fb[kN - 1] = rb[kN - 1];
     for (int i = kN - 2; i >= 0; --i) {
-      rhs_.set(j * kN + i, row_.get(i) - cp_[i] * rhs_.get(j * kN + i + 1));
+      fb[i] = rb[i] - cp_[i] * fb[i + 1];
     }
+    rhs_.writeRange(j * kN, kN, fb);
   }
 
   void thomasColY(int i) {
     const double a = -kLambda, b = 1.0 + 2.0 * kLambda + kSigma;
-    row_.set(0, rhs_.get(i) / b);
+    double rb[kN];
+    rb[0] = rhs_.get(i) / b;
     for (int j = 1; j < kN; ++j) {
       const double denom = b - a * cp_[j - 1];
-      row_.set(j, (rhs_.get(j * kN + i) - a * row_.get(j - 1)) / denom);
+      rb[j] = (rhs_.get(j * kN + i) - a * rb[j - 1]) / denom;
     }
-    rhs_.set((kN - 1) * kN + i, row_.get(kN - 1));
+    row_.writeRange(0, kN, rb);
+    rhs_.set((kN - 1) * kN + i, rb[kN - 1]);
     for (int j = kN - 2; j >= 0; --j) {
-      rhs_.set(j * kN + i, row_.get(j) - cp_[j] * rhs_.get((j + 1) * kN + i));
+      rhs_.set(j * kN + i, rb[j] - cp_[j] * rhs_.get((j + 1) * kN + i));
     }
   }
 
   void copyRhsToU() {
+    double buf[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        u_.set(j * kN + i, rhs_.get(j * kN + i));
-      }
+      rhs_.readRange(j * kN + 1, kN - 2, buf);
+      u_.writeRange(j * kN + 1, kN - 2, buf);
     }
   }
 
@@ -221,14 +237,16 @@ class SpApp final : public AppBase {
   /// the start-of-iteration snapshot (the true per-step delta).
   double commitUpdate() {
     double acc = 0.0;
+    double nv[kN], pv[kN];
     for (int j = 1; j < kN - 1; ++j) {
-      for (int i = 1; i < kN - 1; ++i) {
-        const int k = j * kN + i;
-        const double newValue = rhs_.get(k);
-        const double d = newValue - uprev_.get(k);
+      const int k0 = j * kN + 1;
+      rhs_.readRange(k0, kN - 2, nv);
+      uprev_.readRange(k0, kN - 2, pv);
+      for (int t = 0; t < kN - 2; ++t) {
+        const double d = nv[t] - pv[t];
         acc += d * d;
-        u_.set(k, newValue);
       }
+      u_.writeRange(k0, kN - 2, nv);
     }
     return acc;
   }

@@ -47,6 +47,10 @@ struct CampaignMetrics {
   telemetry::Counter& flushClean;
   telemetry::Counter& flushNonResident;
   telemetry::Counter& flushInducedNvmWrites;
+  telemetry::Counter& rangeLoads;
+  telemetry::Counter& rangeStores;
+  telemetry::Counter& rangeSplitBlocks;
+  telemetry::Counter& rangeAccesses;
   telemetry::Counter& trials;
   std::array<telemetry::Counter*, 4> responses;
   telemetry::Histogram& trialUs;
@@ -69,6 +73,10 @@ struct CampaignMetrics {
         reg.counter("memsim.flushClean"),
         reg.counter("memsim.flushNonResident"),
         reg.counter("memsim.flushInducedNvmWrites"),
+        reg.counter("memsim.range_loads"),
+        reg.counter("memsim.range_stores"),
+        reg.counter("memsim.range_split_blocks"),
+        reg.counter("campaign.range_accesses"),
         reg.counter("campaign.trials"),
         {&reg.counter("campaign.responses.s1"), &reg.counter("campaign.responses.s2"),
          &reg.counter("campaign.responses.s3"), &reg.counter("campaign.responses.s4")},
@@ -93,6 +101,12 @@ struct CampaignMetrics {
     flushClean.add(ev.flushClean);
     flushNonResident.add(ev.flushNonResident);
     flushInducedNvmWrites.add(ev.flushInducedNvmWrites);
+    // Diagnostics of the bulk fast path (call counts, not logical accesses):
+    // zero when --bulk off, so they never feed equivalence comparisons.
+    rangeLoads.add(ev.rangeLoads);
+    rangeStores.add(ev.rangeStores);
+    rangeSplitBlocks.add(ev.rangeSplitBlocks);
+    rangeAccesses.add(ev.rangeLoads + ev.rangeStores);
   }
 };
 
@@ -249,6 +263,7 @@ CampaignRunner::CampaignRunner(runtime::AppFactory factory, CampaignConfig confi
 
 GoldenStats CampaignRunner::goldenRun() const {
   Runtime rt(config_.cache);
+  rt.setBulk(config_.bulk);
   rt.setPlan(config_.plan);
   rt.setTraceRun("golden");
   auto app = factory_();
@@ -447,9 +462,11 @@ CampaignResult CampaignRunner::run() const {
   }
   const bool sweepActive = !sweepPlan.empty();
 
-  // Watchdog deadline: explicit --trial-timeout-ms wins; otherwise a golden
-  // run multiple. A trial simulates at most ~(1 + maxIterationFactor) golden
-  // executions, so any generous multiple is safe from false positives.
+  // Watchdog deadline base: explicit --trial-timeout-ms wins; otherwise a
+  // golden run multiple. The base is the budget for ONE golden run's worth
+  // of work; each arming scales it by the trial's expected work (see
+  // wholeTrialBudget/restartBudget below), so the deadline tracks what the
+  // trial actually owes instead of assuming the worst case for every draw.
   std::optional<Watchdog> watchdog;
   std::uint64_t timeoutMs = 0;
   if (res.isolate && (res.trialTimeoutMs > 0 || res.goldenTimeoutMultiple > 0)) {
@@ -495,12 +512,30 @@ CampaignResult CampaignRunner::run() const {
   // loop never re-runs a trial the restart pipeline already owns.
   std::vector<char> claimed(sweepActive ? n : 0, 0);
 
+  // Per-trial watchdog budget in base-timeout units (--trial-timeout-ms or
+  // the golden multiple stays the base). A whole trial simulates the crashing
+  // run up to its crash index (crashIndex/windowAccesses of a golden run)
+  // plus a restart that may legitimately run to the iteration cap; a
+  // sweep-fed restart only owes the post-bookmark iterations. Without this
+  // scaling a slow late-crash trial times out under a deadline that is ample
+  // for the average draw.
+  const auto wholeTrialBudget = [&](std::uint64_t crashIndex) {
+    return static_cast<double>(crashIndex) /
+               static_cast<double>(result.golden.windowAccesses) +
+           static_cast<double>(config_.maxIterationFactor);
+  };
+  const auto restartBudget = [&](const SweepCapture& capture) {
+    const int cap = result.golden.finalIteration * config_.maxIterationFactor;
+    return static_cast<double>(cap - capture.restartIteration) /
+           static_cast<double>(std::max(1, result.golden.finalIteration));
+  };
+
   // Decides trial t on worker slot w by running `attempt` — the whole trial
   // on the per-trial path, just the restart when a sweep capture supplies
-  // the crashing half — honouring isolation, the watchdog and the retry
-  // budget. Exceptions propagate only when isolation is off (the legacy
-  // all-or-nothing behaviour).
-  const auto decideTrial = [&](std::size_t t, int w, auto&& attempt) {
+  // the crashing half — honouring isolation, the watchdog (armed with the
+  // trial's deadline budget) and the retry budget. Exceptions propagate only
+  // when isolation is off (the legacy all-or-nothing behaviour).
+  const auto decideTrial = [&](std::size_t t, int w, double budget, auto&& attempt) {
     if (!res.isolate) {
       CrashTestRecord record;
       attempt(nullptr, record);
@@ -513,7 +548,7 @@ CampaignResult CampaignRunner::run() const {
       bool completed = false;
       for (int att = 1; att <= maxAttempts && !completed; ++att) {
         failure.attempts = att;
-        std::atomic<bool>* cancel = watchdog ? &watchdog->arm(w) : nullptr;
+        std::atomic<bool>* cancel = watchdog ? &watchdog->arm(w, budget) : nullptr;
         CrashTestRecord record;
         try {
           attempt(cancel, record);
@@ -569,9 +604,10 @@ CampaignResult CampaignRunner::run() const {
   };
 
   const auto runTrial = [&](std::size_t t, int w) {
-    decideTrial(t, w, [&](const std::atomic<bool>* cancel, CrashTestRecord& record) {
-      runOneTest(result.golden, crashIndices[t], t, cancel, record);
-    });
+    decideTrial(t, w, wholeTrialBudget(crashIndices[t]),
+                [&](const std::atomic<bool>* cancel, CrashTestRecord& record) {
+                  runOneTest(result.golden, crashIndices[t], t, cancel, record);
+                });
   };
 
   // Per-trial claim loop: the whole campaign without the sweep, the fallback
@@ -598,6 +634,7 @@ CampaignResult CampaignRunner::run() const {
     bool completedAll = false;
     CampaignMetrics::get().sweepRuns.add();
     Runtime rt(config_.cache);
+    rt.setBulk(config_.bulk);
     rt.setPlan(config_.plan);
     rt.setTraceRun("sweep");
     if (watchdog) rt.setCancelFlag(&watchdog->arm(slot));
@@ -707,7 +744,7 @@ CampaignResult CampaignRunner::run() const {
         }
         auto entry = queue.pop();
         if (!entry) break;
-        decideTrial(entry->trial, w,
+        decideTrial(entry->trial, w, restartBudget(*entry->capture),
                     [&](const std::atomic<bool>* cancel, CrashTestRecord& record) {
                       telemetry::ScopedTimer trialTimer(CampaignMetrics::get().trialUs);
                       runRestart(result.golden, *entry->capture, entry->trial, cancel,
@@ -837,6 +874,7 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
 
   // --- Crashing run -----------------------------------------------------
   Runtime rt(config_.cache);
+  rt.setBulk(config_.bulk);
   rt.setPlan(config_.plan);
   rt.setCancelFlag(cancel);
   rt.setTraceRun("crash:" + std::to_string(trial));
@@ -901,6 +939,7 @@ void CampaignRunner::runRestart(const GoldenStats& golden, const SweepCapture& c
   // bit-for-bit, and the paper's restarts execute natively anyway — only the
   // crashing run's cache-vs-NVM divergence needs the hierarchy simulated.
   restartRt.setDirect(true);
+  restartRt.setBulk(config_.bulk);
   restartRt.setPlan(config_.plan);
   restartRt.setCancelFlag(cancel);
   restartRt.setTraceRun("restart:" + std::to_string(trial));

@@ -107,6 +107,12 @@ struct CampaignConfig {
   /// fixed seed; the sweep drops the crashing phase from O(N·W/2) to O(W)
   /// tracked accesses.
   bool sweep = true;
+  /// Block-granular bulk path for the apps' range accesses. Off lowers every
+  /// loadRange/storeRange to the per-element scalar path inside the runtime.
+  /// Both settings produce byte-identical campaign results for a fixed seed
+  /// (docs/INTERNALS.md "Range access fast path"); off exists as the
+  /// differential oracle and for perf comparisons.
+  bool bulk = true;
   /// App name stamped onto telemetry (trace common field + trial events).
   std::string appLabel;
   /// Render a live progress line on stderr: trials done, S1-S4 tally, ETA.

@@ -8,13 +8,19 @@
 // interruption (a SIGINT/SIGTERM stop flag workers drain against).
 //
 // The journal is written with the same discipline the paper demands of its
-// subject applications: every flush writes the whole journal to
-// `<path>.tmp`, fsyncs, and renames it over the old file, so the file on
-// disk is always complete and parseable — never a torn line. Entries are
-// written in test-index order regardless of decision order (the sweep
-// evaluator decides trials in crash-index order), which keeps resume
-// trivially deterministic and lets trace_lint --journal insist on monotone
-// indices while still persisting everything an interrupted sweep decided.
+// subject applications, in an append-only segment format: the first flush
+// writes a compacted base segment (header + every decided entry, test-index
+// sorted) via temp-file + fsync + rename, and every later flush appends
+// only the newly decided entries (fsynced) — O(batch) per flush instead of
+// rewriting the O(decided) whole file. Appended entries land in decision
+// order (the sweep evaluator decides trials in crash-index order), so
+// readers compact on load: the last record per test index wins, and a torn
+// final line from a mid-append crash is tolerated. Closing the journal (and
+// resuming into it) rewrites it fully compacted, so finished journals are
+// canonical — byte-identical for the same decided trials regardless of
+// decision order — and segment files never grow without bound. Legacy
+// journals (fully sorted, no "format" header field) parse identically;
+// trace_lint --journal checks whichever discipline the header declares.
 #pragma once
 
 #include <atomic>
@@ -63,8 +69,13 @@ class Watchdog {
   Watchdog& operator=(const Watchdog&) = delete;
 
   /// Reset the slot's flag and start its deadline clock. The reference stays
-  /// valid for the watchdog's lifetime.
-  std::atomic<bool>& arm(int slot);
+  /// valid for the watchdog's lifetime. `budgetFactor` scales this arming's
+  /// deadline (clamped to >= 1) without changing the base timeout: the
+  /// campaign passes each trial's expected work in golden-run units, so a
+  /// slow late-crash trial (long crashing run + a restart that may run to
+  /// the iteration cap) is not cancelled by a deadline sized for the
+  /// average trial. --trial-timeout-ms stays the base unit.
+  std::atomic<bool>& arm(int slot, double budgetFactor = 1.0);
   /// Stop the slot's clock. Returns true iff the deadline fired.
   bool disarm(int slot);
 
@@ -107,10 +118,13 @@ struct JournalHeader {
 
 /// Crash-safe writer. Thread-safe; records may arrive in any order (worker
 /// interleaving, or the sweep deciding trials in crash-index order) and
-/// every decided trial is persisted, written in test-index order, every
-/// `flushEvery` newly decided trials and on close()/destruction. Nothing is
-/// written until the first flush() — the campaign seeds replayed records
-/// first, so resuming into the same path never truncates the journal.
+/// every decided trial is persisted every `flushEvery` newly decided trials
+/// and on close()/destruction. The first flush writes a compacted base
+/// segment (test-index sorted, atomic rename); later flushes append only
+/// the new entries in decision order; close() leaves the file fully
+/// compacted again. Nothing is written until the first flush() — the
+/// campaign seeds replayed records first, so resuming into the same path
+/// never truncates the journal.
 class TrialJournal {
  public:
   TrialJournal(std::string path, const JournalHeader& header, int flushEvery);
@@ -126,20 +140,27 @@ class TrialJournal {
 
  private:
   void flushLocked();
+  /// Rewrite the whole journal compacted (header + entries in test-index
+  /// order) via atomic rename. First flush, append-failure repair, and the
+  /// close-time canonicalisation all land here.
+  void compactLocked();
 
   std::string path_;
   std::mutex mutex_;
   std::string header_;                          ///< serialized first line
   std::map<std::size_t, std::string> entries_;  ///< serialized, by test index
+  std::vector<std::string> pending_;  ///< decided since the last flush, in order
   std::size_t sinceFlush_ = 0;  ///< entries decided since the last write
-  bool written_ = false;        ///< at least one write has landed
+  bool written_ = false;        ///< the base segment has landed
+  bool appended_ = false;       ///< segments appended since the last compaction
   int flushEvery_ = 8;
   bool closed_ = false;
 };
 
-/// A parsed journal: the header plus every decided trial. The writer only
-/// renames complete files, but the reader tolerates (and ignores) a
-/// trailing partial line from a torn append.
+/// A parsed journal: the header plus every decided trial, compacted on load
+/// — when the appended segments carry several records for one test index,
+/// the last one wins. The reader tolerates (and ignores) a trailing partial
+/// line from a torn append.
 struct JournalReplay {
   JournalHeader header;
   std::map<std::size_t, CrashTestRecord> trials;

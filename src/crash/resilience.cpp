@@ -86,11 +86,13 @@ Watchdog::~Watchdog() {
   monitor_.join();
 }
 
-std::atomic<bool>& Watchdog::arm(int slot) {
+std::atomic<bool>& Watchdog::arm(int slot, double budgetFactor) {
   Slot& s = *slots_[static_cast<std::size_t>(slot)];
+  const double factor = std::max(1.0, budgetFactor);
+  const auto budgetNs = static_cast<std::int64_t>(
+      static_cast<double>(timeout_.count()) * 1'000'000.0 * factor);
   s.cancel.store(false, std::memory_order_relaxed);
-  s.deadlineNs.store(steadyNowNs() + timeout_.count() * 1'000'000,
-                     std::memory_order_release);
+  s.deadlineNs.store(steadyNowNs() + budgetNs, std::memory_order_release);
   return s.cancel;
 }
 
@@ -157,6 +159,37 @@ std::string tryWriteOnce(const std::string& path, const std::string& content) {
 
 }  // namespace
 
+namespace {
+
+/// One append-fsync attempt onto an existing file; returns an error
+/// description or "". A failure can leave a torn final line — callers
+/// recover by rewriting the whole file atomically, and readers tolerate the
+/// torn tail in the meantime.
+std::string tryAppendOnce(const std::string& path, const std::string& content) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return "open " + path + ": " + std::strerror(errno);
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::string("write ") + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return err;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::string("fsync ") + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  if (::close(fd) != 0) return "close " + path + ": " + std::strerror(errno);
+  return {};
+}
+
+}  // namespace
+
 void atomicWriteFile(const std::string& path, const std::string& content) {
   std::string err = tryWriteOnce(path, content);
   if (err.empty()) return;
@@ -203,6 +236,10 @@ std::string serializeHeader(const JournalHeader& h) {
   // through the JSON reader's double representation (2^53 mantissa).
   line += ",\"plan_fingerprint\":\"" + std::to_string(h.planFingerprint) + '"';
   line += ",\"window_accesses\":" + std::to_string(h.windowAccesses);
+  // Declares the append-only segment discipline: records after the base
+  // segment may repeat or reorder test indices (last one wins on load).
+  // Legacy journals lack the field and stay strictly index-sorted.
+  line += ",\"format\":\"segments\"";
   line += "}\n";
   return line;
 }
@@ -363,14 +400,18 @@ TrialJournal::~TrialJournal() {
 void TrialJournal::recordTrial(std::size_t trial, const CrashTestRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return;
-  entries_[trial] = serializeTrial(trial, record);
+  std::string line = serializeTrial(trial, record);
+  if (written_) pending_.push_back(line);
+  entries_[trial] = std::move(line);
   if (++sinceFlush_ >= static_cast<std::size_t>(flushEvery_)) flushLocked();
 }
 
 void TrialJournal::recordFailure(const TrialFailure& failure) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return;
-  entries_[failure.trial] = serializeFailure(failure);
+  std::string line = serializeFailure(failure);
+  if (written_) pending_.push_back(line);
+  entries_[failure.trial] = std::move(line);
   if (++sinceFlush_ >= static_cast<std::size_t>(flushEvery_)) flushLocked();
 }
 
@@ -383,17 +424,49 @@ void TrialJournal::close() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (closed_) return;
   flushLocked();
+  // A closed journal is always left fully compacted: the appended segments
+  // are a mid-flight durability format, and this one O(decided) rewrite
+  // makes the final file canonical — campaigns that decide the same trials
+  // leave byte-identical journals regardless of decision order (the
+  // sweep/threads differential fixtures compare them raw).
+  if (appended_) {
+    compactLocked();
+    appended_ = false;
+  }
   closed_ = true;
+}
+
+void TrialJournal::compactLocked() {
+  // Header + every decided entry, sorted by test index, swapped in
+  // atomically. Doubles as the repair path when an append fails part-way
+  // (the rename replaces any torn tail).
+  std::string content = header_;
+  for (const auto& [trial, line] : entries_) content += line;
+  atomicWriteFile(path_, content);
 }
 
 void TrialJournal::flushLocked() {
   if (sinceFlush_ == 0 && written_) return;  // nothing new since the last write
-  // The whole journal is rewritten each flush (that is what makes the
-  // rename atomic), so decision order is free: entries land sorted by test
-  // index no matter whether workers or the sweep decided them.
-  std::string content = header_;
-  for (const auto& [trial, line] : entries_) content += line;
-  atomicWriteFile(path_, content);
+  if (!written_) {
+    compactLocked();
+  } else {
+    // Append-only segment: just the entries decided since the last flush,
+    // O(batch) instead of rewriting the O(decided) whole file. They land in
+    // decision order — readers compact on load (last record per index wins).
+    std::string batch;
+    for (const auto& line : pending_) batch += line;
+    if (!batch.empty()) {
+      const std::string err = tryAppendOnce(path_, batch);
+      if (!err.empty()) {
+        EC_LOG_WARN("journal append to " << path_ << " failed (" << err
+                                         << "), rewriting the compacted journal");
+        compactLocked();
+      } else {
+        appended_ = true;
+      }
+    }
+  }
+  pending_.clear();
   sinceFlush_ = 0;
   written_ = true;
 }
@@ -447,10 +520,12 @@ JournalReplay readJournal(const std::string& path) {
     if (type == "trial") {
       std::size_t trial = 0;
       CrashTestRecord record = parseTrial(*value, &trial);
-      replay.trials.emplace(trial, std::move(record));
+      // Compact on load: appended segments may carry several records for
+      // one index (e.g. a re-decided trial after a resume); the last wins.
+      replay.trials.insert_or_assign(trial, std::move(record));
     } else if (type == "trial_failure") {
       TrialFailure failure = parseFailure(*value);
-      replay.failures.emplace(failure.trial, std::move(failure));
+      replay.failures.insert_or_assign(failure.trial, std::move(failure));
     }
     // Unknown types are skipped: the journal is allowed to grow new record
     // kinds without invalidating older readers.

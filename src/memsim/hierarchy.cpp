@@ -158,6 +158,56 @@ void CacheHierarchy::storeSlow(std::uint64_t addr, std::span<const std::uint8_t>
   }
 }
 
+void CacheHierarchy::loadRange(std::uint64_t addr, std::span<std::uint8_t> dst,
+                               std::uint32_t elemSize) {
+  EC_CHECK(elemSize > 0);
+  if (dst.empty()) return;
+  ++events_.rangeLoads;
+  std::uint64_t offset = 0;
+  while (offset < dst.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t off = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - off, dst.size() - offset);
+    // Logical elements overlapping this block segment (a straddling element
+    // belongs to both of its blocks, as the scalar chunk loop counts it).
+    const std::uint64_t touches =
+        (offset + chunk - 1) / elemSize - offset / elemSize + 1;
+    const std::uint32_t line = ensureInL1(base);
+    events_.hits[0] += touches - 1;
+    events_.loads += touches;
+    ++events_.rangeSplitBlocks;
+    std::memcpy(dst.data() + offset, levels_[0].data(line).data() + off, chunk);
+    offset += chunk;
+  }
+}
+
+void CacheHierarchy::storeRange(std::uint64_t addr,
+                                std::span<const std::uint8_t> src,
+                                std::uint32_t elemSize) {
+  EC_CHECK(elemSize > 0);
+  if (src.empty()) return;
+  ++events_.rangeStores;
+  std::uint64_t offset = 0;
+  while (offset < src.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t off = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - off, src.size() - offset);
+    const std::uint64_t touches =
+        (offset + chunk - 1) / elemSize - offset / elemSize + 1;
+    const std::uint32_t line = ensureInL1(base);
+    events_.hits[0] += touches - 1;
+    events_.stores += touches;
+    ++events_.rangeSplitBlocks;
+    std::memcpy(levels_[0].data(line).data() + off, src.data() + offset, chunk);
+    levels_[0].setDirty(line, true);
+    offset += chunk;
+  }
+}
+
 void CacheHierarchy::flushBlock(std::uint64_t addr, FlushKind kind) {
   const std::uint64_t base = blockBase(addr);
 

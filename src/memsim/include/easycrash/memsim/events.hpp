@@ -33,6 +33,15 @@ struct MemEvents {
   /// nvmBlockWrites); the remainder are natural LLC evictions.
   std::uint64_t flushInducedNvmWrites = 0;
 
+  /// Diagnostics for the range fast path: bulk loadRange/storeRange calls
+  /// and the block segments they were split into. These count *calls*, not
+  /// logical accesses — the logical accesses land in loads/stores exactly as
+  /// the element-wise path would record them, so every semantic counter
+  /// above stays byte-identical across bulk on/off.
+  std::uint64_t rangeLoads = 0;
+  std::uint64_t rangeStores = 0;
+  std::uint64_t rangeSplitBlocks = 0;
+
   [[nodiscard]] std::uint64_t totalFlushes() const {
     return flushDirty + flushClean + flushNonResident;
   }
@@ -61,6 +70,12 @@ struct MemEvents {
                   "MemEvents::delta: flushNonResident not monotonic");
     EC_DCHECK_MSG(flushInducedNvmWrites >= earlier.flushInducedNvmWrites,
                   "MemEvents::delta: flushInducedNvmWrites not monotonic");
+    EC_DCHECK_MSG(rangeLoads >= earlier.rangeLoads,
+                  "MemEvents::delta: rangeLoads not monotonic");
+    EC_DCHECK_MSG(rangeStores >= earlier.rangeStores,
+                  "MemEvents::delta: rangeStores not monotonic");
+    EC_DCHECK_MSG(rangeSplitBlocks >= earlier.rangeSplitBlocks,
+                  "MemEvents::delta: rangeSplitBlocks not monotonic");
     MemEvents d;
     d.loads = loads - earlier.loads;
     d.stores = stores - earlier.stores;
@@ -74,6 +89,9 @@ struct MemEvents {
     d.flushClean = flushClean - earlier.flushClean;
     d.flushNonResident = flushNonResident - earlier.flushNonResident;
     d.flushInducedNvmWrites = flushInducedNvmWrites - earlier.flushInducedNvmWrites;
+    d.rangeLoads = rangeLoads - earlier.rangeLoads;
+    d.rangeStores = rangeStores - earlier.rangeStores;
+    d.rangeSplitBlocks = rangeSplitBlocks - earlier.rangeSplitBlocks;
     return d;
   }
 };

@@ -69,6 +69,21 @@ class CacheHierarchy {
     storeSlow(addr, src);
   }
 
+  /// Bulk range access: move [addr, addr+dst.size()) in one call, splitting
+  /// at block boundaries and touching each block's tags/MRU/dirty state once
+  /// with a single memcpy per block. `elemSize` is the logical element width
+  /// the range is composed of; counters are byte-identical to issuing the
+  /// same range as ascending element-wise load()/store() calls of that width
+  /// (each block's first element pays the probe, the rest are L1 hits, and
+  /// an element straddling two blocks counts one micro-access in each —
+  /// exactly what the scalar chunk loop records). Only rangeLoads/rangeStores/
+  /// rangeSplitBlocks, which are diagnostics excluded from equivalence, tell
+  /// the two paths apart.
+  void loadRange(std::uint64_t addr, std::span<std::uint8_t> dst,
+                 std::uint32_t elemSize);
+  void storeRange(std::uint64_t addr, std::span<const std::uint8_t> src,
+                  std::uint32_t elemSize);
+
   /// Apply a flush instruction to the block containing `addr`.
   void flushBlock(std::uint64_t addr, FlushKind kind);
   /// Flush every block overlapping [addr, addr+size) — the paper's

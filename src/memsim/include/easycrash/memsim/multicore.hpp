@@ -60,6 +60,17 @@ class MulticoreSystem {
   void load(int core, std::uint64_t addr, std::span<std::uint8_t> dst);
   void store(int core, std::uint64_t addr, std::span<const std::uint8_t> src);
 
+  /// Bulk range access (the multicore mirror of CacheHierarchy::loadRange/
+  /// storeRange): one coherence acquire per block touched, with the
+  /// per-element counters reconstructed so CoherenceEvents are identical to
+  /// issuing the same range as ascending element-wise accesses of width
+  /// `elemSize` — each block's first element pays the acquire, the rest are
+  /// private hits.
+  void loadRange(int core, std::uint64_t addr, std::span<std::uint8_t> dst,
+                 std::uint32_t elemSize);
+  void storeRange(int core, std::uint64_t addr, std::span<const std::uint8_t> src,
+                  std::uint32_t elemSize);
+
   /// Flush the block wherever it is cached (any core, the LLC): write the
   /// freshest copy to NVM; Clwb keeps copies resident, others invalidate.
   void flushBlock(std::uint64_t addr, FlushKind kind);

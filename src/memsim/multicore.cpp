@@ -160,6 +160,52 @@ void MulticoreSystem::store(int core, std::uint64_t addr,
   }
 }
 
+void MulticoreSystem::loadRange(int core, std::uint64_t addr,
+                                std::span<std::uint8_t> dst,
+                                std::uint32_t elemSize) {
+  EC_CHECK(elemSize > 0);
+  CoherenceEvents& ev = events_[static_cast<std::size_t>(core)];
+  std::uint64_t offset = 0;
+  while (offset < dst.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
+    const std::uint64_t touches =
+        (offset + chunk - 1) / elemSize - offset / elemSize + 1;
+    const auto line = acquire(core, base, /*forWrite=*/false);
+    ev.privateHits += touches - 1;
+    ev.loads += touches;
+    const auto src = private_[static_cast<std::size_t>(core)].data(line);
+    std::memcpy(dst.data() + offset, src.data() + inBlock, chunk);
+    offset += chunk;
+  }
+}
+
+void MulticoreSystem::storeRange(int core, std::uint64_t addr,
+                                 std::span<const std::uint8_t> src,
+                                 std::uint32_t elemSize) {
+  EC_CHECK(elemSize > 0);
+  CoherenceEvents& ev = events_[static_cast<std::size_t>(core)];
+  std::uint64_t offset = 0;
+  while (offset < src.size()) {
+    const std::uint64_t a = addr + offset;
+    const std::uint64_t base = blockBase(a);
+    const std::uint64_t inBlock = a - base;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(config_.blockSize - inBlock, src.size() - offset);
+    const std::uint64_t touches =
+        (offset + chunk - 1) / elemSize - offset / elemSize + 1;
+    const auto line = acquire(core, base, /*forWrite=*/true);
+    ev.privateHits += touches - 1;
+    ev.stores += touches;
+    auto dst = private_[static_cast<std::size_t>(core)].data(line);
+    std::memcpy(dst.data() + inBlock, src.data() + offset, chunk);
+    offset += chunk;
+  }
+}
+
 void MulticoreSystem::freshestBlock(std::uint64_t blockAddr,
                                     std::span<std::uint8_t> out) const {
   for (const auto& cache : private_) {

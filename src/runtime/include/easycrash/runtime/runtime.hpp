@@ -7,6 +7,7 @@
 // (cache_block_flush calls) at region/main-loop persist points.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -97,6 +98,21 @@ class Runtime {
     }
     onAccess(1);
   }
+  /// Bulk tracked access: move a whole span of `dst.size() / elemSize`
+  /// logical elements in one call. Observationally identical to issuing the
+  /// same range as ascending element-wise load()/store() calls of width
+  /// `elemSize` — the crash clock advances by exactly that element count,
+  /// region access attribution is unchanged, and armed captures/crashes fire
+  /// at the same 1-based window index with the same memory state (each bulk
+  /// chunk is clamped so its LAST element is the trigger; the scalar path
+  /// also applies the triggering access before its clock tick). With the
+  /// bulk fast path disabled (setBulk(false)) these literally lower to the
+  /// element-wise loop. The span must be a whole number of elements.
+  void loadRange(std::uint64_t addr, std::span<std::uint8_t> dst,
+                 std::uint32_t elemSize);
+  void storeRange(std::uint64_t addr, std::span<const std::uint8_t> src,
+                  std::uint32_t elemSize);
+
   /// Architecturally-current value without counters or cache perturbation.
   void peek(std::uint64_t addr, std::span<std::uint8_t> dst) const;
   /// Read straight from the NVM image (what survives a crash).
@@ -245,6 +261,12 @@ class Runtime {
   void setDirect(bool on) noexcept { direct_ = on; }
   [[nodiscard]] bool direct() const noexcept { return direct_; }
 
+  /// Bulk fast-path control: when off, loadRange/storeRange lower to the
+  /// element-wise accesses they are equivalent to. The differential tests and
+  /// `nvct --bulk off` use this to prove the equivalence on real workloads.
+  void setBulk(bool on) noexcept { bulk_ = on; }
+  [[nodiscard]] bool bulk() const noexcept { return bulk_; }
+
   // ---- Cooperative cancellation (campaign watchdog) --------------------------
 
   /// Install a cancellation flag polled by tracked accesses inside the crash
@@ -282,6 +304,34 @@ class Runtime {
   }
   void onAccessSlow(std::uint64_t count);
   void fireCaptures();
+
+  /// Drive `count` logical accesses through `access(firstElem, nElems)`
+  /// chunks. Each chunk is clamped so the next armed capture/crash index is
+  /// the chunk's LAST element: the chunk's bytes are applied first, then
+  /// onAccess(n) fires the hook / throws CrashEvent at exactly the
+  /// element-wise window index with exactly the element-wise memory state.
+  /// After a capture fires, captureNext_ has advanced, so the next loop
+  /// iteration re-clamps against the new trigger.
+  template <typename AccessFn>
+  void forEachRangeChunk(std::uint64_t count, AccessFn&& access) {
+    std::uint64_t done = 0;
+    while (done < count) {
+      std::uint64_t n = count - done;
+      if (crashWindowActive_) {
+        const std::uint64_t next =
+            crashAt_ != 0 ? std::min(crashAt_, captureNext_) : captureNext_;
+        if (next != kNoCapture) {
+          // Both triggers are strictly ahead of the clock (armCrash checks,
+          // fireCaptures advances past fired indices), so toTrigger >= 1.
+          const std::uint64_t toTrigger = next - windowAccesses_;
+          if (toTrigger < n) n = toTrigger;
+        }
+      }
+      access(done, n);
+      onAccess(n);
+      done += n;
+    }
+  }
   void executeDirective(const PersistDirective& directive, PointId point);
 
   /// Per-point counters are flat vectors indexed by `point + 1` (slot 0 is
@@ -328,6 +378,7 @@ class Runtime {
 
   bool crashWindowActive_ = false;
   bool direct_ = false;  ///< bypass the hierarchy, touch NVM bytes directly
+  bool bulk_ = true;     ///< route loadRange/storeRange through the fast path
   std::uint64_t windowAccesses_ = 0;
   std::uint64_t crashAt_ = 0;  ///< 0 = disarmed
 

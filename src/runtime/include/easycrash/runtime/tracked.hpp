@@ -6,7 +6,9 @@
 // `a[i] += x` and `double v = a[i]` work naturally.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <type_traits>
 #include <utility>
 
@@ -58,6 +60,77 @@ class TrackedArray {
     EC_CHECK(i < count_);
     return rt_->updateValue<T>(base_ + i * sizeof(T),
                                std::forward<Mutator>(mutate));
+  }
+
+  // ---- Bulk operations (the range fast path) -------------------------------
+  //
+  // Each bulk op is observationally identical to the ascending element-wise
+  // get()/set() loop it replaces: the crash clock ticks once per element,
+  // MemEvents counters match byte-for-byte, and armed captures/crashes fire
+  // at the same window index with the same memory state (Runtime::loadRange/
+  // storeRange clamp their chunks at the triggers). The win is mechanical:
+  // one bounds check, one simulated access call and one memcpy per cache
+  // block instead of per element.
+
+  /// Elements processed per stack-buffer chunk by fill/copyFrom/forEachChunk.
+  static constexpr std::uint64_t kChunkElems = 1024;
+
+  /// Bulk read of elements [i, i+n) into `out` (must hold n elements).
+  void readRange(std::uint64_t i, std::uint64_t n, T* out) const {
+    EC_CHECK(i <= count_ && n <= count_ - i);
+    if (n == 0) return;
+    rt_->loadRange(base_ + i * sizeof(T),
+                   {reinterpret_cast<std::uint8_t*>(out), n * sizeof(T)},
+                   sizeof(T));
+  }
+
+  /// Bulk write of `src` (n elements) into elements [i, i+n).
+  void writeRange(std::uint64_t i, std::uint64_t n, const T* src) {
+    EC_CHECK(i <= count_ && n <= count_ - i);
+    if (n == 0) return;
+    rt_->storeRange(base_ + i * sizeof(T),
+                    {reinterpret_cast<const std::uint8_t*>(src), n * sizeof(T)},
+                    sizeof(T));
+  }
+
+  /// Set elements [i, i+n) to `v`, chunked through a stack buffer so bulk
+  /// initialisation allocates nothing.
+  void fillRange(std::uint64_t i, std::uint64_t n, const T& v) {
+    EC_CHECK(i <= count_ && n <= count_ - i);
+    T buf[kChunkElems];
+    std::fill(buf, buf + std::min<std::uint64_t>(n, kChunkElems), v);
+    for (std::uint64_t done = 0; done < n; done += kChunkElems) {
+      writeRange(i + done, std::min<std::uint64_t>(kChunkElems, n - done), buf);
+    }
+  }
+
+  /// Set every element to `v`.
+  void fill(const T& v) { fillRange(0, count_, v); }
+
+  /// Copy every element from `other` (same length), chunked read-then-write.
+  /// The chunking is identical with the bulk fast path on or off, so the
+  /// access sequence (and therefore every observable) matches across modes.
+  void copyFrom(const TrackedArray& other) {
+    EC_CHECK(other.count_ == count_);
+    T buf[kChunkElems];
+    for (std::uint64_t i = 0; i < count_; i += kChunkElems) {
+      const std::uint64_t n = std::min<std::uint64_t>(kChunkElems, count_ - i);
+      other.readRange(i, n, buf);
+      writeRange(i, n, buf);
+    }
+  }
+
+  /// Read-only chunked traversal: fn(firstIndex, std::span<const T>) over
+  /// consecutive chunks of at most kChunkElems elements, each loaded with one
+  /// bulk range access through a stack buffer. Backs reductions and scans.
+  template <typename Fn>
+  void forEachChunk(Fn&& fn) const {
+    T buf[kChunkElems];
+    for (std::uint64_t i = 0; i < count_; i += kChunkElems) {
+      const std::uint64_t n = std::min<std::uint64_t>(kChunkElems, count_ - i);
+      readRange(i, n, buf);
+      fn(i, std::span<const T>(buf, n));
+    }
   }
 
   /// Element proxy enabling natural assignment/compound-assignment syntax.

@@ -147,6 +147,54 @@ void Runtime::readNvm(std::uint64_t addr, std::span<std::uint8_t> dst) const {
   nvm_.read(addr, dst);
 }
 
+void Runtime::loadRange(std::uint64_t addr, std::span<std::uint8_t> dst,
+                        std::uint32_t elemSize) {
+  EC_CHECK_MSG(elemSize > 0, "loadRange: zero element size");
+  EC_CHECK_MSG(dst.size() % elemSize == 0,
+               "loadRange: span is not a whole number of elements");
+  if (dst.empty()) return;
+  if (!bulk_) {
+    for (std::uint64_t off = 0; off < dst.size(); off += elemSize) {
+      load(addr + off, dst.subspan(off, elemSize));
+    }
+    return;
+  }
+  forEachRangeChunk(dst.size() / elemSize,
+                    [&](std::uint64_t first, std::uint64_t n) {
+                      const std::uint64_t byteOff = first * elemSize;
+                      const auto part = dst.subspan(byteOff, n * elemSize);
+                      if (direct_) {
+                        nvm_.read(addr + byteOff, part);
+                      } else {
+                        hierarchy_.loadRange(addr + byteOff, part, elemSize);
+                      }
+                    });
+}
+
+void Runtime::storeRange(std::uint64_t addr, std::span<const std::uint8_t> src,
+                         std::uint32_t elemSize) {
+  EC_CHECK_MSG(elemSize > 0, "storeRange: zero element size");
+  EC_CHECK_MSG(src.size() % elemSize == 0,
+               "storeRange: span is not a whole number of elements");
+  if (src.empty()) return;
+  if (!bulk_) {
+    for (std::uint64_t off = 0; off < src.size(); off += elemSize) {
+      store(addr + off, src.subspan(off, elemSize));
+    }
+    return;
+  }
+  forEachRangeChunk(src.size() / elemSize,
+                    [&](std::uint64_t first, std::uint64_t n) {
+                      const std::uint64_t byteOff = first * elemSize;
+                      const auto part = src.subspan(byteOff, n * elemSize);
+                      if (direct_) {
+                        nvm_.poke(addr + byteOff, part);
+                      } else {
+                        hierarchy_.storeRange(addr + byteOff, part, elemSize);
+                      }
+                    });
+}
+
 void Runtime::persistObject(ObjectId id, memsim::FlushKind kind) {
   const DataObjectInfo& info = object(id);
   hierarchy_.flushRange(info.addr, info.bytes, kind);

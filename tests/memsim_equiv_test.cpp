@@ -21,6 +21,7 @@
 
 #include "easycrash/common/rng.hpp"
 #include "easycrash/memsim/hierarchy.hpp"
+#include "easycrash/memsim/multicore.hpp"
 
 namespace ms = easycrash::memsim;
 
@@ -529,6 +530,257 @@ TEST(MemsimEquivalence, NonPowerOfTwoSetsMatchNaiveReference) {
   ref.drainAll();
   expectSameEvents(real.events(), ref.events, kOps);
   expectSameNvm(nvm, refNvm, kOps);
+}
+
+// ---------------------------------------------------------------------------
+// Range fast path vs element-wise scalar path.
+//
+// Two instances of the REAL engine over identical NVM stores: one driven
+// through loadRange/storeRange, the other through the ascending element-wise
+// loop each range call claims to be equivalent to. Every semantic counter,
+// loaded value, NVM image and inconsistency measurement must match at every
+// step — only the rangeLoads/rangeStores/rangeSplitBlocks diagnostics (which
+// expectSameEvents deliberately ignores) may differ. Spans straddle block
+// boundaries and start/end at unaligned byte addresses by construction.
+// ---------------------------------------------------------------------------
+
+void elementwiseLoad(ms::CacheHierarchy& h, std::uint64_t addr,
+                     std::span<std::uint8_t> dst, std::uint32_t elemSize) {
+  for (std::uint64_t off = 0; off < dst.size(); off += elemSize) {
+    h.load(addr + off, dst.subspan(off, elemSize));
+  }
+}
+
+void elementwiseStore(ms::CacheHierarchy& h, std::uint64_t addr,
+                      std::span<const std::uint8_t> src, std::uint32_t elemSize) {
+  for (std::uint64_t off = 0; off < src.size(); off += elemSize) {
+    h.store(addr + off, src.subspan(off, elemSize));
+  }
+}
+
+void expectSameNvmStores(const ms::NvmStore& a, const ms::NvmStore& b,
+                         std::uint64_t step) {
+  ASSERT_EQ(a.blockWrites(), b.blockWrites()) << "step " << step;
+  const std::uint64_t span = std::max(a.imageBytes(), b.imageBytes());
+  std::vector<std::uint8_t> bufA(span), bufB(span);
+  a.read(0, bufA);
+  b.read(0, bufB);
+  ASSERT_EQ(bufA, bufB) << "NVM image differs at step " << step;
+}
+
+void driveRangeVsElementwise(const ms::CacheConfig& config, std::uint64_t seed,
+                             std::uint64_t ops) {
+  ms::NvmStore nvmBulk(config.blockSize);
+  ms::NvmStore nvmScalar(config.blockSize);
+  ms::CacheHierarchy bulk(config, nvmBulk);
+  ms::CacheHierarchy scalar(config, nvmScalar);
+
+  easycrash::Rng rng(seed);
+  constexpr std::uint64_t kFootprint = 8 * 1024;
+  constexpr std::uint32_t kElemSizes[] = {1, 2, 4, 8, 16};
+  std::vector<std::uint8_t> buf, refBuf;
+
+  for (std::uint64_t step = 0; step < ops; ++step) {
+    const std::uint64_t op = rng.below(100);
+    if (op < 35) {  // bulk store vs element-wise store
+      const std::uint32_t elemSize = kElemSizes[rng.below(5)];
+      const std::uint64_t count = rng.between(1, 48);
+      const std::uint64_t bytes = count * elemSize;
+      const std::uint64_t addr = rng.below(kFootprint - bytes);
+      buf.resize(bytes);
+      for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.below(256));
+      bulk.storeRange(addr, buf, elemSize);
+      elementwiseStore(scalar, addr, buf, elemSize);
+    } else if (op < 70) {  // bulk load vs element-wise load, values must agree
+      const std::uint32_t elemSize = kElemSizes[rng.below(5)];
+      const std::uint64_t count = rng.between(1, 48);
+      const std::uint64_t bytes = count * elemSize;
+      const std::uint64_t addr = rng.below(kFootprint - bytes);
+      buf.assign(bytes, 0xAA);
+      refBuf.assign(bytes, 0x55);
+      bulk.loadRange(addr, buf, elemSize);
+      elementwiseLoad(scalar, addr, refBuf, elemSize);
+      ASSERT_EQ(buf, refBuf) << "range-loaded values differ at step " << step;
+    } else if (op < 80) {  // interleaved scalar traffic perturbs both equally
+      const std::uint64_t size = rng.between(1, 96);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      buf.resize(size);
+      for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.below(256));
+      bulk.store(addr, buf);
+      scalar.store(addr, buf);
+    } else if (op < 88) {  // flushes interact with range-written dirty state
+      const std::uint64_t size = rng.between(1, 512);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      const auto kind = static_cast<ms::FlushKind>(rng.below(3));
+      bulk.flushRange(addr, size, kind);
+      scalar.flushRange(addr, size, kind);
+    } else if (op < 94) {  // peek + inconsistency must agree
+      const std::uint64_t size = rng.between(1, 256);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      buf.assign(size, 0xAA);
+      refBuf.assign(size, 0x55);
+      bulk.peek(addr, buf);
+      scalar.peek(addr, refBuf);
+      ASSERT_EQ(buf, refBuf) << "peeked values differ at step " << step;
+      ASSERT_EQ(bulk.inconsistentBytes(addr, size),
+                scalar.inconsistentBytes(addr, size))
+          << "inconsistency differs at step " << step;
+    } else if (op < 97) {  // checkpoint drain
+      bulk.drainAll();
+      scalar.drainAll();
+    } else if (op < 99) {  // power loss
+      bulk.invalidateAll();
+      scalar.invalidateAll();
+    } else {
+      bulk.checkInvariants();
+      scalar.checkInvariants();
+    }
+
+    expectSameEvents(bulk.events(), scalar.events(), step);
+    if (step % 1024 == 0 || step + 1 == ops) {
+      expectSameNvmStores(nvmBulk, nvmScalar, step);
+    }
+  }
+
+  bulk.drainAll();
+  scalar.drainAll();
+  expectSameEvents(bulk.events(), scalar.events(), ops);
+  expectSameNvmStores(nvmBulk, nvmScalar, ops);
+  // The diagnostics are the only permitted divergence — and they must prove
+  // the fast path actually ran (and split blocks) on the bulk side only.
+  EXPECT_GT(bulk.events().rangeLoads, 0u);
+  EXPECT_GT(bulk.events().rangeStores, 0u);
+  EXPECT_GT(bulk.events().rangeSplitBlocks,
+            bulk.events().rangeLoads + bulk.events().rangeStores)
+      << "multi-block spans must split";
+  EXPECT_EQ(scalar.events().rangeLoads, 0u);
+  EXPECT_EQ(scalar.events().rangeStores, 0u);
+  EXPECT_EQ(scalar.events().rangeSplitBlocks, 0u);
+}
+
+TEST(MemsimEquivalence, RangeAccessesMatchElementwise) {
+  driveRangeVsElementwise(ms::CacheConfig::tiny(), 0xB01DFACE, 40000);
+}
+
+TEST(MemsimEquivalence, RangeAccessesMatchElementwiseNonPowerOfTwoSets) {
+  ms::CacheConfig config;
+  config.name = "np2-range";
+  config.blockSize = 64;
+  config.levels = {{6ULL * 64, 2}, {10ULL * 64, 2}, {28ULL * 64, 4}};
+  config.validate();
+  driveRangeVsElementwise(config, 0xFACADE, 20000);
+}
+
+// ---------------------------------------------------------------------------
+// Multicore range fast path vs element-wise accesses: same discipline, with
+// MESI coherence traffic (invalidations, ownership transfers) in the
+// comparison — a range store must upgrade/invalidate exactly as the
+// element-wise loop does.
+// ---------------------------------------------------------------------------
+
+void expectSameCoherence(const ms::CoherenceEvents& a, const ms::CoherenceEvents& b,
+                         std::uint64_t step, const char* what) {
+  ASSERT_EQ(a.loads, b.loads) << what << " step " << step;
+  ASSERT_EQ(a.stores, b.stores) << what << " step " << step;
+  ASSERT_EQ(a.privateHits, b.privateHits) << what << " step " << step;
+  ASSERT_EQ(a.privateMisses, b.privateMisses) << what << " step " << step;
+  ASSERT_EQ(a.llcHits, b.llcHits) << what << " step " << step;
+  ASSERT_EQ(a.llcMisses, b.llcMisses) << what << " step " << step;
+  ASSERT_EQ(a.invalidationsSent, b.invalidationsSent) << what << " step " << step;
+  ASSERT_EQ(a.ownershipTransfers, b.ownershipTransfers) << what << " step " << step;
+  ASSERT_EQ(a.nvmBlockWrites, b.nvmBlockWrites) << what << " step " << step;
+  ASSERT_EQ(a.nvmBlockReads, b.nvmBlockReads) << what << " step " << step;
+  ASSERT_EQ(a.flushDirty, b.flushDirty) << what << " step " << step;
+  ASSERT_EQ(a.flushClean, b.flushClean) << what << " step " << step;
+  ASSERT_EQ(a.flushNonResident, b.flushNonResident) << what << " step " << step;
+}
+
+TEST(MulticoreEquivalence, RangeAccessesMatchElementwise) {
+  ms::MulticoreConfig config;
+  config.cores = 3;
+  config.privateCache = {4ULL * 64, 2};  // tiny: heavy eviction + coherence
+  config.sharedLlc = {16ULL * 64, 4};
+  config.blockSize = 64;
+  config.validate();
+
+  ms::NvmStore nvmBulk(config.blockSize);
+  ms::NvmStore nvmScalar(config.blockSize);
+  ms::MulticoreSystem bulk(config, nvmBulk);
+  ms::MulticoreSystem scalar(config, nvmScalar);
+
+  easycrash::Rng rng(0xCAFED00D);
+  constexpr std::uint64_t kFootprint = 4 * 1024;
+  constexpr std::uint32_t kElemSizes[] = {1, 4, 8};
+  std::vector<std::uint8_t> buf, refBuf;
+
+  for (std::uint64_t step = 0; step < 20000; ++step) {
+    const int core = static_cast<int>(rng.below(3));
+    const std::uint64_t op = rng.below(100);
+    if (op < 40) {
+      const std::uint32_t elemSize = kElemSizes[rng.below(3)];
+      const std::uint64_t count = rng.between(1, 40);
+      const std::uint64_t bytes = count * elemSize;
+      const std::uint64_t addr = rng.below(kFootprint - bytes);
+      buf.resize(bytes);
+      for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.below(256));
+      bulk.storeRange(core, addr, buf, elemSize);
+      for (std::uint64_t off = 0; off < bytes; off += elemSize) {
+        scalar.store(core, addr + off,
+                     std::span<const std::uint8_t>(buf).subspan(off, elemSize));
+      }
+    } else if (op < 80) {
+      const std::uint32_t elemSize = kElemSizes[rng.below(3)];
+      const std::uint64_t count = rng.between(1, 40);
+      const std::uint64_t bytes = count * elemSize;
+      const std::uint64_t addr = rng.below(kFootprint - bytes);
+      buf.assign(bytes, 0xAA);
+      refBuf.assign(bytes, 0x55);
+      bulk.loadRange(core, addr, buf, elemSize);
+      for (std::uint64_t off = 0; off < bytes; off += elemSize) {
+        scalar.load(core, addr + off,
+                    std::span<std::uint8_t>(refBuf).subspan(off, elemSize));
+      }
+      ASSERT_EQ(buf, refBuf) << "range-loaded values differ at step " << step;
+    } else if (op < 88) {
+      const std::uint64_t size = rng.between(1, 256);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      const auto kind = static_cast<ms::FlushKind>(rng.below(3));
+      bulk.flushRange(addr, size, kind);
+      scalar.flushRange(addr, size, kind);
+    } else if (op < 94) {
+      const std::uint64_t size = rng.between(1, 128);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      buf.assign(size, 0xAA);
+      refBuf.assign(size, 0x55);
+      bulk.peek(addr, buf);
+      scalar.peek(addr, refBuf);
+      ASSERT_EQ(buf, refBuf) << "peeked values differ at step " << step;
+      ASSERT_EQ(bulk.inconsistentBytes(addr, size),
+                scalar.inconsistentBytes(addr, size))
+          << "inconsistency differs at step " << step;
+    } else if (op < 97) {
+      bulk.drainAll();
+      scalar.drainAll();
+    } else if (op < 99) {
+      bulk.invalidateAll();
+      scalar.invalidateAll();
+    } else {
+      bulk.checkInvariants();
+      scalar.checkInvariants();
+    }
+
+    for (int c = 0; c < config.cores; ++c) {
+      expectSameCoherence(bulk.coreEvents(c), scalar.coreEvents(c), step, "core");
+    }
+    if (step % 1024 == 0 || step == 19999) {
+      expectSameNvmStores(nvmBulk, nvmScalar, step);
+    }
+  }
+
+  bulk.drainAll();
+  scalar.drainAll();
+  expectSameCoherence(bulk.totalEvents(), scalar.totalEvents(), 20000, "total");
+  expectSameNvmStores(nvmBulk, nvmScalar, 20000);
 }
 
 }  // namespace

@@ -356,6 +356,96 @@ TEST(ResilienceTest, WatchdogArmDisarmLifecycle) {
   EXPECT_FALSE(watchdog.disarm(0));
 }
 
+TEST(ResilienceTest, WatchdogBudgetFactorScalesTheDeadline) {
+  cr::Watchdog watchdog(std::chrono::milliseconds(40), 1);
+  // factor 5: this arming's deadline is 200 ms, so well past the 40 ms base
+  // the flag must not have fired.
+  std::atomic<bool>& flag = watchdog.arm(0, 5.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(flag.load()) << "budgeted deadline must outlive the base timeout";
+  EXPECT_FALSE(watchdog.disarm(0));
+  // Sub-unit factors clamp to 1: the base deadline still applies.
+  std::atomic<bool>& clamped = watchdog.arm(0, 0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_TRUE(clamped.load()) << "clamped factor keeps the base deadline";
+  EXPECT_TRUE(watchdog.disarm(0));
+}
+
+namespace {
+
+/// FaultyApp with a fixed wall-clock cost per iteration: trial duration
+/// scales with the crash index, which is exactly what the per-trial budget
+/// model must absorb. Sleep-driven so load on the CI machine cannot shrink
+/// the cost below the nominal value.
+class SleepyApp final : public rt::IApp {
+ public:
+  void setup(rt::Runtime& runtime) override {
+    runtime.declareRegionCount(1);
+    data_ = rt::TrackedArray<std::int64_t>(runtime, "data", kCells, true);
+  }
+
+  void initialize(rt::Runtime& runtime) override {
+    (void)runtime;
+    for (int i = 0; i < kCells; ++i) data_.set(i, 0);
+  }
+
+  void iterate(rt::Runtime& runtime, int iteration) override {
+    (void)iteration;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    rt::RegionScope region(runtime, 0);
+    for (int i = 0; i < kCells; ++i) data_.set(i, data_.get(i) + 1);
+    region.iterationEnd();
+  }
+
+  [[nodiscard]] const rt::AppInfo& info() const override { return info_; }
+  [[nodiscard]] int nominalIterations() const override { return kIterations; }
+
+  [[nodiscard]] bool converged(rt::Runtime& runtime, int iteration) override {
+    (void)runtime;
+    return iteration >= kIterations;
+  }
+
+  [[nodiscard]] rt::VerifyOutcome verify(rt::Runtime& runtime) override {
+    (void)runtime;
+    rt::VerifyOutcome out;
+    std::int64_t total = 0;
+    for (int i = 0; i < kCells; ++i) total += data_.peek(i);
+    out.metric = static_cast<double>(total);
+    out.pass = total == static_cast<std::int64_t>(kIterations) * kCells;
+    return out;
+  }
+
+  static constexpr int kIterations = 8;
+  static constexpr int kCells = 32;
+
+ private:
+  rt::AppInfo info_{"sleepy", "fixed wall-clock cost per iteration"};
+  rt::TrackedArray<std::int64_t> data_;
+};
+
+}  // namespace
+
+TEST(ResilienceTest, LateCrashTrialsFitTheScaledBudget) {
+  // Regression for the flat-deadline bug: the golden run takes ~40 ms
+  // (8 iterations x 5 ms), and with the 55 ms base deadline below, a
+  // late-crash trial — a near-complete crashing run plus a restart that
+  // re-runs from scratch — costs ~80 ms of sleeps and would be cancelled
+  // spuriously. The per-trial budget (crash fraction + maxIterationFactor)
+  // scales the deadline to ~165 ms, so no trial may time out.
+  const std::uint64_t before = counterValue("campaign.trial_timeouts");
+  auto config = tinyConfig(6);
+  config.sweep = false;  // the per-trial path arms one whole-trial budget
+  config.resilience.isolate = true;
+  config.resilience.maxRetries = 0;
+  config.resilience.trialTimeoutMs = 55;
+  const auto factory = [] { return std::make_unique<SleepyApp>(); };
+  const auto result = cr::CampaignRunner(factory, config).run();
+  EXPECT_TRUE(result.failures.empty())
+      << "slow late-crash trials must fit the scaled watchdog budget";
+  EXPECT_EQ(result.tests.size(), 6u);
+  EXPECT_EQ(counterValue("campaign.trial_timeouts") - before, 0u);
+}
+
 // ---- Journal ----------------------------------------------------------------
 
 TEST(ResilienceTest, JournalRoundTripsTrialsAndFailures) {
@@ -420,10 +510,24 @@ TEST(ResilienceTest, JournalRoundTripsTrialsAndFailures) {
   std::remove(path.c_str());
 }
 
-TEST(ResilienceTest, JournalPersistsOutOfOrderDecisionsSorted) {
+namespace {
+
+std::vector<std::string> fileLines(const std::string& path) {
+  std::ifstream is(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TEST(ResilienceTest, JournalPersistsOutOfOrderDecisionsAsSegments) {
   // The sweep evaluator decides trials in crash-index order, so decided
-  // test indices are scattered: every one of them must still be durable,
-  // written in test-index order.
+  // test indices are scattered: every one of them must still be durable.
+  // With flushEvery=1, the first decision lands in the compacted base
+  // segment and the rest are appended in decision order — O(batch) per
+  // flush instead of rewriting the whole file. close() then compacts.
   const std::string path = tempPath("journal_prefix.jsonl");
   std::remove(path.c_str());
   cr::JournalHeader header;
@@ -436,22 +540,89 @@ TEST(ResilienceTest, JournalPersistsOutOfOrderDecisionsSorted) {
     journal.recordTrial(5, record);  // gap: trials 0..4 still undecided
     journal.recordTrial(0, record);
     journal.recordTrial(8, record);
+
+    // Mid-flight: the header declares the segment discipline and the file
+    // shows the base segment (trial 5) followed by decision-order appends.
+    const auto lines = fileLines(path);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_NE(lines[0].find("\"format\":\"segments\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"trial\":5"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"trial\":0"), std::string::npos);
+    EXPECT_NE(lines[3].find("\"trial\":8"), std::string::npos);
+    // And a reader at this instant (a crashed campaign's resume) compacts.
+    const auto midFlight = cr::readJournal(path);
+    EXPECT_EQ(midFlight.trials.size(), 3u) << "every decided trial is durable";
+
     journal.close();
   }
-  const auto replay = cr::readJournal(path);
-  EXPECT_EQ(replay.trials.size(), 3u) << "every decided trial is durable";
-  EXPECT_TRUE(replay.trials.count(0));
-  EXPECT_TRUE(replay.trials.count(5));
-  EXPECT_TRUE(replay.trials.count(8));
-  // trace_lint --journal insists on monotone indices: verify the file order.
-  std::ifstream is(path);
-  std::string line;
-  std::vector<std::string> lines;
-  while (std::getline(is, line)) lines.push_back(line);
+  // After close the journal is canonical: test-index sorted, so campaigns
+  // that decide the same trials in any order leave byte-identical files.
+  const auto lines = fileLines(path);
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_NE(lines[1].find("\"trial\":0"), std::string::npos);
   EXPECT_NE(lines[2].find("\"trial\":5"), std::string::npos);
   EXPECT_NE(lines[3].find("\"trial\":8"), std::string::npos);
+  const auto replay = cr::readJournal(path);
+  EXPECT_EQ(replay.trials.size(), 3u);
+  EXPECT_TRUE(replay.trials.count(0));
+  EXPECT_TRUE(replay.trials.count(5));
+  EXPECT_TRUE(replay.trials.count(8));
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceTest, JournalBatchesAppendsByFlushCadence) {
+  // flushEvery=3: the base segment holds the first three decisions sorted
+  // by test index; the fourth is only in memory until close() flushes and
+  // compacts.
+  const std::string path = tempPath("journal_batched.jsonl");
+  std::remove(path.c_str());
+  cr::JournalHeader header;
+  header.app = "probe";
+  header.tests = 10;
+  header.mode = "nvm";
+  {
+    cr::TrialJournal journal(path, header, 3);
+    cr::CrashTestRecord record;
+    journal.recordTrial(7, record);
+    journal.recordTrial(2, record);
+    journal.recordTrial(4, record);  // third decision: base segment flushes
+    const auto base = fileLines(path);
+    ASSERT_EQ(base.size(), 4u);
+    EXPECT_NE(base[1].find("\"trial\":2"), std::string::npos);
+    EXPECT_NE(base[2].find("\"trial\":4"), std::string::npos);
+    EXPECT_NE(base[3].find("\"trial\":7"), std::string::npos);
+    journal.recordTrial(1, record);  // pending until the close-time flush
+    EXPECT_EQ(fileLines(path).size(), 4u);
+    journal.close();
+  }
+  const auto lines = fileLines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[1].find("\"trial\":1"), std::string::npos) << "compacted on close";
+  const auto replay = cr::readJournal(path);
+  EXPECT_EQ(replay.trials.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(ResilienceTest, ReadJournalCompactsDuplicateIndicesLastWins) {
+  // Appended segments may re-decide an index (e.g. across resume cycles
+  // writing into the same path): the reader keeps the last record.
+  const std::string path = tempPath("journal_dupes.jsonl");
+  {
+    std::ofstream os(path);
+    os << R"({"type":"campaign_header","app":"probe","seed":1,"tests":5,)"
+       << R"("mode":"nvm","plan_fingerprint":"1","window_accesses":10,)"
+       << R"("format":"segments"})" << '\n';
+    os << R"({"type":"trial","trial":0,"crash_access":3,"region":-1,)"
+       << R"("region_path":[],"crash_iteration":1,"restart_iteration":1,)"
+       << R"("response":"S4","extra_iterations":0,"rates":{},"note":"old"})" << '\n';
+    os << R"({"type":"trial","trial":0,"crash_access":3,"region":-1,)"
+       << R"("region_path":[],"crash_iteration":1,"restart_iteration":1,)"
+       << R"("response":"S1","extra_iterations":0,"rates":{},"note":"new"})" << '\n';
+  }
+  const auto replay = cr::readJournal(path);
+  ASSERT_EQ(replay.trials.size(), 1u);
+  EXPECT_EQ(replay.trials.at(0).response, cr::Response::S1);
+  EXPECT_EQ(replay.trials.at(0).note, "new");
   std::remove(path.c_str());
 }
 

@@ -1,6 +1,10 @@
 // Tests for the tracked-memory runtime: object registry, tracked accessors,
 // persistence API, region markers, plan execution and crash injection.
+#include <cstdint>
 #include <cstring>
+#include <span>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -349,4 +353,175 @@ TEST(RegionAccounting, AccessesAttributedToRegions) {
   EXPECT_EQ(runtime.regionAccesses().at(0), 10u);
   EXPECT_EQ(runtime.regionAccesses().at(1), 30u);
   EXPECT_EQ(runtime.windowAccesses(), 40u);
+}
+
+// ---- Bulk range operations (docs/INTERNALS.md "Range access fast path") -----
+
+TEST(TrackedArrayBulk, ZeroLengthRangesAreNoOps) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 16, true);
+  runtime.setCrashWindow(true);
+  double v = 1.0;
+  a.readRange(5, 0, &v);  // the out buffer must stay untouched
+  a.writeRange(5, 0, &v);
+  a.fillRange(16, 0, 9.0);  // zero length exactly at the end is legal
+  EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_EQ(runtime.windowAccesses(), 0u) << "no elements, no clock ticks";
+}
+
+TEST(TrackedArrayBulk, SingleElementRangeMatchesGetSet) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  runtime.setCrashWindow(true);
+  const double in = 3.25;
+  a.writeRange(2, 1, &in);
+  double out = 0.0;
+  a.readRange(2, 1, &out);
+  EXPECT_DOUBLE_EQ(out, 3.25);
+  EXPECT_DOUBLE_EQ(a.get(2), 3.25);
+  EXPECT_EQ(runtime.windowAccesses(), 3u) << "one tick per logical element";
+}
+
+TEST(TrackedArrayBulk, RangesCrossingTheEndThrow) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 8, true);
+  double buf[4] = {};
+  EXPECT_THROW(a.readRange(6, 3, buf), std::logic_error);
+  EXPECT_THROW(a.writeRange(8, 1, buf), std::logic_error);
+  EXPECT_THROW(a.fillRange(5, 100, 0.0), std::logic_error);
+  EXPECT_THROW(a.readRange(9, 0, buf), std::logic_error);  // start past the end
+}
+
+TEST(TrackedArrayBulk, FillCopyAndChunkTraversalRoundTrip) {
+  auto runtime = makeRuntime();
+  // Larger than kChunkElems so fill/copyFrom/forEachChunk all take several
+  // stack-buffer chunks, and deliberately not a multiple of it.
+  const std::uint64_t n = rt::TrackedArray<double>::kChunkElems * 2 + 37;
+  rt::TrackedArray<double> a(runtime, "a", n, true);
+  rt::TrackedArray<double> b(runtime, "b", n, true);
+  a.fill(4.5);
+  a.set(n - 1, 7.0);
+  b.copyFrom(a);
+  EXPECT_DOUBLE_EQ(b.get(0), 4.5);
+  EXPECT_DOUBLE_EQ(b.get(n - 2), 4.5);
+  EXPECT_DOUBLE_EQ(b.get(n - 1), 7.0);
+  std::uint64_t seen = 0;
+  double sum = 0.0;
+  b.forEachChunk([&](std::uint64_t first, std::span<const double> chunk) {
+    EXPECT_EQ(first, seen);
+    seen += chunk.size();
+    for (const double v : chunk) sum += v;
+  });
+  EXPECT_EQ(seen, n);
+  EXPECT_DOUBLE_EQ(sum, 4.5 * static_cast<double>(n - 1) + 7.0);
+}
+
+TEST(TrackedArrayBulk, CrashFiresMidRangeAtExactIndex) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 64, true);
+  runtime.setCrashWindow(true);
+  runtime.armCrash(10);
+  std::vector<double> src(64, 2.0);
+  try {
+    a.writeRange(0, 64, src.data());
+    FAIL() << "crash did not fire";
+  } catch (const rt::CrashEvent& crash) {
+    EXPECT_EQ(crash.accessIndex, 10u);
+  }
+  // The bulk chunk is clamped so its last element is the trigger, matching
+  // the scalar path where the 10th store completes and then throws: elements
+  // 0..9 hold the new value, everything after does not.
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.peek(i), 2.0) << "element " << i;
+  for (int i = 10; i < 64; ++i) EXPECT_DOUBLE_EQ(a.peek(i), 0.0) << "element " << i;
+}
+
+TEST(TrackedArrayBulk, CapturesFireMidRangeWithElementwiseState) {
+  auto runtime = makeRuntime();
+  rt::TrackedArray<double> a(runtime, "a", 32, true);
+  runtime.setCrashWindow(true);
+  std::vector<std::uint64_t> fired;
+  // Adjacent indices (5, 6) force a one-element bulk chunk in between.
+  runtime.armCaptures({5, 6, 20}, [&](const rt::CrashEvent& at) {
+    fired.push_back(at.accessIndex);
+    // Window index i (1-based) writes element i-1: at capture time the
+    // triggering element is applied, the next one is not — exactly the
+    // state an element-wise loop would show.
+    EXPECT_DOUBLE_EQ(a.peek(at.accessIndex - 1),
+                     static_cast<double>(at.accessIndex));
+    EXPECT_DOUBLE_EQ(a.peek(at.accessIndex), 0.0);
+  });
+  std::vector<double> src(32);
+  for (int i = 0; i < 32; ++i) src[static_cast<std::size_t>(i)] = i + 1.0;
+  a.writeRange(0, 32, src.data());
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{5, 6, 20}));
+}
+
+TEST(TrackedArrayBulk, DirectModeBulkOnOffIdentical) {
+  // Restarts run in direct-access mode (the NVM image IS the architectural
+  // state): the bulk path must produce the same bytes, clock ticks and
+  // crash-index semantics there too.
+  const auto drive = [](bool bulkOn) {
+    auto runtime = makeRuntime();
+    runtime.setDirect(true);
+    runtime.setBulk(bulkOn);
+    rt::TrackedArray<double> a(runtime, "a", 20, true);
+    runtime.setCrashWindow(true);
+    runtime.armCrash(7);
+    std::vector<double> src(20, 5.5);
+    std::uint64_t crashedAt = 0;
+    try {
+      a.writeRange(0, 20, src.data());
+    } catch (const rt::CrashEvent& crash) {
+      crashedAt = crash.accessIndex;
+    }
+    return std::tuple{crashedAt, runtime.windowAccesses(),
+                      runtime.dumpObjectNvm(a.id())};
+  };
+  const auto [crashOn, ticksOn, nvmOn] = drive(true);
+  const auto [crashOff, ticksOff, nvmOff] = drive(false);
+  EXPECT_EQ(crashOn, 7u);
+  EXPECT_EQ(crashOn, crashOff);
+  EXPECT_EQ(ticksOn, ticksOff);
+  EXPECT_EQ(nvmOn, nvmOff) << "direct-mode NVM bytes must match across modes";
+  // Elements 0..6 were applied before the crash (direct mode pokes NVM).
+  double v = 0.0;
+  std::memcpy(&v, nvmOn.data() + 6 * sizeof(double), sizeof(double));
+  EXPECT_DOUBLE_EQ(v, 5.5);
+  std::memcpy(&v, nvmOn.data() + 7 * sizeof(double), sizeof(double));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(TrackedArrayBulk, BulkOffLowersToIdenticalObservables) {
+  auto bulkOn = makeRuntime();
+  auto bulkOff = makeRuntime();
+  bulkOff.setBulk(false);
+  const auto drive = [](rt::Runtime& runtime) {
+    rt::TrackedArray<double> a(runtime, "a", 300, true);
+    rt::TrackedArray<double> b(runtime, "b", 300, true);
+    runtime.setCrashWindow(true);
+    a.fill(1.25);
+    b.copyFrom(a);
+    double sum = 0.0;
+    b.forEachChunk([&](std::uint64_t, std::span<const double> chunk) {
+      for (const double v : chunk) sum += v;
+    });
+    runtime.setCrashWindow(false);
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(drive(bulkOn), drive(bulkOff));
+  EXPECT_EQ(bulkOn.windowAccesses(), bulkOff.windowAccesses());
+  const auto& on = bulkOn.events();
+  const auto& off = bulkOff.events();
+  EXPECT_EQ(on.loads, off.loads);
+  EXPECT_EQ(on.stores, off.stores);
+  EXPECT_EQ(on.hits, off.hits);
+  EXPECT_EQ(on.misses, off.misses);
+  EXPECT_EQ(on.nvmBlockReads, off.nvmBlockReads);
+  EXPECT_EQ(on.nvmBlockWrites, off.nvmBlockWrites);
+  // The range diagnostics are the one intentional difference: they count
+  // bulk calls, which only the fast path makes.
+  EXPECT_GT(on.rangeLoads + on.rangeStores, 0u);
+  EXPECT_EQ(off.rangeLoads, 0u);
+  EXPECT_EQ(off.rangeStores, 0u);
+  EXPECT_EQ(off.rangeSplitBlocks, 0u);
 }

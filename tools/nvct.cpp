@@ -16,7 +16,9 @@
 //
 // Performance (docs/INTERNALS.md): by default one sweep run captures every
 // pending crash point and the restarts pipeline behind it (--sweep off
-// restores the one-crashing-run-per-trial path; results are byte-identical).
+// restores the one-crashing-run-per-trial path; results are byte-identical),
+// and the apps' range accesses take the block-granular bulk path (--bulk off
+// restores the per-element scalar path; results are byte-identical).
 //
 // Fault tolerance (docs/ROBUSTNESS.md): trials are isolated (a throwing
 // trial becomes a reported TrialFailure, bounded by --max-trial-failures),
@@ -65,6 +67,10 @@ int main(int argc, char** argv) {
                 "single-sweep evaluator: capture every crash point in one "
                 "crashing run and pipeline the restarts (on|off; off = the "
                 "per-trial path, byte-identical results)");
+  cli.addString("bulk", "on",
+                "block-granular bulk path for the apps' range accesses "
+                "(on|off; off = per-element scalar path, byte-identical "
+                "results)");
   cli.addString("csv-out", "", "write the per-test CSV to this file");
   cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
   cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
@@ -137,6 +143,12 @@ int main(int argc, char** argv) {
       config.sweep = false;
     } else if (sweep != "on") {
       throw std::runtime_error("--sweep must be 'on' or 'off'");
+    }
+    const std::string bulk = cli.getString("bulk");
+    if (bulk == "off") {
+      config.bulk = false;
+    } else if (bulk != "on") {
+      throw std::runtime_error("--bulk must be 'on' or 'off'");
     }
 
     auto& res = config.resilience;

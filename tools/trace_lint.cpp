@@ -14,14 +14,18 @@
 //
 // Journal mode checks the campaign-journal schema (docs/ROBUSTNESS.md):
 // line 1 is a well-formed campaign_header; every following line is a trial
-// or trial_failure whose indices are strictly monotone (the writer persists
-// every decided trial sorted by index), unique, and inside [0, tests);
-// trial responses are S1-S4 with inconsistency rates in [0, 1].
+// or trial_failure with indices inside [0, tests); trial responses are
+// S1-S4 with inconsistency rates in [0, 1]. A header declaring
+// "format":"segments" (the append-only writer) may repeat and reorder
+// indices — the reader compacts, last record per index wins — while a
+// legacy header additionally requires strictly monotone, unique indices.
 //
 // Exit status 0 iff every check passes; failures name the offending line.
 // Doubles as the e2e check behind the nvct smoke test in tests/.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -181,11 +185,13 @@ int lintJournal(const std::string& path) {
   }
   std::string line;
   std::uint64_t lineNo = 0;
-  std::uint64_t trials = 0;
-  std::uint64_t failures = 0;
   double tests = 0;
+  bool segments = false;
   bool haveLast = false;
   double lastTrial = -1;
+  // Last record kind per test index (true = trial): segment journals may
+  // re-decide an index, so the tallies count the compacted view.
+  std::map<std::uint64_t, bool> decided;
   const auto fail = [&path, &lineNo](const std::string& what) {
     std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << what << '\n';
     return 1;
@@ -226,6 +232,13 @@ int lintJournal(const std::string& path) {
       if (!numberField(*value, "window_accesses")) {
         return fail("header missing \"window_accesses\"");
       }
+      const json::Value* format = value->find("format");
+      if (format != nullptr) {
+        if (!format->isString() || format->string != "segments") {
+          return fail("header \"format\" must be \"segments\" when present");
+        }
+        segments = true;
+      }
       continue;
     }
     if (type->string != "trial" && type->string != "trial_failure") {
@@ -237,16 +250,16 @@ int lintJournal(const std::string& path) {
       return fail("missing trial index");
     }
     if (trial >= tests) return fail("trial index beyond the header's tests");
-    if (haveLast && trial <= lastTrial) {
+    if (!segments && haveLast && trial <= lastTrial) {
       return fail(trial == lastTrial ? "duplicate trial index"
                                      : "trial indices are not monotone");
     }
     haveLast = true;
     lastTrial = trial;
+    decided[static_cast<std::uint64_t>(trial)] = type->string == "trial";
     if (!numberField(*value, "crash_access")) return fail("missing \"crash_access\"");
 
     if (type->string == "trial") {
-      ++trials;
       const json::Value* response = value->find("response");
       if (response == nullptr || !response->isString() ||
           (response->string != "S1" && response->string != "S2" &&
@@ -269,7 +282,6 @@ int lintJournal(const std::string& path) {
         }
       }
     } else {
-      ++failures;
       double attempts = 0;
       if (!numberField(*value, "attempts", &attempts) || attempts < 1) {
         return fail("trial_failure missing positive \"attempts\"");
@@ -288,6 +300,12 @@ int lintJournal(const std::string& path) {
   if (lineNo == 0) {
     std::cerr << "trace_lint: " << path << " is empty\n";
     return 1;
+  }
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+  for (const auto& [index, isTrial] : decided) {
+    (void)index;
+    isTrial ? ++trials : ++failures;
   }
   std::cout << path << ": journal ok (" << trials << " trials, " << failures
             << " failures of " << static_cast<std::uint64_t>(tests)
