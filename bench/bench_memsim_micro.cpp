@@ -146,6 +146,25 @@ BENCHMARK(BM_AppIteration)->DenseRange(0, 10)->Unit(benchmark::kMillisecond);
 // run + 4 crash tests, single-threaded) against the SP benchmark. This is
 // the number that bounds real campaign wall-clock, so it is the headline
 // entry in the checked-in perf baseline (scripts/bench_baseline.py).
+// Deterministic simulation counts from a campaign result, exported as user
+// counters. The perf gate (scripts/bench_baseline.py) byte-compares these
+// against the baseline's: the simulator's work must not silently change
+// shape under a perf PR, and the profile sampler must keep seeing every
+// block touch. Zero when telemetry is compiled out (the bench gate runs on
+// the telemetry-ON leg).
+void setCampaignCounters(benchmark::State& state,
+                         const easycrash::crash::CampaignResult& result) {
+  state.counters["golden_accesses"] = static_cast<double>(
+      result.golden.events.loads + result.golden.events.stores);
+  state.counters["golden_nvm_writes"] =
+      static_cast<double>(result.golden.events.nvmBlockWrites);
+  std::uint64_t samples = 0;
+  for (const auto& object : result.profile.objects) {
+    samples += object.accesses;
+  }
+  state.counters["profile_samples"] = static_cast<double>(samples);
+}
+
 void BM_CampaignTrialThroughput(benchmark::State& state) {
   const auto& entry = easycrash::apps::findBenchmark("sp");
   easycrash::crash::CampaignConfig config;
@@ -153,12 +172,13 @@ void BM_CampaignTrialThroughput(benchmark::State& state) {
   config.numTests = 4;
   config.threads = 1;
   config.appLabel = entry.name;
+  easycrash::crash::CampaignResult last;
   for (auto _ : state) {
-    const auto result =
-        easycrash::crash::CampaignRunner(entry.factory, config).run();
-    benchmark::DoNotOptimize(result.tests.size());
+    last = easycrash::crash::CampaignRunner(entry.factory, config).run();
+    benchmark::DoNotOptimize(last.tests.size());
   }
   state.SetItemsProcessed(state.iterations() * config.numTests);
+  setCampaignCounters(state, last);
 }
 BENCHMARK(BM_CampaignTrialThroughput)->Unit(benchmark::kMillisecond);
 
@@ -177,13 +197,14 @@ void BM_CampaignNScaling(benchmark::State& state) {
   config.threads = 1;
   config.sweep = state.range(1) != 0;
   config.appLabel = entry.name;
+  easycrash::crash::CampaignResult last;
   for (auto _ : state) {
-    const auto result =
-        easycrash::crash::CampaignRunner(entry.factory, config).run();
-    benchmark::DoNotOptimize(result.tests.size());
+    last = easycrash::crash::CampaignRunner(entry.factory, config).run();
+    benchmark::DoNotOptimize(last.tests.size());
   }
   state.SetLabel(config.sweep ? "sweep" : "per-trial");
   state.SetItemsProcessed(state.iterations() * config.numTests);
+  setCampaignCounters(state, last);
 }
 BENCHMARK(BM_CampaignNScaling)
     ->Args({25, 0})

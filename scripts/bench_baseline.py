@@ -7,6 +7,13 @@ checked-in baseline (bench/baselines/BENCH_memsim.json by default) and fails
 when any benchmark regressed beyond the tolerance. Refresh the baseline on a
 quiet machine with --update after intentional perf changes.
 
+The campaign benchmarks also export deterministic simulation counters
+(golden_accesses, golden_nvm_writes, profile_samples). Counters present in
+both the baseline and the fresh run must match exactly — the simulator's
+work must not change shape under a perf PR. After an intentional behaviour
+change, merge fresh counters into the baseline without touching its timings
+via --update-counters.
+
 Typical use:
 
     cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
@@ -30,6 +37,10 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "BENCH_memsim.json"
 
+# Deterministic simulation counters the campaign benchmarks export; only
+# these are diffed, so incidental google-benchmark fields never match.
+COUNTER_NAMES = ("golden_accesses", "golden_nvm_writes", "profile_samples")
+
 
 def load_times(path: pathlib.Path) -> dict[str, tuple[float, str]]:
     """Benchmark name -> (real_time, time_unit) from a --benchmark_out JSON."""
@@ -41,6 +52,59 @@ def load_times(path: pathlib.Path) -> dict[str, tuple[float, str]]:
             continue  # skip aggregate (mean/median/stddev) rows
         times[bench["name"]] = (float(bench["real_time"]), bench.get("time_unit", "ns"))
     return times
+
+
+def load_counters(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    """Benchmark name -> {counter: value} for the allowlisted counters."""
+    with path.open() as fh:
+        doc = json.load(fh)
+    counters: dict[str, dict[str, float]] = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        found = {name: float(bench[name]) for name in COUNTER_NAMES if name in bench}
+        if found:
+            counters[bench["name"]] = found
+    return counters
+
+
+def compare_counters(baseline: dict[str, dict[str, float]],
+                     fresh: dict[str, dict[str, float]]) -> int:
+    """Counters present in BOTH sides must match exactly (the simulation is
+    deterministic); one-sided counters are reported but never fail, so a
+    telemetry-OFF run (profile counters zero) can still gate timings."""
+    mismatches = 0
+    for name in sorted(set(baseline) & set(fresh)):
+        for counter in sorted(set(baseline[name]) & set(fresh[name])):
+            base_value = baseline[name][counter]
+            cur_value = fresh[name][counter]
+            if base_value != cur_value:
+                print(f"{name}/{counter}: baseline {base_value:.0f} != "
+                      f"current {cur_value:.0f}  << COUNTER MISMATCH")
+                mismatches += 1
+    only = sorted(set(fresh) - set(baseline))
+    for name in only:
+        print(f"{name}: counters not in baseline (record with --update-counters)")
+    return mismatches
+
+
+def merge_counters(baseline_path: pathlib.Path, result_path: pathlib.Path) -> int:
+    """Copy the fresh run's allowlisted counters into the baseline file's
+    matching benchmark entries, leaving every timing untouched."""
+    with baseline_path.open() as fh:
+        doc = json.load(fh)
+    fresh = load_counters(result_path)
+    merged = 0
+    for bench in doc.get("benchmarks", []):
+        update = fresh.get(bench.get("name", ""))
+        if not update:
+            continue
+        for counter, value in update.items():
+            bench[counter] = value
+            merged += 1
+    baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"merged {merged} counter value(s) into {baseline_path}")
+    return 0 if merged else 2
 
 
 def run_suite(binary: pathlib.Path, out: pathlib.Path, bench_filter: str,
@@ -114,6 +178,9 @@ def main() -> int:
     parser.add_argument("--update", action="store_true",
                         help="write the fresh results over the baseline file "
                              "instead of comparing")
+    parser.add_argument("--update-counters", action="store_true",
+                        help="merge the fresh run's simulation counters into "
+                             "the baseline file without touching its timings")
     args = parser.parse_args()
 
     if args.parse_only:
@@ -145,11 +212,19 @@ def main() -> int:
         print(f"error: baseline not found: {baseline_path} "
               "(record one with --update)", file=sys.stderr)
         return 2
+    if args.update_counters:
+        return merge_counters(baseline_path, result_path)
     regressions = compare(load_times(baseline_path), fresh, args.tolerance,
                           subset=bool(args.filter) or bool(args.parse_only))
-    if regressions:
-        print(f"FAIL: {regressions} benchmark(s) regressed beyond "
-              f"{args.tolerance:.2f}x", file=sys.stderr)
+    mismatches = compare_counters(load_counters(baseline_path),
+                                  load_counters(result_path))
+    if regressions or mismatches:
+        if regressions:
+            print(f"FAIL: {regressions} benchmark(s) regressed beyond "
+                  f"{args.tolerance:.2f}x", file=sys.stderr)
+        if mismatches:
+            print(f"FAIL: {mismatches} simulation counter(s) diverged from "
+                  "the baseline", file=sys.stderr)
         return 1
     print("OK: no regressions beyond tolerance")
     return 0

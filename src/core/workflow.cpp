@@ -8,6 +8,7 @@
 #include "easycrash/crash/resilience.hpp"
 #include "easycrash/perfmodel/time_model.hpp"
 #include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/phase_span.hpp"
 #include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::core {
@@ -21,35 +22,16 @@ using runtime::PointId;
 
 namespace {
 
-/// RAII span over one workflow step: emits phase_begin/phase_end trace
-/// events and feeds the workflow.phase_us histogram, so a trace shows where
-/// the four-step pipeline (paper §5.3) spends its time.
-class PhaseSpan {
+/// One workflow step as a telemetry::PhaseSpan over the workflow.phase_us
+/// histogram, so a trace shows where the four-step pipeline (paper §5.3)
+/// spends its time.
+class PhaseSpan : public telemetry::PhaseSpan {
  public:
-  explicit PhaseSpan(const char* name) : name_(name), startNs_(telemetry::nowNs()) {
-    if (telemetry::tracing()) {
-      telemetry::TraceEvent("phase_begin").field("phase", name_).emit();
-    }
-  }
-  PhaseSpan(const PhaseSpan&) = delete;
-  PhaseSpan& operator=(const PhaseSpan&) = delete;
-  ~PhaseSpan() {
-    const std::uint64_t durationNs = telemetry::nowNs() - startNs_;
-    telemetry::MetricsRegistry::instance()
-        .histogram("workflow.phase_us",
-                   telemetry::Histogram::exponentialBounds(100.0, 4.0, 14))
-        .observe(static_cast<double>(durationNs) / 1000.0);
-    if (telemetry::tracing()) {
-      telemetry::TraceEvent("phase_end")
-          .field("phase", name_)
-          .field("duration_ns", durationNs)
-          .emit();
-    }
-  }
-
- private:
-  const char* name_;
-  std::uint64_t startNs_;
+  explicit PhaseSpan(const char* name)
+      : telemetry::PhaseSpan(
+            name, telemetry::MetricsRegistry::instance().histogram(
+                      "workflow.phase_us",
+                      telemetry::Histogram::exponentialBounds(100.0, 4.0, 14))) {}
 };
 
 /// The workflow-level resilience config specialised for one campaign phase:

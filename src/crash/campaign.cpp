@@ -19,9 +19,11 @@
 #include "easycrash/common/rng.hpp"
 #include "easycrash/crash/report.hpp"
 #include "easycrash/crash/resilience.hpp"
+#include "easycrash/crash/status.hpp"
 #include "easycrash/runtime/runtime.hpp"
 #include "easycrash/telemetry/log.hpp"
 #include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/phase_span.hpp"
 #include "easycrash/telemetry/progress.hpp"
 #include "easycrash/telemetry/timer.hpp"
 #include "easycrash/telemetry/trace.hpp"
@@ -61,6 +63,13 @@ struct CampaignMetrics {
   telemetry::Counter& sweepRuns;
   telemetry::Counter& sweepCaptures;
   telemetry::Counter& sweepFallbacks;
+  /// Flight-recorder phase latencies (telemetry::PhaseSpan): the crashing
+  /// run up to the armed crash, the S1–S4 post-mortem capture, the restart.
+  telemetry::Histogram& crashRunUs;
+  telemetry::Histogram& postmortemUs;
+  telemetry::Histogram& restartUs;
+  /// Live depth of the sweep's restart hand-off queue.
+  telemetry::Gauge& sweepQueueDepth;
 
   static CampaignMetrics& get() {
     auto& reg = telemetry::MetricsRegistry::instance();
@@ -88,7 +97,14 @@ struct CampaignMetrics {
         reg.counter("campaign.resumed_trials"),
         reg.counter("campaign.sweep_runs"),
         reg.counter("campaign.sweep_captures"),
-        reg.counter("campaign.sweep_fallbacks")};
+        reg.counter("campaign.sweep_fallbacks"),
+        reg.histogram("campaign.crash_run_us",
+                      telemetry::Histogram::exponentialBounds(50.0, 4.0, 12)),
+        reg.histogram("campaign.postmortem_us",
+                      telemetry::Histogram::exponentialBounds(10.0, 4.0, 12)),
+        reg.histogram("campaign.restart_us",
+                      telemetry::Histogram::exponentialBounds(50.0, 4.0, 12)),
+        reg.gauge("campaign.sweep_queue_depth")};
     return m;
   }
 
@@ -135,6 +151,7 @@ class RestartQueue {
     spaceCv_.wait(lock, [&] { return entries_.size() < capacity_ || aborted_; });
     if (aborted_) return false;
     entries_.push_back(std::move(entry));
+    CampaignMetrics::get().sweepQueueDepth.set(static_cast<double>(entries_.size()));
     entryCv_.notify_one();
     return true;
   }
@@ -145,6 +162,7 @@ class RestartQueue {
     if (aborted_ || entries_.empty()) return std::nullopt;
     PendingRestart entry = std::move(entries_.front());
     entries_.pop_front();
+    CampaignMetrics::get().sweepQueueDepth.set(static_cast<double>(entries_.size()));
     spaceCv_.notify_one();
     return entry;
   }
@@ -158,6 +176,8 @@ class RestartQueue {
   void abort() {
     std::lock_guard<std::mutex> lock(mutex_);
     aborted_ = true;
+    entries_.clear();
+    CampaignMetrics::get().sweepQueueDepth.set(0.0);
     entryCv_.notify_all();
     spaceCv_.notify_all();
   }
@@ -255,10 +275,53 @@ std::map<runtime::ObjectId, double> CampaignResult::meanInconsistentRate() const
   return sum;
 }
 
+void CampaignProfile::accumulate(const runtime::Runtime& rt, std::size_t bins) {
+  if (!rt.profiling()) return;
+  auto runProfiles = rt.objectProfiles(bins);
+  if (objects.empty()) {
+    strideBytes = rt.hierarchy().accessProfileStride();
+    objects = std::move(runProfiles);
+  } else {
+    // Every run of a campaign instantiates the same app, so the object
+    // layout — and therefore the bin shapes — is identical run to run.
+    EC_CHECK_MSG(runProfiles.size() == objects.size(),
+                 "profile object layout diverged between runs");
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      runtime::ObjectProfile& total = objects[i];
+      const runtime::ObjectProfile& run = runProfiles[i];
+      EC_CHECK(total.id == run.id &&
+               total.accessBins.size() == run.accessBins.size() &&
+               total.wearBins.size() == run.wearBins.size());
+      total.accesses += run.accesses;
+      total.nvmWrites += run.nvmWrites;
+      for (std::size_t b = 0; b < run.accessBins.size(); ++b) {
+        total.accessBins[b] += run.accessBins[b];
+      }
+      for (std::size_t b = 0; b < run.wearBins.size(); ++b) {
+        total.wearBins[b] += run.wearBins[b];
+      }
+    }
+  }
+  for (const auto& [region, accesses] : rt.regionAccesses()) {
+    regionAccesses[region] += accesses;
+  }
+  ++runs;
+}
+
 CampaignRunner::CampaignRunner(runtime::AppFactory factory, CampaignConfig config)
     : factory_(std::move(factory)), config_(std::move(config)) {
   EC_CHECK(config_.numTests >= 0);
   EC_CHECK(config_.maxIterationFactor >= 1);
+}
+
+void CampaignRunner::armProfile(Runtime& rt) const {
+  if (config_.profile) rt.enableProfile();
+}
+
+void CampaignRunner::accumulateProfile(const Runtime& rt) const {
+  if (!config_.profile || !rt.profiling()) return;
+  std::lock_guard<std::mutex> lock(profileMutex_);
+  profile_.accumulate(rt);
 }
 
 GoldenStats CampaignRunner::goldenRun() const {
@@ -266,9 +329,11 @@ GoldenStats CampaignRunner::goldenRun() const {
   rt.setBulk(config_.bulk);
   rt.setPlan(config_.plan);
   rt.setTraceRun("golden");
+  armProfile(rt);
   auto app = factory_();
   const auto result = Driver::freshRun(*app, rt);
   CampaignMetrics::get().recordRun(rt.events());
+  accumulateProfile(rt);
   EC_CHECK_MSG(!result.interrupted, "golden run interrupted: " + result.interruptReason);
   EC_CHECK_MSG(result.verification.pass,
                "golden run failed its own acceptance verification (" +
@@ -328,6 +393,12 @@ CampaignResult CampaignRunner::run() const {
   // bad path/file fails fast.
   std::optional<JournalReplay> replay;
   if (!res.resumePath.empty()) replay = readJournal(res.resumePath);
+
+  {
+    // A runner can be reused; each run() aggregates its own profile.
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    profile_ = CampaignProfile{};
+  }
 
   CampaignResult result;
   result.plannedTests = config_.numTests;
@@ -416,6 +487,9 @@ CampaignResult CampaignRunner::run() const {
     if (record) tally[static_cast<int>(record->response)] += 1;
   }
   done = resumedTrials + resumedFailures;
+  // The ETA rate must count only trials this process actually ran: resumed
+  // trials landed instantly and would otherwise skew the estimate.
+  meter.setBaseline(done);
   if (config_.progress && done > 0) meter.update(done, responseTally(tally));
   // Called for every newly decided trial (completion or permanent failure).
   // Progress is throttled to percentage-point or >=100 ms boundaries: with
@@ -490,6 +564,8 @@ CampaignResult CampaignRunner::run() const {
   }
 
   std::atomic<int> failureCount{static_cast<int>(resumedFailures)};
+  std::atomic<std::uint64_t> retryCount{0};
+  std::atomic<std::uint64_t> timeoutCount{0};
   std::atomic<bool> budgetExceeded{false};
   std::atomic<int> newlyCompleted{0};
   std::atomic<std::size_t> next{0};
@@ -511,6 +587,48 @@ CampaignResult CampaignRunner::run() const {
   // queued (the queue mutex publishes the write), so the per-trial fallback
   // loop never re-runs a trial the restart pipeline already owns.
   std::vector<char> claimed(sweepActive ? n : 0, 0);
+
+  // Live status snapshots (docs/OBSERVABILITY.md): a background thread
+  // samples the campaign's shared tallies on an interval and atomically
+  // rewrites the snapshot file; run() writes one final done/interrupted
+  // snapshot after the drain, so a SIGINT'd campaign leaves the truth behind.
+  const auto campaignStart = std::chrono::steady_clock::now();
+  const std::size_t resumedDone = resumedTrials + resumedFailures;
+  std::optional<StatusWriter> status;
+  if (!config_.statusPath.empty()) {
+    status.emplace(
+        config_.statusPath,
+        std::chrono::milliseconds(std::max(1, config_.statusIntervalMs)),
+        [&, resumedDone] {
+          CampaignStatus s;
+          s.app = config_.appLabel;
+          s.plannedTests = static_cast<int>(n);
+          {
+            std::lock_guard<std::mutex> lock(tallyMutex);
+            s.decided = done;
+            s.responses = tally;
+          }
+          s.resumed = resumedDone;
+          s.failures = static_cast<std::uint64_t>(std::max(0, failureCount.load()));
+          s.retries = retryCount.load();
+          s.timeouts = timeoutCount.load();
+          s.queueDepth = static_cast<std::uint64_t>(
+              std::max(0.0, CampaignMetrics::get().sweepQueueDepth.value()));
+          s.elapsedS = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - campaignStart)
+                           .count();
+          const std::uint64_t fresh =
+              s.decided > s.resumed ? s.decided - s.resumed : 0;
+          if (s.elapsedS > 0.0 && fresh > 0) {
+            s.trialsPerS = static_cast<double>(fresh) / s.elapsedS;
+            if (n >= s.decided) {
+              s.etaS = static_cast<double>(n - s.decided) / s.trialsPerS;
+            }
+          }
+          s.interrupted = stopRequested();
+          return s;
+        });
+  }
 
   // Per-trial watchdog budget in base-timeout units (--trial-timeout-ms or
   // the golden multiple stays the base). A whole trial simulates the crashing
@@ -560,6 +678,7 @@ CampaignResult CampaignRunner::run() const {
                            std::to_string(timeoutMs) + " ms deadline";
           failure.regionPath = formatRegionPath(record.regionPath);
           CampaignMetrics::get().trialTimeouts.add();
+          timeoutCount.fetch_add(1);
         } catch (const std::exception& e) {
           failure.timeout = false;
           failure.reason = e.what();
@@ -568,6 +687,7 @@ CampaignResult CampaignRunner::run() const {
         if (watchdog) watchdog->disarm(w);
         if (!completed && att < maxAttempts) {
           CampaignMetrics::get().trialRetries.add();
+          retryCount.fetch_add(1);
           EC_LOG_DEBUG("trial " << t << " attempt " << att
                                 << " failed (" << failure.reason << "), retrying");
         }
@@ -637,8 +757,12 @@ CampaignResult CampaignRunner::run() const {
     rt.setBulk(config_.bulk);
     rt.setPlan(config_.plan);
     rt.setTraceRun("sweep");
+    armProfile(rt);
     if (watchdog) rt.setCancelFlag(&watchdog->arm(slot));
     try {
+      // One span covers the whole sweep crashing run (no single trial to
+      // stamp); per-capture post-mortems get their own spans inside the hook.
+      telemetry::PhaseSpan crashSpan("crash_run", CampaignMetrics::get().crashRunUs);
       auto app = factory_();
       app->setup(rt);
       app->initialize(rt);
@@ -660,16 +784,23 @@ CampaignResult CampaignRunner::run() const {
         capture->region = at.activeRegion;
         capture->regionPath = at.regionPath;
         capture->crashIteration = at.iteration;
-        for (const auto& object : rt.objects()) {
-          if (!object.candidate) continue;
-          capture->inconsistentRate[object.id] = rt.inconsistentRate(object.id);
-          capture->snapshots[object.id] = config_.mode == SnapshotMode::NvmImage
-                                              ? rt.dumpObjectNvm(object.id)
-                                              : rt.dumpObjectCurrent(object.id);
+        {
+          // The post-mortem of the first trial sharing this capture; queue
+          // backpressure below is deliberately outside the span.
+          telemetry::PhaseSpan postmortemSpan(
+              "postmortem", CampaignMetrics::get().postmortemUs,
+              static_cast<std::int64_t>(trials.front()));
+          for (const auto& object : rt.objects()) {
+            if (!object.candidate) continue;
+            capture->inconsistentRate[object.id] = rt.inconsistentRate(object.id);
+            capture->snapshots[object.id] = config_.mode == SnapshotMode::NvmImage
+                                                ? rt.dumpObjectNvm(object.id)
+                                                : rt.dumpObjectCurrent(object.id);
+          }
+          capture->restartIteration = config_.mode == SnapshotMode::NvmImage
+                                          ? rt.bookmarkedIterationNvm()
+                                          : at.iteration;
         }
-        capture->restartIteration = config_.mode == SnapshotMode::NvmImage
-                                        ? rt.bookmarkedIterationNvm()
-                                        : at.iteration;
         ++capturedPoints;
         CampaignMetrics::get().sweepCaptures.add();
         if (telemetry::tracing()) {
@@ -717,6 +848,7 @@ CampaignResult CampaignRunner::run() const {
     if (watchdog) watchdog->disarm(slot);
     rt.powerLoss();
     CampaignMetrics::get().recordRun(rt.events());
+    accumulateProfile(rt);
     if (!completedAll) {
       CampaignMetrics::get().sweepFallbacks.add(plannedPoints - capturedPoints);
     }
@@ -848,6 +980,14 @@ CampaignResult CampaignRunner::run() const {
     }
   }
 
+  {
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    result.profile = std::move(profile_);
+    profile_ = CampaignProfile{};
+  }
+
+  if (status) status->writeFinal(result.interrupted);
+
   if (config_.progress && !result.interrupted) meter.finish(responseTally(tally));
   if (telemetry::tracing()) {
     const auto counts = result.responseCounts();
@@ -878,6 +1018,7 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
   rt.setPlan(config_.plan);
   rt.setCancelFlag(cancel);
   rt.setTraceRun("crash:" + std::to_string(trial));
+  armProfile(rt);
   auto app = factory_();
   app->setup(rt);
   app->initialize(rt);
@@ -886,12 +1027,19 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
   SweepCapture capture;
   capture.crashAccessIndex = crashIndex;
   try {
+    // The span ends when the armed CrashEvent unwinds out of the try block,
+    // so phase_end marks the crash instant.
+    telemetry::PhaseSpan crashSpan("crash_run", CampaignMetrics::get().crashRunUs,
+                                   static_cast<std::int64_t>(trial));
     const auto run = Driver::run(*app, rt, 1, golden.finalIteration);
     // Determinism guarantees the armed crash fires; reaching here is a bug
     // in the app (non-deterministic access sequence).
     (void)run;
     EC_CHECK_MSG(false, "armed crash did not fire — app is non-deterministic");
   } catch (const CrashEvent& crash) {
+    telemetry::PhaseSpan postmortemSpan("postmortem",
+                                        CampaignMetrics::get().postmortemUs,
+                                        static_cast<std::int64_t>(trial));
     capture.region = crash.activeRegion;
     capture.regionPath = crash.regionPath;
     capture.crashIteration = crash.iteration;
@@ -918,6 +1066,7 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
     throw;
   }
   CampaignMetrics::get().recordRun(rt.events());
+  accumulateProfile(rt);
 
   runRestart(golden, capture, trial, cancel, record);
 }
@@ -933,6 +1082,8 @@ void CampaignRunner::runRestart(const GoldenStats& golden, const SweepCapture& c
   record.restartIteration = capture.restartIteration;
   record.inconsistentRate = capture.inconsistentRate;
 
+  telemetry::PhaseSpan restartSpan("restart", CampaignMetrics::get().restartUs,
+                                   static_cast<std::int64_t>(trial));
   Runtime restartRt(config_.cache);
   // Restarts run in direct-access mode: their outcome (S1-S4, extra
   // iterations) depends only on computed values, which direct mode preserves

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,18 @@ struct CampaignConfig {
   std::string appLabel;
   /// Render a live progress line on stderr: trials done, S1-S4 tally, ETA.
   bool progress = false;
+  /// Flight recorder (docs/OBSERVABILITY.md): collect the sampled per-object
+  /// access/wear profile on the simulated runs (golden + crashing/sweep;
+  /// direct-mode restarts record nothing by design). On by default — the
+  /// perf gate measures the recorder's overhead — and compiled out (always
+  /// empty) under -DEASYCRASH_TELEMETRY=OFF.
+  bool profile = true;
+  /// Atomically rewrite a self-contained live status snapshot (JSON) at this
+  /// path while the campaign runs, and once more after the drain on
+  /// interrupt. Empty = off.
+  std::string statusPath;
+  /// Status snapshot rewrite interval.
+  int statusIntervalMs = 1000;
   /// Fault tolerance: trial isolation, watchdog, journal/resume (see above).
   ResilienceConfig resilience;
 };
@@ -167,6 +180,22 @@ struct CrashTestRecord {
   std::string note;
 };
 
+/// Aggregated access/wear profile of a campaign's simulated runs (golden +
+/// crashing/sweep runs; CampaignConfig::profile). All runs of a campaign see
+/// the same object layout, so per-object totals and bins merge element-wise.
+struct CampaignProfile {
+  std::uint32_t strideBytes = 0;  ///< address range per access-profile counter
+  std::uint64_t runs = 0;         ///< simulated runs folded in
+  std::vector<runtime::ObjectProfile> objects;
+  /// Dynamic accesses attributed to each region, summed over the runs
+  /// (region kMainLoopEnd collects accesses outside any region).
+  std::map<runtime::PointId, std::uint64_t> regionAccesses;
+
+  [[nodiscard]] bool empty() const { return runs == 0; }
+  /// Fold one finished run's profile in (no-op unless `rt` is profiling).
+  void accumulate(const runtime::Runtime& rt, std::size_t bins = 16);
+};
+
 struct CampaignResult {
   GoldenStats golden;
   /// Completed trials in campaign test-index order. Without failures or an
@@ -178,6 +207,9 @@ struct CampaignResult {
   int plannedTests = 0;            ///< numTests this campaign was drawn for
   std::size_t resumedTrials = 0;   ///< trials replayed from --resume
   bool interrupted = false;        ///< stopped early by SIGINT/SIGTERM
+  /// Flight-recorder access/wear profile (empty unless CampaignConfig::profile
+  /// and telemetry are compiled in).
+  CampaignProfile profile;
 
   /// The paper's application recomputability: S1 fraction.
   [[nodiscard]] double recomputability() const;
@@ -222,8 +254,16 @@ class CampaignRunner {
                   std::size_t trial, const std::atomic<bool>* cancel,
                   CrashTestRecord& record) const;
 
+  /// Enable profiling on a simulated run's runtime (per config_.profile) and
+  /// fold its finished profile into profile_. Worker threads call the fold
+  /// concurrently, hence the mutex; the hot access paths never touch it.
+  void armProfile(runtime::Runtime& rt) const;
+  void accumulateProfile(const runtime::Runtime& rt) const;
+
   runtime::AppFactory factory_;
   CampaignConfig config_;
+  mutable std::mutex profileMutex_;
+  mutable CampaignProfile profile_;
 };
 
 }  // namespace easycrash::crash

@@ -1,0 +1,37 @@
+// Post-run campaign analysis (`nvct report`, docs/OBSERVABILITY.md).
+//
+// Joins a campaign's journal with (optionally) its JSONL trace and metrics
+// snapshot into one deterministic markdown report: the Table-1-style
+// per-region outcome breakdown, phase-latency percentiles from the
+// phase_end spans, the per-object inconsistency summary, and an ASCII
+// access/wear heatmap from the flight recorder's profile section.
+//
+// Determinism is a contract: the output is byte-identical for identical
+// inputs — no timestamps, sorted iteration orders, fixed float formatting.
+// Finished journals are canonical (compact-on-close), so two campaigns that
+// decided the same trials render byte-identical reports regardless of
+// --threads or --sweep.
+#pragma once
+
+#include <string>
+
+#include "easycrash/crash/campaign.hpp"
+
+namespace easycrash::crash {
+
+struct FlightReportInputs {
+  std::string journalPath;  ///< required: the campaign journal
+  std::string tracePath;    ///< optional: JSONL trace (phase latencies)
+  std::string metricsPath;  ///< optional: metrics snapshot (profile heatmap)
+};
+
+/// Render the markdown report. Throws std::runtime_error when the journal
+/// cannot be read or an optional input exists but is malformed.
+[[nodiscard]] std::string renderFlightReport(const FlightReportInputs& inputs);
+
+/// The campaign profile as a compact JSON value — the "profile" section
+/// nvct splices into --metrics-out (MetricsRegistry::writeJson's
+/// extraSection) and renderFlightReport reads back.
+[[nodiscard]] std::string campaignProfileJson(const CampaignProfile& profile);
+
+}  // namespace easycrash::crash

@@ -1,0 +1,79 @@
+// Live campaign status snapshots (flight recorder, docs/OBSERVABILITY.md).
+//
+// A running campaign periodically samples its shared tallies into a
+// CampaignStatus and atomically rewrites one self-contained JSON file
+// (temp + fsync + rename, like every other output), so an external watcher —
+// a future campaign service, a dashboard, `watch cat` — always reads a
+// complete, consistent snapshot and never a torn write. The final snapshot
+// after the SIGINT/SIGTERM drain carries done=true plus the interrupted
+// flag, so the file also records how the campaign ended.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace easycrash::crash {
+
+/// One snapshot of a campaign in flight. All counts are cumulative since the
+/// campaign started (resumed trials included in `decided`/`responses`).
+struct CampaignStatus {
+  std::string app;
+  int plannedTests = 0;
+  std::uint64_t decided = 0;            ///< trials with a record or a failure
+  std::uint64_t resumed = 0;            ///< of those, replayed from --resume
+  std::array<int, 4> responses{};       ///< S1..S4 tally of completed trials
+  std::uint64_t failures = 0;           ///< trials abandoned after retries
+  std::uint64_t retries = 0;            ///< retry attempts spent so far
+  std::uint64_t timeouts = 0;           ///< watchdog cancellations so far
+  std::uint64_t queueDepth = 0;         ///< sweep restart queue depth
+  double elapsedS = 0.0;
+  double trialsPerS = 0.0;              ///< fresh (non-resumed) trial rate
+  double etaS = -1.0;                   ///< seconds to completion; -1 unknown
+  bool interrupted = false;             ///< a stop was requested
+  bool done = false;                    ///< final snapshot (campaign returned)
+  std::uint64_t seq = 0;                ///< snapshot sequence number
+};
+
+/// One-line JSON encoding ({"type":"campaign_status",...}\n). Deterministic
+/// for a fixed status value: fixed field order, %.3f floats.
+[[nodiscard]] std::string serializeStatus(const CampaignStatus& status);
+
+/// Background snapshot writer: every `interval` it calls `sampler` and
+/// atomically rewrites `path`. writeFinal() stops the thread and writes one
+/// last snapshot with done=true; the destructor stops the thread without a
+/// final write (the error-unwind path keeps the last periodic snapshot).
+class StatusWriter {
+ public:
+  using Sampler = std::function<CampaignStatus()>;
+
+  StatusWriter(std::string path, std::chrono::milliseconds interval,
+               Sampler sampler);
+  ~StatusWriter();
+
+  StatusWriter(const StatusWriter&) = delete;
+  StatusWriter& operator=(const StatusWriter&) = delete;
+
+  void writeFinal(bool interrupted);
+
+ private:
+  void loop();
+  void stopThread();
+  void writeSnapshot(CampaignStatus status);
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  Sampler sampler_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::uint64_t seq_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace easycrash::crash

@@ -68,12 +68,28 @@ std::uint32_t CacheHierarchy::insertAt(std::size_t level, std::uint64_t blockAdd
 }
 
 std::uint32_t CacheHierarchy::ensureInL1(std::uint64_t blockAddr) {
+  if constexpr (telemetry::kTraceCompiledIn) {
+    if (profileShift_ != 0) {
+      const std::size_t bucket = static_cast<std::size_t>(blockAddr >> profileShift_);
+      if (bucket >= accessProfile_.size()) accessProfile_.resize(bucket + 1, 0);
+      ++accessProfile_[bucket];
+    }
+  }
   if (const auto l1 = levels_[0].find(blockAddr)) {
     ++events_.hits[0];
     levels_[0].touch(*l1);
     return *l1;
   }
   return fillToL1(blockAddr);
+}
+
+void CacheHierarchy::enableAccessProfile(std::uint32_t strideBytes) {
+  if constexpr (telemetry::kTraceCompiledIn) {
+    const std::uint32_t stride = std::max(strideBytes, config_.blockSize);
+    std::uint32_t shift = 0;
+    while ((1u << shift) < stride) ++shift;  // round up to a power of two
+    profileShift_ = shift;
+  }
 }
 
 std::uint32_t CacheHierarchy::fillToL1(std::uint64_t blockAddr) {

@@ -120,6 +120,26 @@ class CacheHierarchy {
   /// copies). Intended for tests; throws std::logic_error on violation.
   void checkInvariants() const;
 
+  /// Enable the sampled access profile: per-stride touch counters fed only by
+  /// the out-of-line access paths (ensureInL1), so the header-level L1-MRU
+  /// fast path above gains no branch. A "touch" is a block-granular access
+  /// that left the fast path — L1 non-MRU hits, misses, and one per block
+  /// segment of a range access — a cheap, stable sample of the true access
+  /// distribution (flight recorder, docs/OBSERVABILITY.md). `strideBytes` is
+  /// rounded up to a power of two and floored at the block size; 0 means one
+  /// counter per block. Compiled out under -DEASYCRASH_TELEMETRY=OFF.
+  void enableAccessProfile(std::uint32_t strideBytes = 0);
+  [[nodiscard]] bool accessProfiling() const { return profileShift_ != 0; }
+  /// Bytes of address range covered by one profile counter.
+  [[nodiscard]] std::uint32_t accessProfileStride() const {
+    return profileShift_ != 0 ? (1u << profileShift_) : 0;
+  }
+  /// Sampled touch counts indexed by addr >> log2(stride); empty when
+  /// profiling is off, sized to the highest profiled stride + 1.
+  [[nodiscard]] const std::vector<std::uint64_t>& accessProfile() const {
+    return accessProfile_;
+  }
+
  private:
   [[nodiscard]] std::uint64_t blockBase(std::uint64_t addr) const {
     return addr & ~blockMask_;
@@ -156,6 +176,11 @@ class CacheHierarchy {
   NvmStore& nvm_;
   std::vector<CacheLevel> levels_;
   MemEvents events_;
+
+  // Sampled access profile (enableAccessProfile). profileShift_ == 0 means
+  // off; the slow path then skips one well-predicted branch and nothing else.
+  std::uint32_t profileShift_ = 0;
+  std::vector<std::uint64_t> accessProfile_;
 
   // Reusable scratch state for the miss/evict flow: one in-flight victim,
   // one buffer for upper-level merges, one block-sized fill buffer. At most

@@ -32,6 +32,19 @@ class NvmStore {
   /// Number of modelled block writes into NVM so far.
   [[nodiscard]] std::uint64_t blockWrites() const { return blockWrites_; }
 
+  /// Enable per-block wear accounting: every modelled block write also bumps
+  /// a per-block counter (flight recorder, docs/OBSERVABILITY.md). Off by
+  /// default and compiled out entirely under -DEASYCRASH_TELEMETRY=OFF, so
+  /// writeBlock() carries no extra cost unless a campaign asks for it.
+  void enableWearProfile();
+  [[nodiscard]] bool wearProfiling() const { return wearEnabled_; }
+
+  /// Block-write counts indexed by block number (addr / blockSize). Empty
+  /// when profiling is off; sized to the highest profiled block + 1.
+  [[nodiscard]] const std::vector<std::uint64_t>& wearProfile() const {
+    return wearProfile_;
+  }
+
   /// Size of the materialised image in bytes.
   [[nodiscard]] std::uint64_t imageBytes() const { return image_.size(); }
 
@@ -48,6 +61,8 @@ class NvmStore {
   std::uint32_t blockSize_;
   std::vector<std::uint8_t> image_;
   std::uint64_t blockWrites_ = 0;
+  bool wearEnabled_ = false;
+  std::vector<std::uint64_t> wearProfile_;
 };
 
 }  // namespace easycrash::memsim

@@ -287,6 +287,19 @@ class Runtime {
   void setTraceRun(std::string run) { traceRun_ = std::move(run); }
   [[nodiscard]] const std::string& traceRun() const { return traceRun_; }
 
+  /// Enable the sampled access/wear profile on the underlying memory system
+  /// (flight recorder). No-op when telemetry is compiled out or in direct
+  /// mode, where the hierarchy records nothing by design. Campaigns enable
+  /// this on the simulated runs only.
+  void enableProfile();
+  [[nodiscard]] bool profiling() const;
+  /// Fold the memory system's sampled stride counters onto the tracked data
+  /// objects (objects are contiguous block-aligned allocations, so this is a
+  /// zero-cost-at-access-time range walk). `bins` caps the spatial resolution
+  /// per object; objects spanning fewer strides get one bin per stride.
+  /// Empty when profiling is off.
+  [[nodiscard]] std::vector<ObjectProfile> objectProfiles(std::size_t bins = 16) const;
+
   // ---- Introspection -----------------------------------------------------------
 
   [[nodiscard]] memsim::CacheHierarchy& hierarchy() { return hierarchy_; }

@@ -408,4 +408,60 @@ void Runtime::fireCaptures() {
   }
 }
 
+void Runtime::enableProfile() {
+  // Direct-mode runs bypass the hierarchy and record nothing by design, so
+  // there is no profile to collect (campaign restarts stay free).
+  if (direct_) return;
+  hierarchy_.enableAccessProfile();
+  nvm_.enableWearProfile();
+}
+
+bool Runtime::profiling() const { return hierarchy_.accessProfiling(); }
+
+std::vector<ObjectProfile> Runtime::objectProfiles(std::size_t bins) const {
+  std::vector<ObjectProfile> profiles;
+  if (!hierarchy_.accessProfiling()) return profiles;
+  const std::vector<std::uint64_t>& touches = hierarchy_.accessProfile();
+  const std::vector<std::uint64_t>& wear = nvm_.wearProfile();
+  const std::uint64_t stride = hierarchy_.accessProfileStride();
+  const std::uint64_t blockSize = nvm_.blockSize();
+
+  // Fold a flat per-bucket counter vector onto one object's bucket span,
+  // accumulating the total and equal-width spatial bins. Objects are
+  // block-aligned, so at the default stride (= block size) the attribution
+  // is exact; with a coarser stride a boundary bucket is attributed to the
+  // object owning its first byte.
+  const auto fold = [bins](const std::vector<std::uint64_t>& counters,
+                           std::uint64_t firstBucket, std::uint64_t endBucket,
+                           std::uint64_t& total, std::vector<std::uint64_t>& out) {
+    if (endBucket <= firstBucket) return;
+    const std::uint64_t span = endBucket - firstBucket;
+    const std::uint64_t binCount =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(bins, span));
+    out.assign(binCount, 0);
+    const std::uint64_t cap = std::min<std::uint64_t>(endBucket, counters.size());
+    for (std::uint64_t b = firstBucket; b < cap; ++b) {
+      const std::uint64_t count = counters[b];
+      if (count == 0) continue;
+      total += count;
+      out[(b - firstBucket) * binCount / span] += count;
+    }
+  };
+
+  profiles.reserve(objects_.size());
+  for (const DataObjectInfo& object : objects_) {
+    ObjectProfile profile;
+    profile.id = object.id;
+    profile.name = object.name;
+    profile.bytes = object.bytes;
+    const std::uint64_t end = object.addr + object.bytes;
+    fold(touches, object.addr / stride, (end + stride - 1) / stride,
+         profile.accesses, profile.accessBins);
+    fold(wear, object.addr / blockSize, (end + blockSize - 1) / blockSize,
+         profile.nvmWrites, profile.wearBins);
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
 }  // namespace easycrash::runtime

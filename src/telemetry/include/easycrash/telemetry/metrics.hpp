@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace easycrash::telemetry {
@@ -91,7 +92,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> upperBounds);
 
   /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-  void writeJson(std::ostream& os) const;
+  /// `extraSection`, when non-empty, is a pre-rendered `"key": value` fragment
+  /// appended as one more top-level member (the campaign's "profile" section).
+  /// std::map iteration keeps the key order deterministic regardless of
+  /// registration order.
+  void writeJson(std::ostream& os, std::string_view extraSection = {}) const;
 
   /// Zero every instrument (names stay registered). For tests and for
   /// tools that want per-run snapshots.

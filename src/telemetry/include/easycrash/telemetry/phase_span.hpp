@@ -1,0 +1,57 @@
+// RAII span over one named phase of work — the flight recorder's timing
+// primitive (docs/OBSERVABILITY.md). Construction emits a `phase_begin`
+// trace event; destruction emits `phase_end` (carrying `duration_ns`) and
+// feeds the elapsed time into a registry histogram in microseconds.
+//
+// Used by the campaign for crash-run / post-mortem / restart spans (stamped
+// with the trial index so phase latencies join against trial_end rows) and
+// by the workflow driver for its coarse experiment phases. Like every other
+// instrumentation point, the trace events sit behind telemetry::tracing();
+// the histogram observation is one lower_bound plus three relaxed atomics.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/trace.hpp"
+
+namespace easycrash::telemetry {
+
+class PhaseSpan {
+ public:
+  /// `trial >= 0` stamps both events with the campaign trial index;
+  /// negative means no trial context (workflow phases).
+  PhaseSpan(std::string_view phase, Histogram& hist, std::int64_t trial = -1)
+      : phase_(phase), hist_(hist), trial_(trial), startNs_(nowNs()) {
+    if (tracing()) {
+      TraceEvent event("phase_begin");
+      event.field("phase", phase_);
+      if (trial_ >= 0) event.field("trial", trial_);
+      event.emit();
+    }
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  ~PhaseSpan() {
+    const std::uint64_t durationNs = nowNs() - startNs_;
+    hist_.observe(static_cast<double>(durationNs) / 1000.0);
+    if (tracing()) {
+      TraceEvent event("phase_end");
+      event.field("phase", phase_);
+      if (trial_ >= 0) event.field("trial", trial_);
+      event.field("duration_ns", durationNs);
+      event.emit();
+    }
+  }
+
+ private:
+  std::string_view phase_;  ///< caller-owned; in practice a string literal
+  Histogram& hist_;
+  std::int64_t trial_;
+  std::uint64_t startNs_;
+};
+
+}  // namespace easycrash::telemetry

@@ -25,6 +25,12 @@ class ProgressMeter {
   /// Prints the final line (unthrottled) and a trailing newline.
   void finish(const std::string& detail);
 
+  /// Trials already done before this process started working (journal
+  /// resume). The ETA rate counts only `done - baseline` against elapsed
+  /// time, so a resumed campaign does not look impossibly fast — or, once
+  /// the first fresh trials land, wildly pessimistic.
+  void setBaseline(std::uint64_t done);
+
  private:
   void render(std::uint64_t done, const std::string& detail, bool final);
 
@@ -32,6 +38,7 @@ class ProgressMeter {
   std::ostream* os_;
   std::string label_;
   std::uint64_t total_;
+  std::uint64_t baseline_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point lastRender_;
   std::size_t lastLineLen_ = 0;

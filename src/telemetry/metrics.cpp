@@ -72,7 +72,8 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
-void MetricsRegistry::writeJson(std::ostream& os) const {
+void MetricsRegistry::writeJson(std::ostream& os,
+                                std::string_view extraSection) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string key;
   const auto writeKey = [&](const std::string& name) {
@@ -117,7 +118,9 @@ void MetricsRegistry::writeJson(std::ostream& os) const {
     os << "]}";
     first = false;
   }
-  os << "\n  }\n}\n";
+  os << "\n  }";
+  if (!extraSection.empty()) os << ",\n  " << extraSection;
+  os << "\n}\n";
 }
 
 void MetricsRegistry::reset() {

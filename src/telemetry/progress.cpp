@@ -22,6 +22,11 @@ ProgressMeter::~ProgressMeter() {
   if (os_ != nullptr && !finished_ && lastLineLen_ > 0) *os_ << '\n';
 }
 
+void ProgressMeter::setBaseline(std::uint64_t done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  baseline_ = done;
+}
+
 void ProgressMeter::update(std::uint64_t done, const std::string& detail) {
   if (os_ == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -58,8 +63,10 @@ void ProgressMeter::render(std::uint64_t done, const std::string& detail,
   if (final || done >= total_) {
     std::snprintf(buf, sizeof buf, "  %.1fs", elapsed);
     line += buf;
-  } else if (done > 0) {
-    const double eta = elapsed / static_cast<double>(done) *
+  } else if (done > baseline_) {
+    // Rate from this process's own work only: journal-resumed trials arrived
+    // instantly and would otherwise dominate the estimate.
+    const double eta = elapsed / static_cast<double>(done - baseline_) *
                        static_cast<double>(total_ - done);
     std::snprintf(buf, sizeof buf, "  eta %.1fs", eta);
     line += buf;

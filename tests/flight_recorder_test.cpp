@@ -1,0 +1,323 @@
+// Campaign flight recorder: per-object access/wear profiles, phase-span
+// trace events, live status snapshots, the ETA baseline fix, and the
+// deterministic `nvct report` renderer (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/flight_report.hpp"
+#include "easycrash/crash/status.hpp"
+#include "easycrash/memsim/config.hpp"
+#include "easycrash/runtime/runtime.hpp"
+#include "easycrash/runtime/tracked.hpp"
+#include "easycrash/telemetry/json.hpp"
+#include "easycrash/telemetry/metrics.hpp"
+#include "easycrash/telemetry/phase_span.hpp"
+#include "easycrash/telemetry/progress.hpp"
+#include "easycrash/telemetry/trace.hpp"
+
+namespace easycrash {
+namespace {
+
+namespace tel = telemetry;
+
+std::string tempPath(const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Same shape as the telemetry test's TinyApp: one region, one tracked
+/// array, enough cells to spill the tiny cache so NVM wear accumulates.
+class RecorderApp final : public runtime::IApp {
+ public:
+  static constexpr int kCells = 256;
+  static constexpr int kIterations = 4;
+
+  [[nodiscard]] const runtime::AppInfo& info() const override { return info_; }
+
+  void setup(runtime::Runtime& rt) override {
+    rt.declareRegionCount(1);
+    data_ = runtime::TrackedArray<std::int64_t>(rt, "data", kCells, true);
+  }
+
+  void initialize(runtime::Runtime& rt) override {
+    (void)rt;
+    for (int i = 0; i < kCells; ++i) data_.set(i, i);
+  }
+
+  void iterate(runtime::Runtime& rt, int iteration) override {
+    (void)iteration;
+    runtime::RegionScope region(rt, 0);
+    for (int i = 0; i < kCells; ++i) data_.set(i, data_.get(i) + 1);
+    region.iterationEnd();
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return kIterations; }
+
+  [[nodiscard]] runtime::VerifyOutcome verify(runtime::Runtime& rt) override {
+    (void)rt;
+    runtime::VerifyOutcome out;
+    out.pass = true;
+    for (int i = 0; i < kCells; ++i) {
+      out.pass = out.pass && data_.peek(i) >= i;
+    }
+    out.metric = static_cast<double>(data_.peek(0));
+    return out;
+  }
+
+ private:
+  runtime::AppInfo info_{"recorder", "flight recorder test app"};
+  runtime::TrackedArray<std::int64_t> data_;
+};
+
+runtime::AppFactory recorderFactory() {
+  return [] { return std::make_unique<RecorderApp>(); };
+}
+
+std::uint64_t sumOf(const std::vector<std::uint64_t>& bins) {
+  return std::accumulate(bins.begin(), bins.end(), std::uint64_t{0});
+}
+
+TEST(AccessProfile, ObjectBinsFoldExactlyToTotals) {
+  runtime::Runtime rt(memsim::CacheConfig::tiny());
+  rt.enableProfile();
+  EXPECT_EQ(rt.profiling(), tel::kTraceCompiledIn);
+
+  RecorderApp app;
+  app.setup(rt);
+  app.initialize(rt);
+  for (int i = 0; i < RecorderApp::kIterations; ++i) app.iterate(rt, i);
+
+  const auto profiles = rt.objectProfiles(4);
+  if (!tel::kTraceCompiledIn) {
+    // The recorder compiles out: no profiling, no profiles.
+    EXPECT_TRUE(profiles.empty());
+    return;
+  }
+  ASSERT_FALSE(profiles.empty());
+  bool sawAccesses = false;
+  bool sawWear = false;
+  for (const auto& profile : profiles) {
+    // The spatial bins are a partition of the object's counters: they must
+    // sum back to the exported totals exactly.
+    EXPECT_EQ(sumOf(profile.accessBins), profile.accesses) << profile.name;
+    EXPECT_EQ(sumOf(profile.wearBins), profile.nvmWrites) << profile.name;
+    EXPECT_LE(profile.accessBins.size(), 4u);
+    sawAccesses = sawAccesses || profile.accesses > 0;
+    sawWear = sawWear || profile.nvmWrites > 0;
+  }
+  EXPECT_TRUE(sawAccesses);
+  // 256 int64 cells spill the tiny cache, so evictions wrote NVM blocks.
+  EXPECT_TRUE(sawWear);
+}
+
+TEST(AccessProfile, CampaignAccumulatesAcrossRuns) {
+  crash::CampaignConfig config;
+  config.numTests = 2;
+  config.cache = memsim::CacheConfig::tiny();
+  config.appLabel = "recorder";
+  const auto campaign = crash::CampaignRunner(recorderFactory(), config).run();
+
+  if (!tel::kTraceCompiledIn) {
+    EXPECT_TRUE(campaign.profile.empty());
+    return;
+  }
+  ASSERT_FALSE(campaign.profile.empty());
+  // Golden run + at least one crashing run.
+  EXPECT_GE(campaign.profile.runs, 2u);
+  ASSERT_FALSE(campaign.profile.objects.empty());
+  std::uint64_t accesses = 0;
+  for (const auto& object : campaign.profile.objects) {
+    accesses += object.accesses;
+    EXPECT_EQ(sumOf(object.accessBins), object.accesses) << object.name;
+    EXPECT_EQ(sumOf(object.wearBins), object.nvmWrites) << object.name;
+  }
+  EXPECT_GT(accesses, 0u);
+  EXPECT_FALSE(campaign.profile.regionAccesses.empty());
+
+  // The JSON encoding is parseable and carries the same totals.
+  std::string error;
+  const auto doc =
+      tel::json::parse(crash::campaignProfileJson(campaign.profile), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const auto* objects = doc->find("objects");
+  ASSERT_NE(objects, nullptr);
+  EXPECT_EQ(objects->array.size(), campaign.profile.objects.size());
+
+  // Profiling off ⇒ no profile, even with telemetry compiled in.
+  config.profile = false;
+  const auto bare = crash::CampaignRunner(recorderFactory(), config).run();
+  EXPECT_TRUE(bare.profile.empty());
+}
+
+TEST(PhaseSpan, EmitsPairedEventsAndObservesDuration) {
+  if (!tel::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  std::ostringstream buffer;
+  auto& sink = tel::TraceSink::instance();
+  sink.clearCommonFields();
+  sink.attachStream(&buffer);
+  tel::Histogram hist({1e9});
+  {
+    tel::PhaseSpan span("unit_phase", hist, /*trial=*/7);
+  }
+  sink.close();
+
+  EXPECT_EQ(hist.count(), 1u);
+  std::istringstream is(buffer.str());
+  std::string line;
+  std::vector<tel::json::Value> events;
+  while (std::getline(is, line)) {
+    std::string error;
+    auto value = tel::json::parse(line, &error);
+    ASSERT_TRUE(value.has_value()) << error << " in: " << line;
+    events.push_back(std::move(*value));
+  }
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].find("type")->string, "phase_begin");
+  EXPECT_EQ(events[0].find("phase")->string, "unit_phase");
+  EXPECT_DOUBLE_EQ(events[0].find("trial")->number, 7.0);
+  EXPECT_EQ(events[1].find("type")->string, "phase_end");
+  EXPECT_EQ(events[1].find("phase")->string, "unit_phase");
+  EXPECT_GE(events[1].find("duration_ns")->number, 0.0);
+}
+
+TEST(Status, SerializeStatusRoundTrips) {
+  crash::CampaignStatus status;
+  status.app = "mg \"quoted\"";
+  status.plannedTests = 100;
+  status.decided = 42;
+  status.resumed = 10;
+  status.responses = {20, 5, 3, 12};
+  status.failures = 2;
+  status.retries = 4;
+  status.timeouts = 1;
+  status.queueDepth = 3;
+  status.elapsedS = 12.5;
+  status.trialsPerS = 2.56;
+  status.etaS = 22.656;
+  status.interrupted = true;
+  status.seq = 9;
+
+  std::string error;
+  const auto doc = tel::json::parse(crash::serializeStatus(status), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("type")->string, "campaign_status");
+  EXPECT_EQ(doc->find("app")->string, "mg \"quoted\"");
+  EXPECT_DOUBLE_EQ(doc->find("tests")->number, 100.0);
+  EXPECT_DOUBLE_EQ(doc->find("decided")->number, 42.0);
+  EXPECT_DOUBLE_EQ(doc->find("resumed")->number, 10.0);
+  EXPECT_DOUBLE_EQ(doc->find("s1")->number, 20.0);
+  EXPECT_DOUBLE_EQ(doc->find("s4")->number, 12.0);
+  EXPECT_DOUBLE_EQ(doc->find("failures")->number, 2.0);
+  EXPECT_DOUBLE_EQ(doc->find("queue_depth")->number, 3.0);
+  EXPECT_DOUBLE_EQ(doc->find("eta_s")->number, 22.656);
+  EXPECT_TRUE(doc->find("interrupted")->boolean);
+  EXPECT_FALSE(doc->find("done")->boolean);
+  EXPECT_DOUBLE_EQ(doc->find("seq")->number, 9.0);
+}
+
+TEST(Status, WriterProducesFinalSnapshot) {
+  const std::string path = tempPath("flight_status.json");
+  crash::CampaignStatus sample;
+  sample.app = "unit";
+  sample.plannedTests = 5;
+  sample.decided = 5;
+  sample.responses = {5, 0, 0, 0};
+  {
+    crash::StatusWriter writer(path, std::chrono::milliseconds(10),
+                               [&sample] { return sample; });
+    writer.writeFinal(/*interrupted=*/false);
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::string error;
+  const auto doc = tel::json::parse(buffer.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(doc->find("done")->boolean);
+  EXPECT_FALSE(doc->find("interrupted")->boolean);
+  EXPECT_GE(doc->find("seq")->number, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Progress, EtaIgnoresResumedBaseline) {
+  std::ostringstream os;
+  tel::ProgressMeter meter("resume", 100, &os);
+  meter.setBaseline(50);
+  meter.update(50, "");  // all resumed — no rate basis yet, so no ETA
+  EXPECT_EQ(os.str().find("eta"), std::string::npos);
+  meter.finish("");
+
+  std::ostringstream fresh;
+  tel::ProgressMeter freshMeter("fresh", 100, &fresh);
+  freshMeter.update(50, "");  // same count, no baseline — ETA renders
+  EXPECT_NE(fresh.str().find("eta"), std::string::npos);
+  freshMeter.finish("");
+}
+
+TEST(FlightReport, RendersDeterministicallyFromJournal) {
+  const std::string journal = tempPath("flight_report_journal.jsonl");
+  const std::string metrics = tempPath("flight_report_metrics.json");
+
+  tel::MetricsRegistry::instance().reset();
+  crash::CampaignConfig config;
+  config.numTests = 3;
+  config.cache = memsim::CacheConfig::tiny();
+  config.appLabel = "recorder";
+  config.resilience.journalPath = journal;
+  const auto campaign = crash::CampaignRunner(recorderFactory(), config).run();
+  {
+    std::ostringstream os;
+    std::string profileSection;
+    if (!campaign.profile.empty()) {
+      profileSection =
+          "\"profile\": " + crash::campaignProfileJson(campaign.profile);
+    }
+    tel::MetricsRegistry::instance().writeJson(os, profileSection);
+    std::ofstream out(metrics);
+    out << os.str();
+  }
+
+  crash::FlightReportInputs inputs;
+  inputs.journalPath = journal;
+  inputs.metricsPath = metrics;
+  const std::string once = crash::renderFlightReport(inputs);
+  const std::string twice = crash::renderFlightReport(inputs);
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("# nvct campaign report"), std::string::npos);
+  EXPECT_NE(once.find("## Outcomes"), std::string::npos);
+  EXPECT_NE(once.find("decided trials: 3"), std::string::npos);
+  if (tel::kTraceCompiledIn) {
+    // The metrics profile section feeds the heatmap.
+    EXPECT_NE(once.find("## Access/wear profile"), std::string::npos);
+    EXPECT_NE(once.find("`data`"), std::string::npos);
+  }
+
+  // The journal alone renders too (no optional inputs).
+  crash::FlightReportInputs bare;
+  bare.journalPath = journal;
+  const std::string minimal = crash::renderFlightReport(bare);
+  EXPECT_NE(minimal.find("## Outcomes"), std::string::npos);
+  EXPECT_EQ(minimal.find("## Phase latencies"), std::string::npos);
+
+  std::remove(journal.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(FlightReport, MissingJournalThrows) {
+  crash::FlightReportInputs inputs;
+  inputs.journalPath = tempPath("flight_report_nonexistent.jsonl");
+  EXPECT_THROW((void)crash::renderFlightReport(inputs), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace easycrash

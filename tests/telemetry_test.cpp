@@ -123,6 +123,73 @@ TEST(Metrics, HistogramConcurrentObservationsAreExact) {
   EXPECT_EQ(total, hist.count());
 }
 
+TEST(Metrics, HistogramConcurrentSumStaysExactForIntegerValues) {
+  // fetch_add on the sum is exact as long as every observation is an
+  // integer-valued double and the running total stays within 2^53 — the
+  // regime the phase-timing histograms live in (whole microseconds).
+  tel::Histogram hist(tel::Histogram::exponentialBounds(1.0, 4.0, 6));
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&hist] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        hist.observe(static_cast<double>(i % 1000));
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kObsPerThread);
+  // Each thread contributes 20 full cycles of sum(0..999) = 499500.
+  const double expected = static_cast<double>(kThreads) * 20 * 499500.0;
+  EXPECT_DOUBLE_EQ(hist.sum(), expected);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= hist.bounds().size(); ++i) {
+    total += hist.bucketCount(i);
+  }
+  EXPECT_EQ(total, hist.count());
+}
+
+TEST(Metrics, WriteJsonKeyOrderIsRegistrationOrderIndependent) {
+  // Two registries, same instruments registered in opposite orders, must
+  // export byte-identical JSON — the determinism `nvct report` and the CI
+  // byte-diff depend on.
+  tel::MetricsRegistry forward;
+  forward.counter("a.first").add(1);
+  forward.counter("b.second").add(2);
+  forward.gauge("g.low").set(0.5);
+  forward.gauge("g.high").set(1.5);
+  forward.histogram("h.x", {1.0, 2.0}).observe(1.5);
+
+  tel::MetricsRegistry reverse;
+  reverse.histogram("h.x", {1.0, 2.0}).observe(1.5);
+  reverse.gauge("g.high").set(1.5);
+  reverse.gauge("g.low").set(0.5);
+  reverse.counter("b.second").add(2);
+  reverse.counter("a.first").add(1);
+
+  std::ostringstream a;
+  std::ostringstream b;
+  forward.writeJson(a);
+  reverse.writeJson(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Metrics, WriteJsonSplicesExtraSection) {
+  tel::MetricsRegistry registry;
+  registry.counter("c").add(7);
+  std::ostringstream os;
+  registry.writeJson(os, "\"profile\": {\"runs\": 2}");
+  std::string error;
+  const auto doc = tel::json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error << " in: " << os.str();
+  const auto* profile = doc->find("profile");
+  ASSERT_NE(profile, nullptr);
+  ASSERT_TRUE(profile->isObject());
+  EXPECT_DOUBLE_EQ(profile->find("runs")->number, 2.0);
+  EXPECT_DOUBLE_EQ(doc->find("counters")->find("c")->number, 7.0);
+}
+
 TEST(Metrics, RegistryReturnsStableInstrumentsAndExportsJson) {
   auto& registry = tel::MetricsRegistry::instance();
   tel::Counter& a = registry.counter("test.registry.counter");

@@ -11,8 +11,15 @@
 //   nvct --app kmeans --list-objects
 //
 // Observability (docs/OBSERVABILITY.md): --trace-out writes a JSONL event
-// trace, --metrics-out a counters/histograms snapshot, --log-level tunes
-// stderr diagnostics, and a live progress line tracks the campaign.
+// trace, --metrics-out a counters/histograms snapshot (including the
+// per-object access/wear profile unless --profile off), --status-out keeps a
+// live status snapshot fresh while the campaign runs, --log-level tunes
+// stderr diagnostics, and a live progress line tracks the campaign. After a
+// campaign, `nvct report` joins the journal, trace, and metrics into one
+// deterministic markdown report:
+//
+//   nvct report --journal mg.jsonl --trace mg_trace.jsonl
+//        --metrics mg_metrics.json --out mg_report.md
 //
 // Performance (docs/INTERNALS.md): by default one sweep run captures every
 // pending crash point and the restarts pipeline behind it (--sweep off
@@ -32,9 +39,12 @@
 #include <iostream>
 #include <sstream>
 
+#include <string_view>
+
 #include "easycrash/apps/registry.hpp"
 #include "easycrash/common/cli.hpp"
 #include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/flight_report.hpp"
 #include "easycrash/crash/plan_spec.hpp"
 #include "easycrash/crash/report.hpp"
 #include "easycrash/crash/resilience.hpp"
@@ -49,9 +59,49 @@ namespace {
 
 constexpr int kExitInterrupted = 130;
 
+// `nvct report`: deterministic post-run analysis over a finished campaign's
+// outputs. Dispatched on argv[1] before the campaign CLI (CliParser has no
+// positional arguments).
+int reportMain(int argc, char** argv) {
+  ec::CliParser cli(
+      "nvct report — render a deterministic markdown report from a finished "
+      "campaign's journal (+ optional trace and metrics snapshot).\n"
+      "Byte-identical output for identical inputs.");
+  cli.addString("journal", "", "campaign journal (required)");
+  cli.addString("trace", "", "JSONL trace for phase-latency percentiles");
+  cli.addString("metrics", "", "metrics snapshot for the access/wear heatmap");
+  cli.addString("out", "", "write the report here (default: stdout)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  try {
+    ec::crash::FlightReportInputs inputs;
+    inputs.journalPath = cli.getString("journal");
+    inputs.tracePath = cli.getString("trace");
+    inputs.metricsPath = cli.getString("metrics");
+    if (inputs.journalPath.empty()) {
+      throw std::runtime_error("nvct report requires --journal");
+    }
+    const std::string report = ec::crash::renderFlightReport(inputs);
+    const std::string outPath = cli.getString("out");
+    if (outPath.empty()) {
+      std::cout << report;
+    } else {
+      ec::crash::atomicWriteFile(outPath, report);
+      std::cout << "report written to " << outPath << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "nvct report: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string_view(argv[1]) == "report") {
+    return reportMain(argc - 1, argv + 1);
+  }
   ec::CliParser cli(
       "nvct — crash-test campaigns on the simulated NVM machine.\n"
       "Plan spec grammar: obj[+obj...]@(main|R<k>)[:everyN], comma-separated;\n"
@@ -74,6 +124,13 @@ int main(int argc, char** argv) {
   cli.addString("csv-out", "", "write the per-test CSV to this file");
   cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
   cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
+  cli.addString("status-out", "",
+                "atomically rewrite a live campaign status snapshot (JSON) "
+                "on every interval and after the final drain");
+  cli.addInt("status-interval-ms", 1000, "status snapshot interval");
+  cli.addString("profile", "on",
+                "per-object access/wear profiling (on|off; exported as the "
+                "'profile' section of --metrics-out)");
   cli.addString("log-level", "", "stderr log level: error|warn|info|debug|trace");
   cli.addFlag("no-progress", "suppress the live campaign progress line");
   cli.addString("journal", "", "append decided trials to this crash-safe JSONL journal");
@@ -150,6 +207,17 @@ int main(int argc, char** argv) {
     } else if (bulk != "on") {
       throw std::runtime_error("--bulk must be 'on' or 'off'");
     }
+    const std::string profile = cli.getString("profile");
+    if (profile == "off") {
+      config.profile = false;
+    } else if (profile != "on") {
+      throw std::runtime_error("--profile must be 'on' or 'off'");
+    }
+    config.statusPath = cli.getString("status-out");
+    config.statusIntervalMs = static_cast<int>(cli.getInt("status-interval-ms"));
+    if (config.statusIntervalMs <= 0) {
+      throw std::runtime_error("--status-interval-ms must be positive");
+    }
 
     auto& res = config.resilience;
     res.isolate = !cli.getFlag("no-isolate");
@@ -195,7 +263,12 @@ int main(int argc, char** argv) {
     const std::string metricsPath = cli.getString("metrics-out");
     if (!metricsPath.empty()) {
       std::ostringstream os;
-      ec::telemetry::MetricsRegistry::instance().writeJson(os);
+      std::string profileSection;
+      if (!campaign.profile.empty()) {
+        profileSection =
+            "\"profile\": " + ec::crash::campaignProfileJson(campaign.profile);
+      }
+      ec::telemetry::MetricsRegistry::instance().writeJson(os, profileSection);
       ec::crash::atomicWriteFile(metricsPath, os.str());
       std::cout << "metrics snapshot written to " << metricsPath << '\n';
     }

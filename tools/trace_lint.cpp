@@ -3,14 +3,24 @@
 //
 //   trace_lint --trace trace.jsonl                       # every line parses
 //   trace_lint --trace trace.jsonl --require-field app   # field presence
+//   trace_lint --trace trace.jsonl --stats               # event-type census
 //   trace_lint --metrics metrics.json --require-counter memsim.nvmBlockWrites
 //   trace_lint --journal campaign.jsonl                  # resume journal
+//   trace_lint --status status.json                      # live status snapshot
 //
 // Trace mode additionally knows the per-type schema of the sweep
 // evaluator's events (docs/INTERNALS.md): a sweep_capture must carry
 // run/crash_access/region/iteration/trials and a sweep_end must carry
 // run/captures/planned/completed with captures <= planned — an analysis
-// joining captures against trial_end rows breaks silently otherwise.
+// joining captures against trial_end rows breaks silently otherwise. The
+// flight recorder's phase spans (docs/OBSERVABILITY.md) are checked too: a
+// phase_begin must name its "phase" and a phase_end must additionally carry
+// a non-negative "duration_ns". --stats appends a name-sorted event-type
+// frequency table, a quick census of what a trace actually contains.
+//
+// Status mode validates one live snapshot written by nvct --status-out: a
+// single campaign_status object whose tallies are self-consistent
+// (s1+s2+s3+s4+failures == decided <= tests).
 //
 // Journal mode checks the campaign-journal schema (docs/ROBUSTNESS.md):
 // line 1 is a well-formed campaign_header; every following line is a trial
@@ -55,6 +65,23 @@ bool numberField(const json::Value& value, const char* name, double* out = nullp
   return true;
 }
 
+/// Per-type schema of the flight recorder's phase-span events. Returns an
+/// empty string when the event is well-formed (or not a phase event).
+std::string lintPhaseEvent(const json::Value& value, const std::string& type) {
+  if (type != "phase_begin" && type != "phase_end") return {};
+  const json::Value* phase = value.find("phase");
+  if (phase == nullptr || !phase->isString() || phase->string.empty()) {
+    return type + " missing \"phase\"";
+  }
+  if (type == "phase_end") {
+    double durationNs = 0;
+    if (!numberField(value, "duration_ns", &durationNs) || durationNs < 0) {
+      return "phase_end missing non-negative \"duration_ns\"";
+    }
+  }
+  return {};
+}
+
 /// Per-type schema of the sweep evaluator's trace events. Returns an empty
 /// string when the event is well-formed (or not a sweep event).
 std::string lintSweepEvent(const json::Value& value, const std::string& type) {
@@ -89,7 +116,8 @@ std::string lintSweepEvent(const json::Value& value, const std::string& type) {
   return {};
 }
 
-int lintTrace(const std::string& path, const std::vector<std::string>& requiredFields) {
+int lintTrace(const std::string& path, const std::vector<std::string>& requiredFields,
+              bool stats) {
   std::ifstream is(path);
   if (!is) {
     std::cerr << "trace_lint: cannot open " << path << '\n';
@@ -98,6 +126,7 @@ int lintTrace(const std::string& path, const std::vector<std::string>& requiredF
   std::string line;
   std::uint64_t lineNo = 0;
   std::uint64_t events = 0;
+  std::map<std::string, std::uint64_t> typeCounts;
   while (std::getline(is, line)) {
     ++lineNo;
     if (line.empty()) continue;
@@ -128,18 +157,87 @@ int lintTrace(const std::string& path, const std::vector<std::string>& requiredF
         return 1;
       }
     }
-    const std::string sweepError = lintSweepEvent(*value, type->string);
-    if (!sweepError.empty()) {
-      std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << sweepError << '\n';
-      return 1;
+    for (const std::string& error2 : {lintSweepEvent(*value, type->string),
+                                      lintPhaseEvent(*value, type->string)}) {
+      if (!error2.empty()) {
+        std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << error2 << '\n';
+        return 1;
+      }
     }
     ++events;
+    if (stats) ++typeCounts[type->string];
   }
   if (events == 0) {
     std::cerr << "trace_lint: " << path << " contains no events\n";
     return 1;
   }
   std::cout << path << ": " << events << " events ok\n";
+  if (stats) {
+    for (const auto& [type, count] : typeCounts) {
+      std::cout << "  " << type << ": " << count << '\n';
+    }
+  }
+  return 0;
+}
+
+/// nvct --status-out snapshot: one campaign_status object with
+/// self-consistent tallies.
+int lintStatus(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "trace_lint: cannot open " << path << '\n';
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::string error;
+  const auto value = json::parse(buffer.str(), &error);
+  const auto fail = [&path](const std::string& what) {
+    std::cerr << "trace_lint: " << path << ": " << what << '\n';
+    return 1;
+  };
+  if (!value || !value->isObject()) {
+    return fail(error.empty() ? "not a JSON object" : error);
+  }
+  const json::Value* type = value->find("type");
+  if (type == nullptr || !type->isString() || type->string != "campaign_status") {
+    return fail("\"type\" must be campaign_status");
+  }
+  const json::Value* app = value->find("app");
+  if (app == nullptr || !app->isString() || app->string.empty()) {
+    return fail("missing \"app\"");
+  }
+  std::map<std::string, double> fields;
+  for (const char* name : {"tests", "decided", "resumed", "s1", "s2", "s3", "s4",
+                           "failures", "retries", "timeouts", "queue_depth",
+                           "elapsed_s", "trials_per_s", "eta_s", "seq"}) {
+    if (!numberField(*value, name, &fields[name])) {
+      return fail(std::string("missing numeric \"") + name + '"');
+    }
+    if (fields[name] < 0 && std::string(name) != "eta_s") {
+      return fail(std::string("negative \"") + name + '"');
+    }
+  }
+  for (const char* name : {"interrupted", "done"}) {
+    const json::Value* flag = value->find(name);
+    if (flag == nullptr || flag->kind != json::Value::Kind::Bool) {
+      return fail(std::string("missing boolean \"") + name + '"');
+    }
+  }
+  const double settled =
+      fields["s1"] + fields["s2"] + fields["s3"] + fields["s4"] + fields["failures"];
+  if (settled != fields["decided"]) {
+    return fail("s1+s2+s3+s4+failures does not equal decided");
+  }
+  if (fields["decided"] > fields["tests"]) {
+    return fail("decided exceeds planned tests");
+  }
+  if (fields["resumed"] > fields["decided"]) {
+    return fail("resumed exceeds decided");
+  }
+  std::cout << path << ": status ok (" << static_cast<std::uint64_t>(fields["decided"])
+            << "/" << static_cast<std::uint64_t>(fields["tests"]) << " decided, seq "
+            << static_cast<std::uint64_t>(fields["seq"]) << ")\n";
   return 0;
 }
 
@@ -321,29 +419,38 @@ int main(int argc, char** argv) {
   cli.addString("trace", "", "JSONL trace file to validate");
   cli.addString("metrics", "", "metrics JSON snapshot to validate");
   cli.addString("journal", "", "campaign resume journal (JSONL) to validate");
+  cli.addString("status", "", "nvct --status-out snapshot (JSON) to validate");
   cli.addString("require-field", "",
                 "comma-separated fields every trace event must carry");
   cli.addString("require-counter", "",
                 "comma-separated counters that must be present and non-zero");
+  cli.addFlag("stats", "print an event-type frequency table for the trace");
   if (!cli.parse(argc, argv)) return 0;
 
   try {
     const std::string tracePath = cli.getString("trace");
     const std::string metricsPath = cli.getString("metrics");
     const std::string journalPath = cli.getString("journal");
-    if (tracePath.empty() && metricsPath.empty() && journalPath.empty()) {
-      std::cerr << "trace_lint: nothing to do (--trace, --metrics and/or --journal)\n";
+    const std::string statusPath = cli.getString("status");
+    if (tracePath.empty() && metricsPath.empty() && journalPath.empty() &&
+        statusPath.empty()) {
+      std::cerr << "trace_lint: nothing to do "
+                   "(--trace, --metrics, --journal and/or --status)\n";
       return 1;
     }
     int status = 0;
     if (!tracePath.empty()) {
-      status |= lintTrace(tracePath, splitCsv(cli.getString("require-field")));
+      status |= lintTrace(tracePath, splitCsv(cli.getString("require-field")),
+                          cli.getFlag("stats"));
     }
     if (!metricsPath.empty()) {
       status |= lintMetrics(metricsPath, splitCsv(cli.getString("require-counter")));
     }
     if (!journalPath.empty()) {
       status |= lintJournal(journalPath);
+    }
+    if (!statusPath.empty()) {
+      status |= lintStatus(statusPath);
     }
     return status;
   } catch (const std::exception& e) {
