@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Chaos differential for deterministic fault injection (docs/ROBUSTNESS.md):
+# a real SIGSEGV injected at one tracked-access index must destroy exactly
+# the trials whose crashing run reaches that index — every earlier trial's
+# result must be byte-identical to a fault-free in-process run's.
+#
+#   scripts/chaos_inject.sh <build-dir>
+#
+# The flow: run a clean `--isolation none` reference, pick the median crash
+# access as the injection point (guaranteed mid-window, so both sides of the
+# split are populated), re-run under `--inject segv:<IDX>`, and require
+#   faulted.csv == clean.csv rows with crash_access < IDX   (byte compare)
+#   journal trial_failure count == clean rows with crash_access >= IDX
+# plus a journal lint that every recorded failure carries kind "crashed".
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: chaos_inject.sh <build-dir>}
+NVCT="$BUILD_DIR/tools/nvct"
+TRACE_LINT="$BUILD_DIR/tools/trace_lint"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+APP=sp
+TESTS=24
+
+echo "== clean in-process reference (--isolation none) =="
+"$NVCT" --app "$APP" --tests "$TESTS" --no-progress --isolation none \
+  --csv-out "$WORK/clean.csv" > /dev/null
+
+IDX=$(tail -n +2 "$WORK/clean.csv" | cut -d, -f1 | sort -n |
+      awk '{ a[NR] = $1 } END { print a[int((NR + 1) / 2)] }')
+SURVIVORS=$(awk -F, -v idx="$IDX" 'NR > 1 && $1 + 0 < idx' "$WORK/clean.csv" |
+            wc -l)
+VICTIMS=$((TESTS - SURVIVORS))
+echo "== injecting segv at access $IDX ($SURVIVORS survivors, $VICTIMS victims) =="
+(( SURVIVORS >= 1 && VICTIMS >= 1 )) || {
+  echo "FAIL: injection point is not mid-window"; exit 1; }
+
+"$NVCT" --app "$APP" --tests "$TESTS" --no-progress \
+  --inject "segv:$IDX" --trial-retries 0 --max-trial-failures -1 \
+  --journal "$WORK/journal.jsonl" --csv-out "$WORK/faulted.csv" > /dev/null
+
+echo "== journal lint (every failure must be kind 'crashed') =="
+"$TRACE_LINT" --journal "$WORK/journal.jsonl" --require-failure-kind crashed
+
+FAILURES=$(grep -c '"type":"trial_failure"' "$WORK/journal.jsonl")
+[[ "$FAILURES" -eq "$VICTIMS" ]] || {
+  echo "FAIL: expected $VICTIMS trial failures, journal holds $FAILURES"
+  exit 1
+}
+echo "ok: $FAILURES trials died on the injected fault"
+
+awk -F, -v idx="$IDX" 'NR == 1 || $1 + 0 < idx' "$WORK/clean.csv" \
+  > "$WORK/expected.csv"
+if cmp "$WORK/faulted.csv" "$WORK/expected.csv"; then
+  echo "PASS: non-faulting trials are byte-identical to the clean run"
+else
+  echo "FAIL: fault injection disturbed trials that never reached it"
+  exit 1
+fi

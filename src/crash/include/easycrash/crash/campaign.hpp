@@ -54,15 +54,33 @@ struct TrialFailure {
   int attempts = 1;                   ///< tries spent (1 + retries)
   std::string reason;                 ///< exception text or "watchdog ..."
   std::string regionPath;             ///< crash-site path if the crash fired
+  /// How the trial died. In-process evaluation produces "exception" or
+  /// "timeout"; the fork evaluator adds the worker-death kinds "crashed"
+  /// (killed by a signal: SIGSEGV, SIGABRT, ...), "killed" (hard SIGKILL:
+  /// watchdog deadline or the kernel OOM killer), "oom" (the worker caught
+  /// std::bad_alloc) and "protocol" (torn frame / unexpected exit).
+  std::string kind = "exception";
 };
 
 /// Fault-tolerance knobs for one campaign (docs/ROBUSTNESS.md). Defaults
 /// keep the legacy all-or-nothing behaviour: no isolation, no watchdog, no
 /// journal; the first trial exception propagates out of run().
+/// How trials are evaluated with respect to the host process.
+enum class IsolationMode {
+  None,  ///< in-process (library default; unit tests, embedding)
+  Fork,  ///< pre-forked worker children (nvct default): a trial that
+         ///< segfaults, wild-writes, OOMs or hangs kills one worker, which
+         ///< is classified, recorded as a TrialFailure and respawned
+};
+
 struct ResilienceConfig {
   /// Trap per-trial exceptions/EC_CHECK failures into TrialFailure records
   /// instead of aborting the campaign. Also a prerequisite for the watchdog.
   bool isolate = false;
+  /// Process isolation for trial execution (requires `isolate`). Fork mode
+  /// produces byte-identical CSV/journal/report output for every trial that
+  /// does not die — the same differential bar as sweep/bulk/threads.
+  IsolationMode isolation = IsolationMode::None;
   /// Abort the campaign once more than this many trials fail for good
   /// (after retries). Negative = unlimited.
   int maxFailures = -1;
@@ -84,7 +102,28 @@ struct ResilienceConfig {
   /// Test hook: request a graceful stop (as SIGINT/SIGTERM would) once this
   /// many new trials have completed. 0 = off.
   int stopAfterTrials = 0;
+  /// Exponential backoff between trial retries: attempt k (1-based) sleeps
+  /// retryBackoffMs * 2^(k-1) plus a bounded deterministic jitter (seeded
+  /// from campaign seed, trial and attempt), capped at retryBackoffMaxMs.
+  /// 0 disables the backoff (immediate re-run, the pre-backoff behaviour).
+  std::uint64_t retryBackoffMs = 25;
+  std::uint64_t retryBackoffMaxMs = 2000;
 };
+
+/// Deterministic fault injection (`nvct --inject`): execute a real,
+/// process-fatal fault at an exact 1-based tracked-access index of every
+/// crashing run, reusing the crash-clock arming machinery. Requires the fork
+/// evaluator — the faults are genuine (SIGSEGV, a torn protocol write,
+/// allocator exhaustion, a hard hang), so only a worker child may host them.
+struct FaultPlan {
+  enum class Kind { None, Segv, WildWrite, Oom, Hang };
+  Kind kind = Kind::None;
+  std::uint64_t accessIndex = 0;
+
+  [[nodiscard]] bool active() const { return kind != Kind::None; }
+};
+
+[[nodiscard]] const char* toString(FaultPlan::Kind kind);
 
 struct CampaignConfig {
   std::uint64_t seed = 1;
@@ -132,6 +171,9 @@ struct CampaignConfig {
   int statusIntervalMs = 1000;
   /// Fault tolerance: trial isolation, watchdog, journal/resume (see above).
   ResilienceConfig resilience;
+  /// Deterministic fault injection into every crashing run (see FaultPlan).
+  /// Only legal with resilience.isolation == IsolationMode::Fork.
+  FaultPlan inject;
 };
 
 /// Statistics of the golden (crash-free) execution.
@@ -194,6 +236,9 @@ struct CampaignProfile {
   [[nodiscard]] bool empty() const { return runs == 0; }
   /// Fold one finished run's profile in (no-op unless `rt` is profiling).
   void accumulate(const runtime::Runtime& rt, std::size_t bins = 16);
+  /// Fold another accumulated profile in (layout-checked element-wise merge;
+  /// the fork evaluator ships per-run profiles from worker children).
+  void merge(const CampaignProfile& other);
 };
 
 struct CampaignResult {
@@ -259,6 +304,23 @@ class CampaignRunner {
   /// concurrently, hence the mutex; the hot access paths never touch it.
   void armProfile(runtime::Runtime& rt) const;
   void accumulateProfile(const runtime::Runtime& rt) const;
+
+  /// Report one finished simulated run's events + profile. In the parent
+  /// these land in the process metrics registry and profile_; inside a fork
+  /// worker they are collected per request and shipped back instead.
+  void noteRun(const runtime::Runtime& rt) const;
+
+  /// Parent-side completion bookkeeping of one decided trial: campaign
+  /// counters (trials, S1-S4 responses) and the trial_end trace event. Only
+  /// the deciding process runs this — fork workers never do, so the parent's
+  /// registry stays the single source of truth.
+  void commitTrial(std::size_t trial, const CrashTestRecord& record) const;
+
+  /// Arm config_.inject on a crashing run (worker children only; no-op when
+  /// no fault plan is set or no child fault context is installed).
+  void installFault(runtime::Runtime& rt) const;
+
+  friend struct ForkChildServer;
 
   runtime::AppFactory factory_;
   CampaignConfig config_;

@@ -171,6 +171,32 @@ struct JournalReplay {
 /// whose prefix is malformed.
 [[nodiscard]] JournalReplay readJournal(const std::string& path);
 
+// ---- Record transport --------------------------------------------------------
+
+/// The journal's per-trial text format, exposed as the fork evaluator's
+/// result transport: doubles are serialized with %.17g (exact round-trip),
+/// so a record that crossed a worker boundary serializes back to the very
+/// bytes an in-process record would — the foundation of the fork/none
+/// byte-identity guarantee.
+[[nodiscard]] std::string serializeTrialRecord(std::size_t trial,
+                                               const CrashTestRecord& record);
+/// Inverse of serializeTrialRecord. Throws std::runtime_error on malformed
+/// input (a worker that died mid-write never produces a frame, but a wild
+/// write may corrupt one — the campaign maps the throw to a protocol death).
+[[nodiscard]] CrashTestRecord parseTrialRecord(const std::string& line,
+                                               std::size_t* trial);
+
+// ---- Retry backoff -----------------------------------------------------------
+
+/// Backoff before retry `attempt` (1-based: the sleep after the first failed
+/// attempt) of `trial`: ResilienceConfig::retryBackoffMs doubled per attempt
+/// plus a deterministic bounded jitter (seeded by campaign seed, trial and
+/// attempt — reruns sleep identically), capped at retryBackoffMaxMs. Zero
+/// when backoff is disabled.
+[[nodiscard]] std::uint64_t retryBackoffMs(const ResilienceConfig& res,
+                                           std::uint64_t seed,
+                                           std::size_t trial, int attempt);
+
 // ---- Atomic file replacement -------------------------------------------------
 
 /// Replace `path` with `content` atomically: write `<path>.tmp`, fsync,

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "easycrash/common/check.hpp"
+#include "easycrash/common/rng.hpp"
 #include "easycrash/telemetry/json.hpp"
 #include "easycrash/telemetry/log.hpp"
 #include "easycrash/telemetry/trace.hpp"
@@ -278,6 +279,8 @@ std::string serializeFailure(const TrialFailure& f) {
   line += ",\"crash_access\":" + std::to_string(f.crashAccessIndex);
   line += ",\"timeout\":";
   line += f.timeout ? "true" : "false";
+  line += ",\"kind\":";
+  appendQuoted(line, f.kind);
   line += ",\"attempts\":" + std::to_string(f.attempts);
   line += ",\"reason\":";
   appendQuoted(line, f.reason);
@@ -351,6 +354,17 @@ TrialFailure parseFailure(const json::Value& obj) {
     throw std::runtime_error("journal: \"timeout\" is not a bool");
   }
   f.timeout = timeout.boolean;
+  // "kind" arrived with the fork evaluator; legacy journals only knew the
+  // in-process failure modes, recoverable from the timeout flag.
+  const json::Value* kind = obj.find("kind");
+  if (kind != nullptr) {
+    if (!kind->isString()) {
+      throw std::runtime_error("journal: \"kind\" is not a string");
+    }
+    f.kind = kind->string;
+  } else {
+    f.kind = f.timeout ? "timeout" : "exception";
+  }
   f.attempts = static_cast<int>(num(obj, "attempts"));
   f.reason = str(obj, "reason");
   f.regionPath = str(obj, "region_path");
@@ -358,6 +372,40 @@ TrialFailure parseFailure(const json::Value& obj) {
 }
 
 }  // namespace
+
+std::string serializeTrialRecord(std::size_t trial, const CrashTestRecord& record) {
+  return serializeTrial(trial, record);
+}
+
+CrashTestRecord parseTrialRecord(const std::string& line, std::size_t* trial) {
+  std::string error;
+  const auto value = json::parse(line, &error);
+  if (!value || !value->isObject()) {
+    throw std::runtime_error("trial record: " +
+                             (error.empty() ? "not an object" : error));
+  }
+  if (str(*value, "type") != "trial") {
+    throw std::runtime_error("trial record: wrong type");
+  }
+  return parseTrial(*value, trial);
+}
+
+std::uint64_t retryBackoffMs(const ResilienceConfig& res, std::uint64_t seed,
+                             std::size_t trial, int attempt) {
+  if (res.retryBackoffMs == 0 || attempt < 1) return 0;
+  const std::uint64_t cap =
+      std::max<std::uint64_t>(res.retryBackoffMaxMs, res.retryBackoffMs);
+  // base * 2^(attempt-1), saturating well before a uint64 overflow.
+  const int shift = std::min(attempt - 1, 32);
+  std::uint64_t backoff = res.retryBackoffMs << shift;
+  if (backoff > cap || (backoff >> shift) != res.retryBackoffMs) backoff = cap;
+  // Bounded jitter in [0, backoff/2], drawn from a stream keyed by (seed,
+  // trial, attempt) so reruns and resumes sleep identically.
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (trial + 1)) ^
+                  (0xbf58476d1ce4e5b9ull * static_cast<std::uint64_t>(attempt)));
+  const std::uint64_t jitter = rng.below(backoff / 2 + 1);
+  return std::min(backoff + jitter, cap);
+}
 
 std::uint64_t planFingerprint(const runtime::PersistencePlan& plan) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis

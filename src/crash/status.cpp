@@ -42,6 +42,10 @@ std::string serializeStatus(const CampaignStatus& status) {
   line += std::to_string(status.timeouts);
   line += ",\"queue_depth\":";
   line += std::to_string(status.queueDepth);
+  line += ",\"workers\":";
+  line += std::to_string(status.workers);
+  line += ",\"worker_deaths\":";
+  line += std::to_string(status.workerDeaths);
   line += ",\"elapsed_s\":";
   appendDouble(line, status.elapsedS);
   line += ",\"trials_per_s\":";

@@ -226,6 +226,18 @@ class Runtime {
   /// fires before the CrashEvent is thrown.
   void armCaptures(std::vector<std::uint64_t> indices, CaptureHook hook);
   void disarmCaptures();
+  /// Arm a deterministic fault at the `accessIndex`-th tracked access
+  /// (1-based, strictly ahead of the clock, same clock as armCrash). The hook
+  /// runs once, after the access's bytes and clock tick are applied but
+  /// before any capture or armed crash at the same index fires — a fault is
+  /// process-fatal, so when fault and crash/capture collide the fault must
+  /// win identically on the per-trial and sweep paths. The hook is expected
+  /// to terminate the process (`nvct --inject`); if it returns, execution
+  /// simply continues. Bulk ranges clamp their chunks to the fault index, so
+  /// the hook observes exactly the element-wise memory state.
+  using FaultHook = std::function<void()>;
+  void armFault(std::uint64_t accessIndex, FaultHook hook);
+  void disarmFault();
   /// Region stack at this instant, outermost first (what CrashEvent carries
   /// as regionPath). Valid between tracked accesses, e.g. inside a capture
   /// hook or after catching an app exception.
@@ -331,8 +343,9 @@ class Runtime {
     while (done < count) {
       std::uint64_t n = count - done;
       if (crashWindowActive_) {
-        const std::uint64_t next =
+        std::uint64_t next =
             crashAt_ != 0 ? std::min(crashAt_, captureNext_) : captureNext_;
+        if (faultAt_ != 0) next = std::min(next, faultAt_);
         if (next != kNoCapture) {
           // Both triggers are strictly ahead of the clock (armCrash checks,
           // fireCaptures advances past fired indices), so toTrigger >= 1.
@@ -394,6 +407,8 @@ class Runtime {
   bool bulk_ = true;     ///< route loadRange/storeRange through the fast path
   std::uint64_t windowAccesses_ = 0;
   std::uint64_t crashAt_ = 0;  ///< 0 = disarmed
+  std::uint64_t faultAt_ = 0;  ///< 0 = disarmed (deterministic fault injection)
+  FaultHook faultHook_;
 
   /// Multi-arm capture state. captureNext_ mirrors captureAt_[captureCursor_]
   /// (kNoCapture when disarmed/exhausted) so the per-access check in

@@ -112,6 +112,15 @@ void Runtime::onAccessSlow(std::uint64_t count) {
   const PointId region = activeRegion();
   regionAccesses_[pointSlot(region)] += count;
   windowAccesses_ += count;
+  // An armed fault is process-fatal and must pre-empt captures and the armed
+  // crash at the same index on the per-trial AND sweep paths alike, so it is
+  // checked before either. The hook normally never returns.
+  if (faultAt_ != 0 && windowAccesses_ >= faultAt_) {
+    FaultHook hook = std::move(faultHook_);
+    faultAt_ = 0;
+    faultHook_ = nullptr;
+    if (hook) hook();
+  }
   // Captures observe the crash point without ending the run, and must fire
   // before the armed crash so a sweep's final index is both captured and
   // crashed on the very same access.
@@ -382,6 +391,19 @@ void Runtime::armCaptures(std::vector<std::uint64_t> indices, CaptureHook hook) 
   captureCursor_ = 0;
   captureNext_ = captureAt_.front();
   captureHook_ = std::move(hook);
+}
+
+void Runtime::armFault(std::uint64_t accessIndex, FaultHook hook) {
+  EC_CHECK_MSG(accessIndex > 0, "fault index is 1-based");
+  EC_CHECK_MSG(accessIndex > windowAccesses_, "fault point already passed");
+  EC_CHECK_MSG(static_cast<bool>(hook), "armFault needs a hook");
+  faultAt_ = accessIndex;
+  faultHook_ = std::move(hook);
+}
+
+void Runtime::disarmFault() {
+  faultAt_ = 0;
+  faultHook_ = nullptr;
 }
 
 void Runtime::disarmCaptures() {

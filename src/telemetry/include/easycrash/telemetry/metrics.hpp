@@ -102,6 +102,12 @@ class MetricsRegistry {
   /// tools that want per-run snapshots.
   void reset();
 
+  /// fork() support: hold the registry mutex across the fork so a child
+  /// never inherits it locked mid-registration. Parent and child each
+  /// release their copy after the fork.
+  void lockForFork() { mutex_.lock(); }
+  void unlockAfterFork() { mutex_.unlock(); }
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

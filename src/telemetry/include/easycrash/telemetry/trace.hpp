@@ -99,6 +99,27 @@ class TraceSink {
   /// Internal: complete `line` with common fields + '}' and write it.
   void write(const std::string& line);
 
+  /// Write already-complete trace lines verbatim (no common fields, no
+  /// terminator added). Used by the campaign's fork evaluator to splice
+  /// lines a worker child emitted into its own redirected sink back into
+  /// the parent's trace file. `text` must be zero or more whole lines.
+  void writeRaw(std::string_view text);
+
+  // ---- fork() support ---------------------------------------------------
+  // A multi-threaded parent must not fork while another thread holds the
+  // sink mutex (the child would inherit it locked, and the inherited stdio
+  // buffer would be flushed twice). lockForFork() takes the mutex and
+  // flushes the destination; the parent and the child each release it on
+  // their side after the fork.
+
+  void lockForFork();
+  void unlockAfterFork();
+  /// In a freshly forked child: abandon the inherited file handle WITHOUT
+  /// flushing (the parent owns those buffered bytes) and point the sink at
+  /// `os`. The enabled/disabled state is left as inherited, so a child of a
+  /// non-tracing parent keeps emitting nothing.
+  void redirectInForkedChild(std::ostream* os);
+
  private:
   std::mutex mutex_;
   std::unique_ptr<std::ofstream> file_;

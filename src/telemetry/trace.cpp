@@ -154,4 +154,32 @@ void TraceSink::write(const std::string& line) {
   lines_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void TraceSink::writeRaw(std::string_view text) {
+  if (text.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (os_ == nullptr) return;
+  os_->write(text.data(), static_cast<std::streamsize>(text.size()));
+  std::uint64_t newlines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++newlines;
+  }
+  lines_.fetch_add(newlines, std::memory_order_relaxed);
+}
+
+void TraceSink::lockForFork() {
+  mutex_.lock();
+  if (os_ != nullptr) os_->flush();
+}
+
+void TraceSink::unlockAfterFork() { mutex_.unlock(); }
+
+void TraceSink::redirectInForkedChild(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // release(), not reset(): destroying the inherited ofstream would flush
+  // any buffered bytes a second time from the child. The leak is bounded —
+  // a worker child never opens another file and exits via _exit().
+  (void)file_.release();
+  os_ = os;
+}
+
 }  // namespace easycrash::telemetry

@@ -144,8 +144,22 @@ int main(int argc, char** argv) {
   cli.addDouble("timeout-golden-multiple", 20.0,
                 "watchdog deadline as a multiple of the golden run "
                 "(used when --trial-timeout-ms is 0; 0 disables the watchdog)");
+  cli.addInt("retry-backoff-ms", 25,
+             "base backoff before a trial retry, doubled per attempt with "
+             "deterministic jitter (0 = retry immediately)");
+  cli.addInt("retry-backoff-max-ms", 2000, "retry backoff cap");
   cli.addFlag("no-isolate",
-              "legacy all-or-nothing trials: first trial exception aborts");
+              "legacy all-or-nothing trials: first trial exception aborts "
+              "(implies --isolation none)");
+  cli.addString("isolation", "fork",
+                "trial evaluator isolation: 'fork' runs every crashing run "
+                "and restart in a pre-forked worker process (a trial that "
+                "segfaults, OOMs or hangs becomes a TrialFailure); 'none' "
+                "runs trials in-process");
+  cli.addString("inject", "",
+                "deterministic fault injection: segv|wild-write|oom|hang"
+                ":<access-index> kills the worker at exactly that tracked "
+                "access of every crashing run (requires --isolation fork)");
   cli.addInt("stop-after", 0,
              "test hook: request a graceful stop after N new trials (0 = off)");
   cli.addFlag("list-apps", "list the bundled benchmarks and exit");
@@ -229,6 +243,52 @@ int main(int argc, char** argv) {
     res.resumePath = cli.getString("resume");
     res.journalFlushEvery = static_cast<int>(cli.getInt("journal-flush-every"));
     res.stopAfterTrials = static_cast<int>(cli.getInt("stop-after"));
+    res.retryBackoffMs = static_cast<std::uint64_t>(cli.getInt("retry-backoff-ms"));
+    res.retryBackoffMaxMs =
+        static_cast<std::uint64_t>(cli.getInt("retry-backoff-max-ms"));
+    const std::string isolation = cli.getString("isolation");
+    if (isolation == "fork") {
+      // --no-isolate keeps its legacy all-or-nothing meaning: trials run
+      // in-process and the first exception aborts the campaign.
+      res.isolation = res.isolate ? ec::crash::IsolationMode::Fork
+                                  : ec::crash::IsolationMode::None;
+    } else if (isolation == "none") {
+      res.isolation = ec::crash::IsolationMode::None;
+    } else {
+      throw std::runtime_error("--isolation must be 'fork' or 'none'");
+    }
+    const std::string inject = cli.getString("inject");
+    if (!inject.empty()) {
+      if (res.isolation != ec::crash::IsolationMode::Fork) {
+        throw std::runtime_error(
+            "--inject requires --isolation fork (the fault kills the process "
+            "that runs the trial)");
+      }
+      const auto colon = inject.find(':');
+      if (colon == std::string::npos || colon + 1 >= inject.size()) {
+        throw std::runtime_error("--inject must be <kind>:<access-index>");
+      }
+      const std::string kind = inject.substr(0, colon);
+      if (kind == "segv") {
+        config.inject.kind = ec::crash::FaultPlan::Kind::Segv;
+      } else if (kind == "wild-write") {
+        config.inject.kind = ec::crash::FaultPlan::Kind::WildWrite;
+      } else if (kind == "oom") {
+        config.inject.kind = ec::crash::FaultPlan::Kind::Oom;
+      } else if (kind == "hang") {
+        config.inject.kind = ec::crash::FaultPlan::Kind::Hang;
+      } else {
+        throw std::runtime_error(
+            "--inject kind must be segv|wild-write|oom|hang");
+      }
+      std::size_t used = 0;
+      const std::string idx = inject.substr(colon + 1);
+      config.inject.accessIndex = std::stoull(idx, &used);
+      if (used != idx.size() || config.inject.accessIndex == 0) {
+        throw std::runtime_error("--inject access index must be a positive "
+                                 "integer");
+      }
+    }
 
     ec::crash::installStopSignalHandlers();
 

@@ -82,6 +82,36 @@ std::string lintPhaseEvent(const json::Value& value, const std::string& type) {
   return {};
 }
 
+/// Per-type schema of the fork evaluator's worker lifecycle events
+/// (docs/ROBUSTNESS.md). Returns an empty string when the event is
+/// well-formed (or not a worker event).
+std::string lintWorkerEvent(const json::Value& value, const std::string& type) {
+  if (type != "worker_exit" && type != "worker_respawn") return {};
+  double slot = 0;
+  double pid = 0;
+  if (!numberField(value, "slot", &slot) || slot < 0) {
+    return type + " missing non-negative \"slot\"";
+  }
+  if (!numberField(value, "pid", &pid) || pid < 0) {
+    return type + " missing non-negative \"pid\"";
+  }
+  if (type == "worker_exit") {
+    const json::Value* death = value.find("death");
+    if (death == nullptr || !death->isString() || death->string.empty()) {
+      return "worker_exit missing \"death\"";
+    }
+    if (!numberField(value, "signal") || !numberField(value, "exit_code")) {
+      return "worker_exit missing \"signal\"/\"exit_code\"";
+    }
+    const json::Value* timeout = value.find("timeout");
+    if (timeout == nullptr ||
+        !(timeout->kind == json::Value::Kind::Bool || timeout->isNumber())) {
+      return "worker_exit missing \"timeout\"";
+    }
+  }
+  return {};
+}
+
 /// Per-type schema of the sweep evaluator's trace events. Returns an empty
 /// string when the event is well-formed (or not a sweep event).
 std::string lintSweepEvent(const json::Value& value, const std::string& type) {
@@ -158,7 +188,8 @@ int lintTrace(const std::string& path, const std::vector<std::string>& requiredF
       }
     }
     for (const std::string& error2 : {lintSweepEvent(*value, type->string),
-                                      lintPhaseEvent(*value, type->string)}) {
+                                      lintPhaseEvent(*value, type->string),
+                                      lintWorkerEvent(*value, type->string)}) {
       if (!error2.empty()) {
         std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << error2 << '\n';
         return 1;
@@ -210,7 +241,8 @@ int lintStatus(const std::string& path) {
   std::map<std::string, double> fields;
   for (const char* name : {"tests", "decided", "resumed", "s1", "s2", "s3", "s4",
                            "failures", "retries", "timeouts", "queue_depth",
-                           "elapsed_s", "trials_per_s", "eta_s", "seq"}) {
+                           "workers", "worker_deaths", "elapsed_s",
+                           "trials_per_s", "eta_s", "seq"}) {
     if (!numberField(*value, name, &fields[name])) {
       return fail(std::string("missing numeric \"") + name + '"');
     }
@@ -275,7 +307,8 @@ int lintMetrics(const std::string& path, const std::vector<std::string>& require
   return 0;
 }
 
-int lintJournal(const std::string& path) {
+int lintJournal(const std::string& path,
+                const std::vector<std::string>& requiredFailureKinds) {
   std::ifstream is(path);
   if (!is) {
     std::cerr << "trace_lint: cannot open " << path << '\n';
@@ -287,6 +320,7 @@ int lintJournal(const std::string& path) {
   bool segments = false;
   bool haveLast = false;
   double lastTrial = -1;
+  std::map<std::string, std::uint64_t> failureKinds;
   // Last record kind per test index (true = trial): segment journals may
   // re-decide an index, so the tallies count the compacted view.
   std::map<std::uint64_t, bool> decided;
@@ -393,6 +427,15 @@ int lintJournal(const std::string& path) {
           !(timeout->kind == json::Value::Kind::Bool || timeout->isNumber())) {
         return fail("trial_failure missing \"timeout\"");
       }
+      // "kind" is optional (legacy journals predate it) but must be a
+      // non-empty string when present; the fork evaluator writes one of
+      // exception|timeout|crashed|killed|oom|protocol.
+      const json::Value* kind = value->find("kind");
+      if (kind != nullptr && (!kind->isString() || kind->string.empty())) {
+        return fail("trial_failure \"kind\" must be a non-empty string");
+      }
+      ++failureKinds[kind != nullptr ? kind->string
+                                     : std::string("<absent>")];
     }
   }
   if (lineNo == 0) {
@@ -404,6 +447,13 @@ int lintJournal(const std::string& path) {
   for (const auto& [index, isTrial] : decided) {
     (void)index;
     isTrial ? ++trials : ++failures;
+  }
+  for (const auto& required : requiredFailureKinds) {
+    if (failureKinds.find(required) == failureKinds.end()) {
+      std::cerr << "trace_lint: " << path << ": no trial_failure of kind \""
+                << required << "\"\n";
+      return 1;
+    }
   }
   std::cout << path << ": journal ok (" << trials << " trials, " << failures
             << " failures of " << static_cast<std::uint64_t>(tests)
@@ -424,6 +474,9 @@ int main(int argc, char** argv) {
                 "comma-separated fields every trace event must carry");
   cli.addString("require-counter", "",
                 "comma-separated counters that must be present and non-zero");
+  cli.addString("require-failure-kind", "",
+                "comma-separated kinds the journal must record at least one "
+                "trial_failure of (e.g. crashed,killed,oom,protocol)");
   cli.addFlag("stats", "print an event-type frequency table for the trace");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -447,7 +500,8 @@ int main(int argc, char** argv) {
       status |= lintMetrics(metricsPath, splitCsv(cli.getString("require-counter")));
     }
     if (!journalPath.empty()) {
-      status |= lintJournal(journalPath);
+      status |= lintJournal(journalPath,
+                            splitCsv(cli.getString("require-failure-kind")));
     }
     if (!statusPath.empty()) {
       status |= lintStatus(statusPath);
