@@ -89,6 +89,48 @@ void BM_InconsistencyScan64KB(benchmark::State& state) {
 }
 BENCHMARK(BM_InconsistencyScan64KB);
 
+// The post-mortem scan fast path (dirty-block index + vectorized compare)
+// against the probe-every-level scalar walk it replaces. Arg0 is the percent
+// of the 64 KiB footprint re-dirtied after a full drain (0 = clean: the scan
+// is pure skip work; 5 = sparse: a handful of compares; 60 = dense: the
+// compare kernel dominates); Arg1 flips setScanFastPath. Both settings
+// return the same count — the ratio between the two legs at fixed density
+// is the mechanical overhead the index + kernel remove.
+void BM_Postmortem(benchmark::State& state) {
+  Sim s;
+  easycrash::Rng rng(3);
+  constexpr std::uint64_t kBytes = 64 * 1024;
+  constexpr std::uint64_t kBlocks = kBytes / 64;
+  // Materialise the footprint, then drain so every block starts clean and
+  // NVM-identical; re-dirty the requested fraction of blocks.
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    const std::uint64_t v = rng();
+    s.cache.store(b * 64, {reinterpret_cast<const std::uint8_t*>(&v), 8});
+  }
+  s.cache.drainAll();
+  const auto densityPct = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    if (rng.below(100) < densityPct) {
+      const std::uint64_t v = rng();
+      s.cache.store(b * 64, {reinterpret_cast<const std::uint8_t*>(&v), 8});
+    }
+  }
+  s.cache.setScanFastPath(state.range(1) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.cache.inconsistentBytes(0, kBytes));
+  }
+  state.SetLabel(std::string(state.range(1) ? "indexed" : "scalar") + "/" +
+                 (densityPct == 0 ? "clean" : densityPct <= 5 ? "sparse" : "dense"));
+  state.counters["dirty_blocks"] = static_cast<double>(s.cache.dirtyIndex().size());
+}
+BENCHMARK(BM_Postmortem)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({60, 0})
+    ->Args({60, 1});
+
 // The block-granular range fast path against the element-wise scalar loop
 // it replaces (Runtime::setBulk(false) lowers the same TrackedArray calls to
 // per-element accesses — byte-identical observables, so the ratio between

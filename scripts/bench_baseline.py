@@ -37,9 +37,12 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "BENCH_memsim.json"
 
-# Deterministic simulation counters the campaign benchmarks export; only
-# these are diffed, so incidental google-benchmark fields never match.
-COUNTER_NAMES = ("golden_accesses", "golden_nvm_writes", "profile_samples")
+# Deterministic simulation counters the benchmarks export; only these are
+# diffed, so incidental google-benchmark fields never match. dirty_blocks is
+# BM_Postmortem's dirty-index population — the scan's candidate set must not
+# silently change shape under a perf PR any more than the campaign's work.
+COUNTER_NAMES = ("golden_accesses", "golden_nvm_writes", "profile_samples",
+                 "dirty_blocks")
 
 
 def load_times(path: pathlib.Path) -> dict[str, tuple[float, str]]:

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -61,6 +62,9 @@ struct CampaignMetrics {
   telemetry::Counter& rangeStores;
   telemetry::Counter& rangeSplitBlocks;
   telemetry::Counter& rangeAccesses;
+  telemetry::Counter& postmortemBlocksSkipped;
+  telemetry::Counter& postmortemBlocksCompared;
+  telemetry::Counter& postmortemBytesCompared;
   telemetry::Counter& trials;
   std::array<telemetry::Counter*, 4> responses;
   telemetry::Histogram& trialUs;
@@ -102,6 +106,9 @@ struct CampaignMetrics {
         reg.counter("memsim.range_stores"),
         reg.counter("memsim.range_split_blocks"),
         reg.counter("campaign.range_accesses"),
+        reg.counter("memsim.postmortem_blocks_skipped"),
+        reg.counter("memsim.postmortem_blocks_compared"),
+        reg.counter("memsim.postmortem_bytes_compared"),
         reg.counter("campaign.trials"),
         {&reg.counter("campaign.responses.s1"), &reg.counter("campaign.responses.s2"),
          &reg.counter("campaign.responses.s3"), &reg.counter("campaign.responses.s4")},
@@ -145,6 +152,11 @@ struct CampaignMetrics {
     rangeStores.add(ev.rangeStores);
     rangeSplitBlocks.add(ev.rangeSplitBlocks);
     rangeAccesses.add(ev.rangeLoads + ev.rangeStores);
+    // Diagnostics of the post-mortem scan fast path: zero when --scan off,
+    // so they never feed equivalence comparisons either.
+    postmortemBlocksSkipped.add(ev.postmortemBlocksSkipped);
+    postmortemBlocksCompared.add(ev.postmortemBlocksCompared);
+    postmortemBytesCompared.add(ev.postmortemBytesCompared);
   }
 };
 
@@ -328,6 +340,9 @@ void addEvents(memsim::MemEvents& total, const memsim::MemEvents& run) {
   total.rangeLoads += run.rangeLoads;
   total.rangeStores += run.rangeStores;
   total.rangeSplitBlocks += run.rangeSplitBlocks;
+  total.postmortemBlocksSkipped += run.postmortemBlocksSkipped;
+  total.postmortemBlocksCompared += run.postmortemBlocksCompared;
+  total.postmortemBytesCompared += run.postmortemBytesCompared;
 }
 
 void encodeEvents(WireWriter& w, const memsim::MemEvents& ev) {
@@ -344,6 +359,9 @@ void encodeEvents(WireWriter& w, const memsim::MemEvents& ev) {
   w.u64(ev.rangeLoads);
   w.u64(ev.rangeStores);
   w.u64(ev.rangeSplitBlocks);
+  w.u64(ev.postmortemBlocksSkipped);
+  w.u64(ev.postmortemBlocksCompared);
+  w.u64(ev.postmortemBytesCompared);
 }
 
 memsim::MemEvents decodeEvents(WireReader& r) {
@@ -361,6 +379,9 @@ memsim::MemEvents decodeEvents(WireReader& r) {
   ev.rangeLoads = r.u64();
   ev.rangeStores = r.u64();
   ev.rangeSplitBlocks = r.u64();
+  ev.postmortemBlocksSkipped = r.u64();
+  ev.postmortemBlocksCompared = r.u64();
+  ev.postmortemBytesCompared = r.u64();
   return ev;
 }
 
@@ -551,8 +572,11 @@ std::string takeChildTrace() {
 void executeFault(FaultPlan::Kind kind, int responseFd) {
   switch (kind) {
     case FaultPlan::Kind::Segv: {
-      volatile int* bad = reinterpret_cast<volatile int*>(8);
-      *bad = 42;       // SIGSEGV
+      // The volatile address keeps the bogus pointer out of constant
+      // propagation, so -Werror=array-bounds accepts the deliberate wild
+      // store (GCC 12 rejects a literal reinterpret_cast'ed address).
+      volatile std::uintptr_t target = 8;
+      *reinterpret_cast<volatile int*>(target) = 42;  // SIGSEGV
       std::abort();    // unreachable belt-and-braces (still a Crashed death)
     }
     case FaultPlan::Kind::WildWrite: {
@@ -841,6 +865,7 @@ void CampaignRunner::installFault(Runtime& rt) const {
 GoldenStats CampaignRunner::goldenRun() const {
   Runtime rt(config_.cache);
   rt.setBulk(config_.bulk);
+  rt.setScan(config_.scan);
   rt.setPlan(config_.plan);
   rt.setTraceRun("golden");
   armProfile(rt);
@@ -1013,6 +1038,7 @@ struct ForkChildServer {
     const CampaignConfig& config = runner.config_;
     Runtime rt(config.cache);
     rt.setBulk(config.bulk);
+    rt.setScan(config.scan);
     rt.setPlan(config.plan);
     rt.setTraceRun("sweep");
     runner.armProfile(rt);
@@ -1714,6 +1740,7 @@ CampaignResult CampaignRunner::run() const {
     CampaignMetrics::get().sweepRuns.add();
     Runtime rt(config_.cache);
     rt.setBulk(config_.bulk);
+    rt.setScan(config_.scan);
     rt.setPlan(config_.plan);
     rt.setTraceRun("sweep");
     armProfile(rt);
@@ -2094,6 +2121,7 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
   // --- Crashing run -----------------------------------------------------
   Runtime rt(config_.cache);
   rt.setBulk(config_.bulk);
+  rt.setScan(config_.scan);
   rt.setPlan(config_.plan);
   rt.setCancelFlag(cancel);
   rt.setTraceRun("crash:" + std::to_string(trial));
@@ -2170,6 +2198,7 @@ void CampaignRunner::runRestart(const GoldenStats& golden, const SweepCapture& c
   // crashing run's cache-vs-NVM divergence needs the hierarchy simulated.
   restartRt.setDirect(true);
   restartRt.setBulk(config_.bulk);
+  restartRt.setScan(config_.scan);
   restartRt.setPlan(config_.plan);
   restartRt.setCancelFlag(cancel);
   restartRt.setTraceRun("restart:" + std::to_string(trial));

@@ -153,6 +153,12 @@ struct CampaignConfig {
   /// (docs/INTERNALS.md "Range access fast path"); off exists as the
   /// differential oracle and for perf comparisons.
   bool bulk = true;
+  /// Post-mortem scan fast path: dirty-block index + vectorized compare
+  /// kernel inside the runtime's inconsistency/snapshot reads. Off restores
+  /// the probe-every-level scalar walk. Both settings produce byte-identical
+  /// campaign results (docs/INTERNALS.md "Post-mortem scan"); off exists as
+  /// the differential oracle and for perf comparisons.
+  bool scan = true;
   /// App name stamped onto telemetry (trace common field + trial events).
   std::string appLabel;
   /// Render a live progress line on stderr: trials done, S1-S4 tally, ETA.

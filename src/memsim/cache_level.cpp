@@ -58,7 +58,10 @@ std::optional<std::uint32_t> CacheLevel::find(std::uint64_t blockAddr) const {
 
 void CacheLevel::noteRemoved(const Line& line) {
   --validCount_;
-  if (line.dirty) --dirtyCount_;
+  if (line.dirty) {
+    --dirtyCount_;
+    if (dirtyIndex_ != nullptr) dirtyIndex_->remove(line.blockAddr, levelId_);
+  }
   if (mruValid_ && mruBlock_ == line.blockAddr) mruValid_ = false;
 }
 
@@ -153,6 +156,11 @@ void CacheLevel::invalidateLine(std::uint32_t line) {
 }
 
 void CacheLevel::invalidateAll() {
+  if (dirtyIndex_ != nullptr && dirtyCount_ > 0) {
+    for (const Line& line : lines_) {
+      if (line.valid && line.dirty) dirtyIndex_->remove(line.blockAddr, levelId_);
+    }
+  }
   for (Line& line : lines_) {
     line.valid = false;
     line.dirty = false;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "easycrash/common/check.hpp"
+#include "easycrash/memsim/scan.hpp"
 #include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::memsim {
@@ -17,7 +18,11 @@ CacheHierarchy::CacheHierarchy(CacheConfig config, NvmStore& nvm)
   blockMask_ = config_.blockSize - 1;
   levels_.reserve(config_.levels.size());
   for (const CacheGeometry& g : config_.levels) levels_.emplace_back(g, config_.blockSize);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    levels_[i].attachDirtyIndex(&dirtyIndex_, static_cast<std::uint32_t>(i));
+  }
   fillScratch_.resize(config_.blockSize);
+  scanScratch_.resize(config_.blockSize);
 }
 
 std::size_t CacheHierarchy::lowestResidentLevel(std::uint64_t blockAddr) const {
@@ -25,6 +30,30 @@ std::size_t CacheHierarchy::lowestResidentLevel(std::uint64_t blockAddr) const {
     if (levels_[i].find(blockAddr)) return i;
   }
   return kNone;
+}
+
+CacheHierarchy::Resident CacheHierarchy::lowestResident(
+    std::uint64_t blockAddr) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (const auto line = levels_[i].find(blockAddr)) return {i, *line};
+  }
+  return {};
+}
+
+std::span<const std::uint8_t> CacheHierarchy::dirtyBlockData(
+    std::uint64_t blockAddr) const {
+  const DirtyBlockIndex::Owner own = dirtyIndex_.owner(blockAddr);
+  const CacheLevel& level = levels_[own.level];
+  std::uint32_t line = own.line;
+  if (!own.lineKnown) {
+    const auto probed = level.find(blockAddr);
+    EC_DCHECK_MSG(probed.has_value(), "dirty-indexed block not resident");
+    line = *probed;
+  }
+  EC_DCHECK_MSG(level.valid(line) && level.dirty(line) &&
+                    level.blockAddr(line) == blockAddr,
+                "dirty-index owner record out of sync");
+  return level.data(line);
 }
 
 void CacheHierarchy::handleEviction(std::size_t level, CacheLevel::Evicted& victim) {
@@ -297,6 +326,37 @@ void CacheHierarchy::flushRange(std::uint64_t addr, std::uint64_t size,
 }
 
 void CacheHierarchy::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  if (!scanFast_) {
+    peekScalar(addr, dst);
+    return;
+  }
+  if (dst.empty()) return;
+  // Only dirty-indexed blocks can hold a value diverging from NVM (a clean
+  // copy equals the level below it, down to NVM — the coherence invariant
+  // checkInvariants() asserts), so runs of non-indexed blocks are served
+  // with one bulk NVM read each and only indexed blocks pay cache probes.
+  const std::uint64_t end = addr + dst.size();
+  std::uint64_t runStart = addr;  // start of the pending NVM run
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(end - 1);
+  for (std::uint64_t base = first; base <= last; base += config_.blockSize) {
+    if (!dirtyIndex_.contains(base)) continue;
+    const std::uint64_t lo = std::max(base, addr);
+    const std::uint64_t hi = std::min(base + config_.blockSize, end);
+    if (lo > runStart) {
+      nvm_.read(runStart, {dst.data() + (runStart - addr), lo - runStart});
+    }
+    const auto src = dirtyBlockData(base);
+    std::memcpy(dst.data() + (lo - addr), src.data() + (lo - base), hi - lo);
+    runStart = hi;
+  }
+  if (runStart < end) {
+    nvm_.read(runStart, {dst.data() + (runStart - addr), end - runStart});
+  }
+}
+
+void CacheHierarchy::peekScalar(std::uint64_t addr,
+                                std::span<std::uint8_t> dst) const {
   std::uint64_t offset = 0;
   while (offset < dst.size()) {
     const std::uint64_t a = addr + offset;
@@ -304,12 +364,11 @@ void CacheHierarchy::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const
     const std::uint64_t inBlock = a - base;
     const std::uint64_t chunk =
         std::min<std::uint64_t>(config_.blockSize - inBlock, dst.size() - offset);
-    const std::size_t lowest = lowestResidentLevel(base);
-    if (lowest == kNone) {
+    const Resident res = lowestResident(base);
+    if (res.level == kNone) {
       nvm_.read(a, {dst.data() + offset, chunk});
     } else {
-      const auto line = levels_[lowest].find(base);
-      const auto src = levels_[lowest].data(*line);
+      const auto src = levels_[res.level].data(res.line);
       std::memcpy(dst.data() + offset, src.data() + inBlock, chunk);
     }
     offset += chunk;
@@ -318,6 +377,51 @@ void CacheHierarchy::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const
 
 std::uint64_t CacheHierarchy::inconsistentBytes(std::uint64_t addr,
                                                 std::uint64_t size) const {
+  if (size == 0) return 0;
+  if (!scanFast_) return inconsistentBytesScalar(addr, size);
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(addr + size - 1);
+  const std::uint64_t blocks = (last - first) / config_.blockSize + 1;
+  std::uint64_t count = 0;
+  std::uint64_t compared = 0;
+  std::uint64_t bytesCompared = 0;
+  dirtyIndex_.forEachIn(first, last, [&](std::uint64_t base) {
+    const auto cached = dirtyBlockData(base);
+    // Compare against the NVM image in place; the scratch copy only serves
+    // blocks the image does not fully back (those bytes read as zeros).
+    const std::uint8_t* image = nvm_.blockView(base).data();
+    if (image == nullptr) {
+      nvm_.read(base, scanScratch_);
+      image = scanScratch_.data();
+    }
+    // Only count bytes inside [addr, addr+size).
+    const std::uint64_t lo = std::max(base, addr);
+    const std::uint64_t hi = std::min(base + config_.blockSize, addr + size);
+    count += scan::countDiffBytes(cached.data() + (lo - base),
+                                  image + (lo - base), hi - lo);
+    ++compared;
+    bytesCompared += hi - lo;
+  });
+  events_.postmortemBlocksCompared += compared;
+  events_.postmortemBlocksSkipped += blocks - compared;
+  events_.postmortemBytesCompared += bytesCompared;
+  if (telemetry::tracing()) {
+    telemetry::TraceEvent("postmortem_scan")
+        .field("addr", addr)
+        .field("bytes", size)
+        .field("blocks", blocks)
+        .field("blocks_compared", compared)
+        .field("blocks_skipped", blocks - compared)
+        .field("bytes_compared", bytesCompared)
+        .field("diff", count)
+        .field("kernel", scan::kernelName(scan::activeKernel()))
+        .emit();
+  }
+  return count;
+}
+
+std::uint64_t CacheHierarchy::inconsistentBytesScalar(std::uint64_t addr,
+                                                      std::uint64_t size) const {
   if (size == 0) return 0;
   std::uint64_t count = 0;
   std::vector<std::uint8_t> nvmBlock(config_.blockSize);

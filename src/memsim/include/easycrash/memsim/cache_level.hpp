@@ -27,6 +27,7 @@
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/memsim/config.hpp"
+#include "easycrash/memsim/dirty_index.hpp"
 
 namespace easycrash::memsim {
 
@@ -102,8 +103,10 @@ class CacheLevel {
     if (l.dirty != value) {
       if (value) {
         ++dirtyCount_;
+        if (dirtyIndex_ != nullptr) dirtyIndex_->add(l.blockAddr, levelId_, line);
       } else {
         --dirtyCount_;
+        if (dirtyIndex_ != nullptr) dirtyIndex_->remove(l.blockAddr, levelId_);
       }
       l.dirty = value;
     }
@@ -130,6 +133,19 @@ class CacheLevel {
   }
   [[nodiscard]] std::uint64_t validLines() const { return validCount_; }
   [[nodiscard]] std::uint64_t dirtyLines() const { return dirtyCount_; }
+
+  /// Attach the owning hierarchy's dirty-block index: every dirty-membership
+  /// transition of a line in this level (setDirty flip, removal of a dirty
+  /// line, invalidateAll) is mirrored into it, so the post-mortem scan can
+  /// enumerate dirty-anywhere blocks without probing the levels. All levels
+  /// of one hierarchy share one index; `levelId` is this level's bit in the
+  /// per-block dirty mask and must be unique within the hierarchy, ordered
+  /// freshest-first (L1 = 0, or per-core caches before a shared LLC). The
+  /// index must outlive this level (or a later attach of nullptr).
+  void attachDirtyIndex(DirtyBlockIndex* index, std::uint32_t levelId) {
+    dirtyIndex_ = index;
+    levelId_ = levelId;
+  }
 
  private:
   struct Line {
@@ -159,6 +175,8 @@ class CacheLevel {
   std::uint64_t dirtyCount_ = 0;
   std::vector<Line> lines_;
   std::vector<std::uint8_t> storage_;
+  DirtyBlockIndex* dirtyIndex_ = nullptr;  ///< shared per-hierarchy, may be null
+  std::uint32_t levelId_ = 0;              ///< this level's bit in the dirty mask
 
   // One-entry MRU cache consulted by find() before the associative probe.
   // Invalidation rules: cleared whenever the cached block leaves this level

@@ -42,6 +42,16 @@ struct MemEvents {
   std::uint64_t rangeStores = 0;
   std::uint64_t rangeSplitBlocks = 0;
 
+  /// Diagnostics for the post-mortem scan fast path (inconsistentBytes with
+  /// the dirty-block index on): blocks skipped because no level held them
+  /// dirty, blocks handed to the compare kernel, and the bytes it compared.
+  /// Like the range counters these describe *how* the answer was computed,
+  /// not the answer itself — they are zero with setScanFastPath(false) and
+  /// excluded from the bit-identity equivalence contract.
+  std::uint64_t postmortemBlocksSkipped = 0;
+  std::uint64_t postmortemBlocksCompared = 0;
+  std::uint64_t postmortemBytesCompared = 0;
+
   [[nodiscard]] std::uint64_t totalFlushes() const {
     return flushDirty + flushClean + flushNonResident;
   }
@@ -76,6 +86,12 @@ struct MemEvents {
                   "MemEvents::delta: rangeStores not monotonic");
     EC_DCHECK_MSG(rangeSplitBlocks >= earlier.rangeSplitBlocks,
                   "MemEvents::delta: rangeSplitBlocks not monotonic");
+    EC_DCHECK_MSG(postmortemBlocksSkipped >= earlier.postmortemBlocksSkipped,
+                  "MemEvents::delta: postmortemBlocksSkipped not monotonic");
+    EC_DCHECK_MSG(postmortemBlocksCompared >= earlier.postmortemBlocksCompared,
+                  "MemEvents::delta: postmortemBlocksCompared not monotonic");
+    EC_DCHECK_MSG(postmortemBytesCompared >= earlier.postmortemBytesCompared,
+                  "MemEvents::delta: postmortemBytesCompared not monotonic");
     MemEvents d;
     d.loads = loads - earlier.loads;
     d.stores = stores - earlier.stores;
@@ -92,6 +108,9 @@ struct MemEvents {
     d.rangeLoads = rangeLoads - earlier.rangeLoads;
     d.rangeStores = rangeStores - earlier.rangeStores;
     d.rangeSplitBlocks = rangeSplitBlocks - earlier.rangeSplitBlocks;
+    d.postmortemBlocksSkipped = postmortemBlocksSkipped - earlier.postmortemBlocksSkipped;
+    d.postmortemBlocksCompared = postmortemBlocksCompared - earlier.postmortemBlocksCompared;
+    d.postmortemBytesCompared = postmortemBytesCompared - earlier.postmortemBytesCompared;
     return d;
   }
 };

@@ -20,6 +20,7 @@
 
 #include "easycrash/memsim/cache_level.hpp"
 #include "easycrash/memsim/config.hpp"
+#include "easycrash/memsim/dirty_index.hpp"
 #include "easycrash/memsim/events.hpp"
 #include "easycrash/memsim/nvm_store.hpp"
 
@@ -92,13 +93,30 @@ class CacheHierarchy {
   void flushRange(std::uint64_t addr, std::uint64_t size, FlushKind kind);
 
   /// Read the architecturally-current value (freshest cached copy, falling
-  /// back to NVM) without perturbing cache state or counters.
+  /// back to NVM) without perturbing cache state or counters. With the scan
+  /// fast path on, clean runs of blocks are served straight from NVM in bulk
+  /// reads (a clean block's copies match NVM by invariant) and only
+  /// dirty-indexed blocks pay a cache probe.
   void peek(std::uint64_t addr, std::span<std::uint8_t> dst) const;
 
   /// Bytes in [addr, addr+size) whose cached value differs from the NVM
-  /// image — the paper's per-object inconsistency measure (§3).
+  /// image — the paper's per-object inconsistency measure (§3). The fast
+  /// path iterates the dirty-block index (only dirty-anywhere blocks can
+  /// diverge) and counts differing bytes with the vectorized scan kernel;
+  /// setScanFastPath(false) restores the probe-every-level byte loop, the
+  /// differential oracle.
   [[nodiscard]] std::uint64_t inconsistentBytes(std::uint64_t addr,
                                                 std::uint64_t size) const;
+
+  /// Post-mortem scan fast-path control (dirty-block index + vectorized
+  /// compare in inconsistentBytes/peek). Both settings return bit-identical
+  /// results; off exists as the differential oracle and for perf comparison.
+  void setScanFastPath(bool on) noexcept { scanFast_ = on; }
+  [[nodiscard]] bool scanFastPath() const noexcept { return scanFast_; }
+
+  /// The incrementally-maintained dirty-anywhere block set (tests assert it
+  /// against a forEachValid walk of the levels).
+  [[nodiscard]] const DirtyBlockIndex& dirtyIndex() const { return dirtyIndex_; }
 
   /// Write every dirty block back to NVM (counted as modelled writes); lines
   /// stay resident and clean. Used by the coherent-snapshot ("verified")
@@ -166,16 +184,48 @@ class CacheHierarchy {
   /// from the LLC).
   void handleEviction(std::size_t level, CacheLevel::Evicted& victim);
 
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
   /// Lowest level (closest to the CPU) holding the block, or npos.
   [[nodiscard]] std::size_t lowestResidentLevel(std::uint64_t blockAddr) const;
 
-  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  /// Level and line of the freshest resident copy, found with one probe per
+  /// level (level == kNone when the block is not cached anywhere).
+  struct Resident {
+    std::size_t level = kNone;
+    std::uint32_t line = 0;
+  };
+  [[nodiscard]] Resident lowestResident(std::uint64_t blockAddr) const;
+
+  /// Freshest copy of a dirty-indexed block, served from the index's owner
+  /// record: zero probes when the line hint is live, one single-level probe
+  /// otherwise. Only valid while dirtyIndex_.contains(blockAddr).
+  [[nodiscard]] std::span<const std::uint8_t> dirtyBlockData(
+      std::uint64_t blockAddr) const;
+
+  /// Pre-index scalar references behind setScanFastPath(false): probe every
+  /// level for every block.
+  void peekScalar(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+  [[nodiscard]] std::uint64_t inconsistentBytesScalar(std::uint64_t addr,
+                                                      std::uint64_t size) const;
 
   CacheConfig config_;
   std::uint64_t blockMask_ = 0;  ///< blockSize - 1 (blockSize is power of two)
   NvmStore& nvm_;
   std::vector<CacheLevel> levels_;
-  MemEvents events_;
+  // Mutable so the const observation paths (peek/inconsistentBytes) can
+  // record their postmortem_* diagnostics — the same precedent as the
+  // CacheLevel MRU cache in find().
+  mutable MemEvents events_;
+
+  // Dirty-anywhere block set, maintained by the levels (attachDirtyIndex)
+  // and consumed by the post-mortem scan. scanFast_ gates the index +
+  // vectorized-kernel paths of peek/inconsistentBytes.
+  DirtyBlockIndex dirtyIndex_;
+  bool scanFast_ = true;
+  // Scratch NVM block for the scan (replaces a per-call allocation); mutable
+  // for the const observation paths, which are single-threaded per runtime.
+  mutable std::vector<std::uint8_t> scanScratch_;
 
   // Sampled access profile (enableAccessProfile). profileShift_ == 0 means
   // off; the slow path then skips one well-predicted branch and nothing else.

@@ -17,6 +17,7 @@
 
 #include "easycrash/memsim/cache_level.hpp"
 #include "easycrash/memsim/config.hpp"
+#include "easycrash/memsim/dirty_index.hpp"
 #include "easycrash/memsim/events.hpp"
 #include "easycrash/memsim/nvm_store.hpp"
 
@@ -77,12 +78,26 @@ class MulticoreSystem {
   void flushRange(std::uint64_t addr, std::uint64_t size, FlushKind kind);
 
   /// Architecturally-current value: the owning core's copy, else LLC/NVM.
+  /// With the scan fast path on, runs of blocks dirty nowhere are served
+  /// straight from NVM in bulk reads.
   void peek(std::uint64_t addr, std::span<std::uint8_t> dst) const;
 
   /// Bytes in [addr, addr+size) whose freshest cached value differs from
-  /// the NVM image (same definition as the single-core hierarchy).
+  /// the NVM image (same definition as the single-core hierarchy). The fast
+  /// path iterates the shared dirty-block index and compares with the
+  /// vectorized scan kernel; setScanFastPath(false) restores the
+  /// probe-every-cache byte loop.
   [[nodiscard]] std::uint64_t inconsistentBytes(std::uint64_t addr,
                                                 std::uint64_t size) const;
+
+  /// Post-mortem scan fast-path control — same contract as
+  /// CacheHierarchy::setScanFastPath: both settings are bit-identical, off
+  /// is the differential oracle.
+  void setScanFastPath(bool on) noexcept { scanFast_ = on; }
+  [[nodiscard]] bool scanFastPath() const noexcept { return scanFast_; }
+
+  /// Dirty-anywhere block set shared by every private cache and the LLC.
+  [[nodiscard]] const DirtyBlockIndex& dirtyIndex() const { return dirtyIndex_; }
 
   /// Power loss: every cache on every core is gone.
   void invalidateAll();
@@ -120,11 +135,33 @@ class MulticoreSystem {
   /// Freshest data for a block: Modified owner's copy > LLC > NVM.
   void freshestBlock(std::uint64_t blockAddr, std::span<std::uint8_t> out) const;
 
+  /// Freshest copy of a dirty-indexed block, served from the index's owner
+  /// record: zero probes when the line hint is live, one single-cache probe
+  /// otherwise. Only valid while dirtyIndex_.contains(blockAddr).
+  [[nodiscard]] std::span<const std::uint8_t> dirtyBlockData(
+      std::uint64_t blockAddr) const;
+
+  /// Pre-index scalar references behind setScanFastPath(false).
+  void peekScalar(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+  [[nodiscard]] std::uint64_t inconsistentBytesScalar(std::uint64_t addr,
+                                                      std::uint64_t size) const;
+
   MulticoreConfig config_;
   NvmStore& nvm_;
   std::vector<CacheLevel> private_;  // one per core
   CacheLevel llc_;
   std::vector<CoherenceEvents> events_;
+
+  // Dirty-anywhere block set shared by every private cache and the LLC
+  // (attachDirtyIndex in the constructor); its per-block mask absorbs a
+  // block dirty in a private cache and the LLC at once. scanFast_ gates the
+  // index + vectorized-kernel paths of peek/inconsistentBytes; the scan
+  // scratch block is mutable for the const observation paths (same
+  // precedent as the CacheLevel MRU cache) and only serves blocks the NVM
+  // image does not fully back.
+  DirtyBlockIndex dirtyIndex_;
+  bool scanFast_ = true;
+  mutable std::vector<std::uint8_t> scanImage_;
 
   // Reusable scratch buffers for the miss/evict/snoop flow (same rationale
   // as CacheHierarchy: steady-state coherence traffic allocates nothing).

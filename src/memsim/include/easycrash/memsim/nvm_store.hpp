@@ -22,6 +22,16 @@ class NvmStore {
   /// served as zeros without allocating backing storage.
   void read(std::uint64_t addr, std::span<std::uint8_t> dst) const;
 
+  /// Zero-copy view of one block of the materialised image, or an empty
+  /// span when the block is not fully backed (its bytes then read as zeros
+  /// via read()). The post-mortem scan compares cached blocks against this
+  /// view in place instead of copying every block through a scratch buffer;
+  /// the pointer is invalidated by any write that grows the image.
+  [[nodiscard]] std::span<const std::uint8_t> blockView(std::uint64_t addr) const {
+    if (addr + blockSize_ <= image_.size()) return {image_.data() + addr, blockSize_};
+    return {};
+  }
+
   /// Write one full cache block at block-aligned `addr`, counting the write.
   void writeBlock(std::uint64_t addr, std::span<const std::uint8_t> src);
 

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "easycrash/common/check.hpp"
+#include "easycrash/memsim/scan.hpp"
+#include "easycrash/telemetry/trace.hpp"
 
 namespace easycrash::memsim {
 
@@ -24,7 +26,14 @@ MulticoreSystem::MulticoreSystem(MulticoreConfig config, NvmStore& nvm)
     private_.emplace_back(config_.privateCache, config_.blockSize);
   }
   events_.resize(static_cast<std::size_t>(config_.cores));
+  // Mask ids are freshest-first: a dirty private copy (the Modified owner)
+  // is newer than a dirty LLC copy, so privates take the low bits.
+  for (std::size_t i = 0; i < private_.size(); ++i) {
+    private_[i].attachDirtyIndex(&dirtyIndex_, static_cast<std::uint32_t>(i));
+  }
+  llc_.attachDirtyIndex(&dirtyIndex_, static_cast<std::uint32_t>(private_.size()));
   fillScratch_.resize(config_.blockSize);
+  scanImage_.resize(config_.blockSize);
 }
 
 void MulticoreSystem::privateVictimToLlc(int core, const CacheLevel::Evicted& victim) {
@@ -206,6 +215,23 @@ void MulticoreSystem::storeRange(int core, std::uint64_t addr,
   }
 }
 
+std::span<const std::uint8_t> MulticoreSystem::dirtyBlockData(
+    std::uint64_t blockAddr) const {
+  const DirtyBlockIndex::Owner own = dirtyIndex_.owner(blockAddr);
+  const CacheLevel& cache =
+      own.level < private_.size() ? private_[own.level] : llc_;
+  std::uint32_t line = own.line;
+  if (!own.lineKnown) {
+    const auto probed = cache.find(blockAddr);
+    EC_DCHECK_MSG(probed.has_value(), "dirty-indexed block not resident");
+    line = *probed;
+  }
+  EC_DCHECK_MSG(cache.valid(line) && cache.dirty(line) &&
+                    cache.blockAddr(line) == blockAddr,
+                "dirty-index owner record out of sync");
+  return cache.data(line);
+}
+
 void MulticoreSystem::freshestBlock(std::uint64_t blockAddr,
                                     std::span<std::uint8_t> out) const {
   for (const auto& cache : private_) {
@@ -283,6 +309,36 @@ void MulticoreSystem::flushRange(std::uint64_t addr, std::uint64_t size,
 }
 
 void MulticoreSystem::peek(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+  if (!scanFast_) {
+    peekScalar(addr, dst);
+    return;
+  }
+  if (dst.empty()) return;
+  // Blocks dirty nowhere match NVM (MESI: a clean copy was filled from NVM
+  // or written back to it), so runs of non-indexed blocks are served with
+  // one bulk NVM read each; only indexed blocks resolve the freshest copy.
+  const std::uint64_t end = addr + dst.size();
+  std::uint64_t runStart = addr;
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(end - 1);
+  for (std::uint64_t base = first; base <= last; base += config_.blockSize) {
+    if (!dirtyIndex_.contains(base)) continue;
+    const std::uint64_t lo = std::max(base, addr);
+    const std::uint64_t hi = std::min(base + config_.blockSize, end);
+    if (lo > runStart) {
+      nvm_.read(runStart, {dst.data() + (runStart - addr), lo - runStart});
+    }
+    const auto src = dirtyBlockData(base);
+    std::memcpy(dst.data() + (lo - addr), src.data() + (lo - base), hi - lo);
+    runStart = hi;
+  }
+  if (runStart < end) {
+    nvm_.read(runStart, {dst.data() + (runStart - addr), end - runStart});
+  }
+}
+
+void MulticoreSystem::peekScalar(std::uint64_t addr,
+                                 std::span<std::uint8_t> dst) const {
   std::uint64_t offset = 0;
   std::vector<std::uint8_t> block(config_.blockSize);
   while (offset < dst.size()) {
@@ -299,6 +355,49 @@ void MulticoreSystem::peek(std::uint64_t addr, std::span<std::uint8_t> dst) cons
 
 std::uint64_t MulticoreSystem::inconsistentBytes(std::uint64_t addr,
                                                  std::uint64_t size) const {
+  if (size == 0) return 0;
+  if (!scanFast_) return inconsistentBytesScalar(addr, size);
+  const std::uint64_t first = blockBase(addr);
+  const std::uint64_t last = blockBase(addr + size - 1);
+  const std::uint64_t blocks = (last - first) / config_.blockSize + 1;
+  std::uint64_t count = 0;
+  std::uint64_t compared = 0;
+  std::uint64_t bytesCompared = 0;
+  dirtyIndex_.forEachIn(first, last, [&](std::uint64_t base) {
+    // The index owner record IS the freshest copy (the Modified owner, or
+    // the LLC when no private copy is dirty — a clean private copy equals
+    // the LLC's by MESI), so no freshestBlock() scratch copy and no
+    // probe-every-cache walk.
+    const auto fresh = dirtyBlockData(base);
+    const std::uint8_t* image = nvm_.blockView(base).data();
+    if (image == nullptr) {
+      nvm_.read(base, scanImage_);
+      image = scanImage_.data();
+    }
+    const std::uint64_t lo = std::max(base, addr);
+    const std::uint64_t hi = std::min(base + config_.blockSize, addr + size);
+    count += scan::countDiffBytes(fresh.data() + (lo - base),
+                                  image + (lo - base), hi - lo);
+    ++compared;
+    bytesCompared += hi - lo;
+  });
+  if (telemetry::tracing()) {
+    telemetry::TraceEvent("postmortem_scan")
+        .field("addr", addr)
+        .field("bytes", size)
+        .field("blocks", blocks)
+        .field("blocks_compared", compared)
+        .field("blocks_skipped", blocks - compared)
+        .field("bytes_compared", bytesCompared)
+        .field("diff", count)
+        .field("kernel", scan::kernelName(scan::activeKernel()))
+        .emit();
+  }
+  return count;
+}
+
+std::uint64_t MulticoreSystem::inconsistentBytesScalar(std::uint64_t addr,
+                                                       std::uint64_t size) const {
   if (size == 0) return 0;
   std::uint64_t count = 0;
   std::vector<std::uint8_t> fresh(config_.blockSize), image(config_.blockSize);

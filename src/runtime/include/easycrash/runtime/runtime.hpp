@@ -279,6 +279,13 @@ class Runtime {
   void setBulk(bool on) noexcept { bulk_ = on; }
   [[nodiscard]] bool bulk() const noexcept { return bulk_; }
 
+  /// Post-mortem scan fast-path control: when off, inconsistentRate and the
+  /// snapshot dumps fall back to the probe-every-level scalar walk. Both
+  /// settings are bit-identical (`nvct --scan off` and the differential
+  /// tests prove it); the state lives on the hierarchy, not the runtime.
+  void setScan(bool on) noexcept { hierarchy_.setScanFastPath(on); }
+  [[nodiscard]] bool scan() const noexcept { return hierarchy_.scanFastPath(); }
+
   // ---- Cooperative cancellation (campaign watchdog) --------------------------
 
   /// Install a cancellation flag polled by tracked accesses inside the crash

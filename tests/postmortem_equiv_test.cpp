@@ -1,0 +1,333 @@
+// Differential test of the post-mortem scan fast path (dirty-block index +
+// vectorized compare kernel) against its scalar references.
+//
+// The contract is bit-identity: inconsistentBytes and peek must return the
+// same answers with the fast path on, with it off (the probe-every-level
+// walk), and against an oracle computed from first principles — the
+// architecturally-current value (peek) diffed byte-by-byte against the NVM
+// image, which is the paper's definition of inconsistency. The compare
+// kernels themselves (portable word-at-a-time and AVX2) are additionally
+// differentially tested against a naive byte loop on awkward sizes, and the
+// incrementally-maintained dirty-block index is checked against a full
+// forEachValid walk of the levels after every mutation burst.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/common/rng.hpp"
+#include "easycrash/memsim/hierarchy.hpp"
+#include "easycrash/memsim/multicore.hpp"
+#include "easycrash/memsim/scan.hpp"
+
+namespace ms = easycrash::memsim;
+namespace scan = easycrash::memsim::scan;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compare-kernel unit tests.
+// ---------------------------------------------------------------------------
+
+std::uint64_t naiveDiff(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t n) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += a[i] != b[i] ? 1 : 0;
+  return count;
+}
+
+TEST(ScanKernel, PortableMatchesNaiveOnAwkwardSizes) {
+  easycrash::Rng rng(0x5CA11);
+  for (std::size_t n = 0; n <= 130; ++n) {
+    std::vector<std::uint8_t> a(n), b(n);
+    for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.below(256));
+    // Sparse diffs: copy then corrupt a few bytes, covering the all-equal,
+    // one-diff and dense cases.
+    b = a;
+    const std::uint64_t diffs = n == 0 ? 0 : rng.below(n + 1);
+    for (std::uint64_t d = 0; d < diffs; ++d) {
+      b[rng.below(n)] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    EXPECT_EQ(scan::countDiffBytesPortable(a.data(), b.data(), n),
+              naiveDiff(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(ScanKernel, Avx2MatchesPortable) {
+  if (!scan::avx2Available()) GTEST_SKIP() << "no AVX2 on this host";
+  easycrash::Rng rng(0xA5A5);
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{31},
+                        std::size_t{32}, std::size_t{33}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{100},
+                        std::size_t{256}, std::size_t{1000}}) {
+    for (int round = 0; round < 16; ++round) {
+      std::vector<std::uint8_t> a(n), b(n);
+      for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.below(256));
+      for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.below(256));
+      EXPECT_EQ(scan::countDiffBytesAvx2(a.data(), b.data(), n),
+                scan::countDiffBytesPortable(a.data(), b.data(), n))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(ScanKernel, ForcedKernelsAgreeThroughDispatch) {
+  std::vector<std::uint8_t> a(192), b(192);
+  easycrash::Rng rng(0xD15);
+  for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.below(256));
+  b = a;
+  b[0] ^= 0x80;
+  b[100] ^= 0x01;
+  b[191] ^= 0xFF;
+  scan::forceKernel(scan::Kernel::Portable);
+  const std::uint64_t viaPortable = scan::countDiffBytes(a.data(), b.data(), a.size());
+  EXPECT_EQ(scan::activeKernel(), scan::Kernel::Portable);
+  scan::forceKernel(scan::Kernel::Avx2);  // no-op when AVX2 is unavailable
+  const std::uint64_t viaForced = scan::countDiffBytes(a.data(), b.data(), a.size());
+  scan::resetKernel();
+  EXPECT_EQ(viaPortable, 3u);
+  EXPECT_EQ(viaForced, 3u);
+  // The memcmp prefilter must short-circuit the all-equal case.
+  EXPECT_EQ(scan::countDiffBytes(a.data(), a.data(), a.size()), 0u);
+  EXPECT_EQ(scan::countDiffBytes(a.data(), b.data(), 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy differential: fast path vs scalar walk vs first-principles oracle.
+// ---------------------------------------------------------------------------
+
+/// Distinct dirty-anywhere blocks collected by brute force from the levels.
+std::unordered_set<std::uint64_t> dirtyBlocksBruteForce(const ms::CacheHierarchy& h) {
+  std::unordered_set<std::uint64_t> dirty;
+  for (std::size_t i = 0; i < h.levelCount(); ++i) {
+    h.level(i).forEachValid(
+        [&](std::uint64_t blockAddr, bool isDirty, std::span<const std::uint8_t>) {
+          if (isDirty) dirty.insert(blockAddr);
+        });
+  }
+  return dirty;
+}
+
+void expectIndexCoherent(const ms::CacheHierarchy& h, std::uint64_t footprint) {
+  const auto expected = dirtyBlocksBruteForce(h);
+  ASSERT_EQ(h.dirtyIndex().size(), expected.size());
+  const std::uint32_t blockSize = h.config().blockSize;
+  for (std::uint64_t base = 0; base < footprint; base += blockSize) {
+    EXPECT_EQ(h.dirtyIndex().contains(base), expected.count(base) != 0)
+        << "block " << base;
+  }
+}
+
+/// inconsistentBytes from first principles: architectural value vs NVM image.
+std::uint64_t oracleInconsistent(const ms::CacheHierarchy& h, const ms::NvmStore& nvm,
+                                 std::uint64_t addr, std::uint64_t size) {
+  std::vector<std::uint8_t> current(size), image(size);
+  h.peek(addr, current);
+  nvm.read(addr, image);
+  return naiveDiff(current.data(), image.data(), size);
+}
+
+void runHierarchyDifferential(const ms::CacheConfig& config, std::uint64_t seed) {
+  ms::NvmStore nvm(config.blockSize);
+  ms::CacheHierarchy hier(config, nvm);
+  constexpr std::uint64_t kFootprint = 8 * 1024;
+  easycrash::Rng rng(seed);
+
+  for (int op = 0; op < 100000; ++op) {
+    const std::uint64_t kind = rng.below(100);
+    if (kind < 45) {
+      const std::uint64_t size = rng.between(1, 160);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      std::vector<std::uint8_t> buf(size);
+      for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.below(256));
+      hier.store(addr, buf);
+    } else if (kind < 70) {
+      const std::uint64_t size = rng.between(1, 160);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      std::vector<std::uint8_t> buf(size);
+      hier.load(addr, buf);
+    } else if (kind < 80) {
+      hier.flushBlock(rng.below(kFootprint), static_cast<ms::FlushKind>(rng.below(3)));
+    } else if (kind < 88) {
+      const std::uint64_t size = rng.between(1, 512);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      hier.flushRange(addr, size, static_cast<ms::FlushKind>(rng.below(3)));
+    } else if (kind < 90) {
+      hier.drainAll();
+    } else if (kind < 91) {
+      hier.invalidateAll();
+    } else if (kind < 96) {
+      // Post-mortem probe: fast vs scalar vs oracle on a random sub-range.
+      const std::uint64_t size = rng.between(1, 2048);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      hier.setScanFastPath(true);
+      const std::uint64_t fast = hier.inconsistentBytes(addr, size);
+      hier.setScanFastPath(false);
+      const std::uint64_t scalar = hier.inconsistentBytes(addr, size);
+      hier.setScanFastPath(true);
+      ASSERT_EQ(fast, scalar) << "op " << op;
+      ASSERT_EQ(fast, oracleInconsistent(hier, nvm, addr, size)) << "op " << op;
+    } else {
+      // Snapshot probe: peek fast vs scalar, byte-identical.
+      const std::uint64_t size = rng.between(1, 1024);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      std::vector<std::uint8_t> fast(size), scalar(size);
+      hier.setScanFastPath(true);
+      hier.peek(addr, fast);
+      hier.setScanFastPath(false);
+      hier.peek(addr, scalar);
+      hier.setScanFastPath(true);
+      ASSERT_EQ(fast, scalar) << "op " << op;
+    }
+    if (op % 5000 == 0) expectIndexCoherent(hier, kFootprint);
+  }
+  expectIndexCoherent(hier, kFootprint);
+  // Whole-footprint agreement at the end, under both forced kernels.
+  for (const scan::Kernel kernel : {scan::Kernel::Portable, scan::Kernel::Avx2}) {
+    scan::forceKernel(kernel);
+    hier.setScanFastPath(true);
+    const std::uint64_t fast = hier.inconsistentBytes(0, kFootprint);
+    hier.setScanFastPath(false);
+    const std::uint64_t scalar = hier.inconsistentBytes(0, kFootprint);
+    hier.setScanFastPath(true);
+    EXPECT_EQ(fast, scalar);
+    EXPECT_EQ(fast, oracleInconsistent(hier, nvm, 0, kFootprint));
+  }
+  scan::resetKernel();
+}
+
+TEST(PostmortemEquiv, TinyGeometry) {
+  runHierarchyDifferential(ms::CacheConfig::tiny(), 0xEC5EED01);
+}
+
+TEST(PostmortemEquiv, NonPowerOfTwoGeometry) {
+  ms::CacheConfig config;
+  config.blockSize = 64;
+  config.levels = {{6ULL * 64, 2}, {10ULL * 64, 2}, {28ULL * 64, 4}};
+  runHierarchyDifferential(config, 0xEC5EED02);
+}
+
+// After a crash (invalidateAll) the index must be empty and the whole
+// footprint consistent — the degenerate case the skip logic leans on.
+TEST(PostmortemEquiv, EmptyIndexAfterPowerLoss) {
+  ms::NvmStore nvm(64);
+  ms::CacheHierarchy hier(ms::CacheConfig::tiny(), nvm);
+  easycrash::Rng rng(0xDEAD);
+  std::vector<std::uint8_t> buf(64);
+  for (int i = 0; i < 200; ++i) {
+    for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.below(256));
+    hier.store(rng.below(4096 - buf.size()), buf);
+  }
+  EXPECT_GT(hier.dirtyIndex().size(), 0u);
+  hier.invalidateAll();
+  EXPECT_EQ(hier.dirtyIndex().size(), 0u);
+  EXPECT_EQ(hier.inconsistentBytes(0, 4096), 0u);
+  const auto& ev = hier.events();
+  EXPECT_EQ(ev.postmortemBlocksCompared, 0u);
+  EXPECT_EQ(ev.postmortemBlocksSkipped, 4096u / 64u);
+}
+
+// The postmortem_* counters are fast-path diagnostics: the scalar walk must
+// leave them untouched, and compared + skipped must tile the scanned range.
+TEST(PostmortemEquiv, CountersOnlyOnFastPath) {
+  ms::NvmStore nvm(64);
+  ms::CacheHierarchy hier(ms::CacheConfig::tiny(), nvm);
+  std::vector<std::uint8_t> buf(64, 0xAB);
+  hier.store(0, buf);
+  hier.store(640, buf);
+
+  hier.setScanFastPath(false);
+  (void)hier.inconsistentBytes(0, 4096);
+  EXPECT_EQ(hier.events().postmortemBlocksCompared, 0u);
+  EXPECT_EQ(hier.events().postmortemBlocksSkipped, 0u);
+  EXPECT_EQ(hier.events().postmortemBytesCompared, 0u);
+
+  hier.setScanFastPath(true);
+  (void)hier.inconsistentBytes(0, 4096);
+  EXPECT_EQ(hier.events().postmortemBlocksCompared, 2u);
+  EXPECT_EQ(hier.events().postmortemBlocksSkipped, 4096u / 64u - 2u);
+  EXPECT_EQ(hier.events().postmortemBytesCompared, 128u);
+}
+
+// ---------------------------------------------------------------------------
+// Multicore differential: MESI hierarchy, same three-way agreement.
+// ---------------------------------------------------------------------------
+
+std::uint64_t oracleInconsistentMc(const ms::MulticoreSystem& sys,
+                                   const ms::NvmStore& nvm, std::uint64_t addr,
+                                   std::uint64_t size) {
+  std::vector<std::uint8_t> current(size), image(size);
+  sys.peek(addr, current);
+  nvm.read(addr, image);
+  return naiveDiff(current.data(), image.data(), size);
+}
+
+TEST(PostmortemEquiv, Multicore) {
+  ms::MulticoreConfig config;
+  config.cores = 3;
+  config.privateCache = {4ULL * 64, 2};
+  config.sharedLlc = {16ULL * 64, 4};
+  ms::NvmStore nvm(config.blockSize);
+  ms::MulticoreSystem sys(config, nvm);
+  constexpr std::uint64_t kFootprint = 4 * 1024;
+  easycrash::Rng rng(0xC04E5);
+
+  for (int op = 0; op < 60000; ++op) {
+    const int core = static_cast<int>(rng.below(3));
+    const std::uint64_t kind = rng.below(100);
+    if (kind < 45) {
+      const std::uint64_t size = rng.between(1, 96);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      std::vector<std::uint8_t> buf(size);
+      for (auto& byte : buf) byte = static_cast<std::uint8_t>(rng.below(256));
+      sys.store(core, addr, buf);
+    } else if (kind < 70) {
+      const std::uint64_t size = rng.between(1, 96);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      std::vector<std::uint8_t> buf(size);
+      sys.load(core, addr, buf);
+    } else if (kind < 80) {
+      sys.flushBlock(rng.below(kFootprint), static_cast<ms::FlushKind>(rng.below(3)));
+    } else if (kind < 86) {
+      const std::uint64_t size = rng.between(1, 512);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      sys.flushRange(addr, size, static_cast<ms::FlushKind>(rng.below(3)));
+    } else if (kind < 88) {
+      sys.drainAll();
+    } else if (kind < 89) {
+      sys.invalidateAll();
+      EXPECT_EQ(sys.dirtyIndex().size(), 0u);
+    } else if (kind < 95) {
+      const std::uint64_t size = rng.between(1, 1024);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      sys.setScanFastPath(true);
+      const std::uint64_t fast = sys.inconsistentBytes(addr, size);
+      sys.setScanFastPath(false);
+      const std::uint64_t scalar = sys.inconsistentBytes(addr, size);
+      sys.setScanFastPath(true);
+      ASSERT_EQ(fast, scalar) << "op " << op;
+      ASSERT_EQ(fast, oracleInconsistentMc(sys, nvm, addr, size)) << "op " << op;
+    } else {
+      const std::uint64_t size = rng.between(1, 512);
+      const std::uint64_t addr = rng.below(kFootprint - size);
+      std::vector<std::uint8_t> fast(size), scalar(size);
+      sys.setScanFastPath(true);
+      sys.peek(addr, fast);
+      sys.setScanFastPath(false);
+      sys.peek(addr, scalar);
+      sys.setScanFastPath(true);
+      ASSERT_EQ(fast, scalar) << "op " << op;
+    }
+    if (op % 10000 == 0) sys.checkInvariants();
+  }
+  sys.setScanFastPath(true);
+  const std::uint64_t fast = sys.inconsistentBytes(0, kFootprint);
+  sys.setScanFastPath(false);
+  EXPECT_EQ(fast, sys.inconsistentBytes(0, kFootprint));
+}
+
+}  // namespace

@@ -24,8 +24,11 @@
 // Performance (docs/INTERNALS.md): by default one sweep run captures every
 // pending crash point and the restarts pipeline behind it (--sweep off
 // restores the one-crashing-run-per-trial path; results are byte-identical),
-// and the apps' range accesses take the block-granular bulk path (--bulk off
-// restores the per-element scalar path; results are byte-identical).
+// the apps' range accesses take the block-granular bulk path (--bulk off
+// restores the per-element scalar path; results are byte-identical), and the
+// post-mortem inconsistency scan walks a dirty-block index with a vectorized
+// compare kernel (--scan off restores the probe-every-level scalar walk;
+// results are byte-identical).
 //
 // Fault tolerance (docs/ROBUSTNESS.md): trials are isolated (a throwing
 // trial becomes a reported TrialFailure, bounded by --max-trial-failures),
@@ -121,6 +124,10 @@ int main(int argc, char** argv) {
                 "block-granular bulk path for the apps' range accesses "
                 "(on|off; off = per-element scalar path, byte-identical "
                 "results)");
+  cli.addString("scan", "on",
+                "post-mortem scan fast path: dirty-block index + vectorized "
+                "compare (on|off; off = probe-every-level scalar walk, "
+                "byte-identical results)");
   cli.addString("csv-out", "", "write the per-test CSV to this file");
   cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
   cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
@@ -220,6 +227,12 @@ int main(int argc, char** argv) {
       config.bulk = false;
     } else if (bulk != "on") {
       throw std::runtime_error("--bulk must be 'on' or 'off'");
+    }
+    const std::string scan = cli.getString("scan");
+    if (scan == "off") {
+      config.scan = false;
+    } else if (scan != "on") {
+      throw std::runtime_error("--scan must be 'on' or 'off'");
     }
     const std::string profile = cli.getString("profile");
     if (profile == "off") {

@@ -15,8 +15,10 @@
 // joining captures against trial_end rows breaks silently otherwise. The
 // flight recorder's phase spans (docs/OBSERVABILITY.md) are checked too: a
 // phase_begin must name its "phase" and a phase_end must additionally carry
-// a non-negative "duration_ns". --stats appends a name-sorted event-type
-// frequency table, a quick census of what a trace actually contains.
+// a non-negative "duration_ns", and a postmortem_scan must carry its block
+// tallies plus the compare kernel that ran. --stats appends a name-sorted
+// event-type frequency table, a quick census of what a trace actually
+// contains.
 //
 // Status mode validates one live snapshot written by nvct --status-out: a
 // single campaign_status object whose tallies are self-consistent
@@ -146,6 +148,26 @@ std::string lintSweepEvent(const json::Value& value, const std::string& type) {
   return {};
 }
 
+/// Per-type schema of the post-mortem scan's trace event: the fast-path
+/// inconsistency scan emits one postmortem_scan per scanned range, carrying
+/// its block tallies and the compare kernel that ran. skipped + compared
+/// must equal the range's block count, so both tallies are required.
+std::string lintPostmortemEvent(const json::Value& value, const std::string& type) {
+  if (type != "postmortem_scan") return {};
+  for (const char* name :
+       {"blocks", "blocks_compared", "blocks_skipped", "bytes_compared"}) {
+    double field = 0;
+    if (!numberField(value, name, &field) || field < 0) {
+      return std::string("postmortem_scan missing non-negative \"") + name + '"';
+    }
+  }
+  const json::Value* kernel = value.find("kernel");
+  if (kernel == nullptr || !kernel->isString() || kernel->string.empty()) {
+    return "postmortem_scan missing \"kernel\"";
+  }
+  return {};
+}
+
 int lintTrace(const std::string& path, const std::vector<std::string>& requiredFields,
               bool stats) {
   std::ifstream is(path);
@@ -189,7 +211,8 @@ int lintTrace(const std::string& path, const std::vector<std::string>& requiredF
     }
     for (const std::string& error2 : {lintSweepEvent(*value, type->string),
                                       lintPhaseEvent(*value, type->string),
-                                      lintWorkerEvent(*value, type->string)}) {
+                                      lintWorkerEvent(*value, type->string),
+                                      lintPostmortemEvent(*value, type->string)}) {
       if (!error2.empty()) {
         std::cerr << "trace_lint: " << path << ':' << lineNo << ": " << error2 << '\n';
         return 1;
