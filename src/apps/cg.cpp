@@ -30,27 +30,32 @@ using runtime::VerifyOutcome;
 
 class CgApp final : public AppBase {
  public:
-  static constexpr int kGrid = 40;             // kGrid^2 unknowns
-  static constexpr int kRows = kGrid * kGrid;  // 1600
-  static constexpr int kRestartEvery = 5;      // explicit CG restart period
+  static constexpr int kBaseGrid = 40;     // grid_^2 unknowns; 1600 at scale 1
+  static constexpr int kRestartEvery = 5;  // explicit CG restart period
   static constexpr int kNominalIterations = 40;
   static constexpr double kConvergeTol = 1.0e-8;  // on ||r||/||b||
   static constexpr double kVerifyTol = 1.0e-6;    // on true ||b-Ax||/||b||
 
-  CgApp() : AppBase("cg", "Sparse linear algebra") {}
+  /// `scale` multiplies the grid edge, so the footprint grows as scale^2.
+  /// The diagonal shift bounds the condition number independently of the
+  /// grid, so the iteration schedule survives scaling (--scale, EXPERIMENTS.md).
+  explicit CgApp(int scale = 1)
+      : AppBase("cg", "Sparse linear algebra"),
+        grid_(kBaseGrid * scale),
+        rows_(grid_ * grid_) {}
 
   void setup(Runtime& rt) override {
     rt.declareRegionCount(6);
     const int nnz = countNonZeros();
     vals_ = TrackedArray<double>(rt, "a_vals", nnz, /*candidate=*/false, true);
     cols_ = TrackedArray<std::int32_t>(rt, "a_cols", nnz, /*candidate=*/false, true);
-    rowPtr_ = TrackedArray<std::int32_t>(rt, "a_rowptr", kRows + 1,
+    rowPtr_ = TrackedArray<std::int32_t>(rt, "a_rowptr", rows_ + 1,
                                          /*candidate=*/false, true);
-    b_ = TrackedArray<double>(rt, "b", kRows, /*candidate=*/false, true);
-    x_ = TrackedArray<double>(rt, "x", kRows, /*candidate=*/true);
-    r_ = TrackedArray<double>(rt, "r", kRows, /*candidate=*/true);
-    p_ = TrackedArray<double>(rt, "p", kRows, /*candidate=*/true);
-    q_ = TrackedArray<double>(rt, "q", kRows, /*candidate=*/true);
+    b_ = TrackedArray<double>(rt, "b", rows_, /*candidate=*/false, true);
+    x_ = TrackedArray<double>(rt, "x", rows_, /*candidate=*/true);
+    r_ = TrackedArray<double>(rt, "r", rows_, /*candidate=*/true);
+    p_ = TrackedArray<double>(rt, "p", rows_, /*candidate=*/true);
+    q_ = TrackedArray<double>(rt, "q", rows_, /*candidate=*/true);
     rho_ = TrackedScalar<double>(rt, "rho", /*candidate=*/true);
     rnorm_ = TrackedScalar<double>(rt, "rnorm", /*candidate=*/true);
   }
@@ -61,10 +66,10 @@ class CgApp final : public AppBase {
     // b = A * x_exact for a deterministic x_exact, so the system has a known
     // solution and the acceptance verification can use the true residual.
     AppLcg lcg(777);
-    std::vector<double> xExact(kRows);
-    for (int i = 0; i < kRows; ++i) xExact[i] = lcg.nextDouble() - 0.5;
+    std::vector<double> xExact(rows_);
+    for (int i = 0; i < rows_; ++i) xExact[i] = lcg.nextDouble() - 0.5;
     bNorm_ = 0.0;
-    for (int row = 0; row < kRows; ++row) {
+    for (int row = 0; row < rows_; ++row) {
       double sum = 0.0;
       for (int k = rowPtr_.get(row); k < rowPtr_.get(row + 1); ++k) {
         sum += vals_.get(k) * xExact[cols_.get(k)];
@@ -92,11 +97,11 @@ class CgApp final : public AppBase {
         // deferring the writes cannot feed back into the computation.
         double rbuf[kChunk];
         int chunkStart = 0;
-        for (int row = 0; row < kRows; ++row) {
+        for (int row = 0; row < rows_; ++row) {
           const double ri = b_.get(row) - rowTimes(x_, row);
           rbuf[row - chunkStart] = ri;
           rho += ri * ri;
-          if (row - chunkStart + 1 == static_cast<int>(kChunk) || row == kRows - 1) {
+          if (row - chunkStart + 1 == static_cast<int>(kChunk) || row == rows_ - 1) {
             const auto n = static_cast<std::uint64_t>(row - chunkStart + 1);
             r_.writeRange(chunkStart, n, rbuf);
             p_.writeRange(chunkStart, n, rbuf);
@@ -117,8 +122,8 @@ class CgApp final : public AppBase {
         const double rhoOld = rho_.get();
         const double beta = rhoOld > 0.0 ? rho / rhoOld : 0.0;
         double rbuf[kChunk], pbuf[kChunk];
-        for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(kRows); i += kChunk) {
-          const std::uint64_t n = std::min<std::uint64_t>(kChunk, kRows - i);
+        for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(rows_); i += kChunk) {
+          const std::uint64_t n = std::min<std::uint64_t>(kChunk, rows_ - i);
           r_.readRange(i, n, rbuf);
           p_.readRange(i, n, pbuf);
           for (std::uint64_t j = 0; j < n; ++j) pbuf[j] = rbuf[j] + beta * pbuf[j];
@@ -131,7 +136,7 @@ class CgApp final : public AppBase {
     double pq = 0.0;
     {  // R3: q = A p (the dominant sparse mat-vec).
       RegionScope region(rt, 2);
-      for (int row = 0; row < kRows; ++row) {
+      for (int row = 0; row < rows_; ++row) {
         const double sum = rowTimes(p_, row);
         q_.set(row, sum);
         pq += p_.get(row) * sum;
@@ -174,7 +179,7 @@ class CgApp final : public AppBase {
     (void)rt;
     // True residual against the original system (not the recurrence value).
     double ss = 0.0;
-    for (int row = 0; row < kRows; ++row) {
+    for (int row = 0; row < rows_; ++row) {
       const double d = b_.get(row) - rowTimes(x_, row);
       ss += d * d;
     }
@@ -209,8 +214,8 @@ class CgApp final : public AppBase {
                 double alpha) {
     constexpr std::uint64_t kChunk = TrackedArray<double>::kChunkElems;
     double dbuf[kChunk], sbuf[kChunk];
-    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(kRows); i += kChunk) {
-      const std::uint64_t n = std::min<std::uint64_t>(kChunk, kRows - i);
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(rows_); i += kChunk) {
+      const std::uint64_t n = std::min<std::uint64_t>(kChunk, rows_ - i);
       dst.readRange(i, n, dbuf);
       src.readRange(i, n, sbuf);
       for (std::uint64_t j = 0; j < n; ++j) dbuf[j] += alpha * sbuf[j];
@@ -218,15 +223,15 @@ class CgApp final : public AppBase {
     }
   }
 
-  [[nodiscard]] static int countNonZeros() {
+  [[nodiscard]] int countNonZeros() const {
     int nnz = 0;
-    for (int j = 0; j < kGrid; ++j) {
-      for (int i = 0; i < kGrid; ++i) {
+    for (int j = 0; j < grid_; ++j) {
+      for (int i = 0; i < grid_; ++i) {
         nnz += 1;  // diagonal
         if (i > 0) ++nnz;
-        if (i < kGrid - 1) ++nnz;
+        if (i < grid_ - 1) ++nnz;
         if (j > 0) ++nnz;
-        if (j < kGrid - 1) ++nnz;
+        if (j < grid_ - 1) ++nnz;
       }
     }
     return nnz;
@@ -236,27 +241,29 @@ class CgApp final : public AppBase {
     // 5-point Laplacian plus small shift: SPD with condition number giving
     // restarted-CG convergence in ~kNominalIterations iterations.
     int k = 0;
-    for (int j = 0; j < kGrid; ++j) {
-      for (int i = 0; i < kGrid; ++i) {
-        const int row = j * kGrid + i;
+    for (int j = 0; j < grid_; ++j) {
+      for (int i = 0; i < grid_; ++i) {
+        const int row = j * grid_ + i;
         rowPtr_.set(row, k);
         const auto put = [&](int col, double v) {
           cols_.set(k, col);
           vals_.set(k, v);
           ++k;
         };
-        if (j > 0) put(row - kGrid, -1.0);
+        if (j > 0) put(row - grid_, -1.0);
         if (i > 0) put(row - 1, -1.0);
         put(row, 4.0 + kShift);
-        if (i < kGrid - 1) put(row + 1, -1.0);
-        if (j < kGrid - 1) put(row + kGrid, -1.0);
+        if (i < grid_ - 1) put(row + 1, -1.0);
+        if (j < grid_ - 1) put(row + grid_, -1.0);
       }
     }
-    rowPtr_.set(kRows, k);
+    rowPtr_.set(rows_, k);
   }
 
   static constexpr double kShift = 1.0;
 
+  const int grid_;
+  const int rows_;
   TrackedArray<double> vals_, b_, x_, r_, p_, q_;
   TrackedArray<std::int32_t> cols_, rowPtr_;
   TrackedScalar<double> rho_, rnorm_;
@@ -267,6 +274,10 @@ class CgApp final : public AppBase {
 
 runtime::AppFactory makeCg() {
   return [] { return std::make_unique<CgApp>(); };
+}
+
+runtime::AppFactory makeCgScaled(int scale) {
+  return [scale] { return std::make_unique<CgApp>(scale); };
 }
 
 }  // namespace easycrash::apps

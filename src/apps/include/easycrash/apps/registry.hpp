@@ -42,4 +42,17 @@ struct BenchmarkEntry {
 [[nodiscard]] runtime::AppFactory makeLulesh();
 [[nodiscard]] runtime::AppFactory makeKmeans();
 
+// Scaled variants (`nvct --scale`): the factor multiplies the app's problem
+// size (grid edge for cg/mg, point count for kmeans); scale 1 is the exact
+// default instance. Only these three scale — their verify disciplines are
+// size-independent (see EXPERIMENTS.md "Scaled footprints").
+[[nodiscard]] runtime::AppFactory makeCgScaled(int scale);
+[[nodiscard]] runtime::AppFactory makeMgScaled(int scale);
+[[nodiscard]] runtime::AppFactory makeKmeansScaled(int scale);
+
+/// Factory for `name` at `scale`. Scale 1 returns the registry factory for
+/// any app; scale > 1 throws std::runtime_error unless the app scales.
+[[nodiscard]] runtime::AppFactory scaledBenchmarkFactory(const std::string& name,
+                                                         int scale);
+
 }  // namespace easycrash::apps

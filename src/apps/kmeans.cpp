@@ -27,22 +27,25 @@ using runtime::VerifyOutcome;
 
 class KmeansApp final : public AppBase {
  public:
-  static constexpr int kPoints = 3584;
+  static constexpr int kBasePoints = 3584;  // at --scale 1
   static constexpr int kDim = 2;
   static constexpr int kClusters = 3;
   static constexpr int kNominalIterations = 36;  // matches the paper's count
   static constexpr double kShiftEps = 2.0e-5;    // convergence on centroid move
   static constexpr double kSseSlack = 1.02;      // verify: SSE within 2% of ref
 
-  KmeansApp() : AppBase("kmeans", "Data mining") {}
+  /// `scale` multiplies the point count; the cluster geometry (and with it
+  /// the centroid dynamics and iteration schedule) is scale-invariant.
+  explicit KmeansApp(int scale = 1)
+      : AppBase("kmeans", "Data mining"), numPoints_(kBasePoints * scale) {}
 
   void setup(Runtime& rt) override {
     rt.declareRegionCount(1);
-    points_ = TrackedArray<double>(rt, "points", kPoints * kDim,
+    points_ = TrackedArray<double>(rt, "points", numPoints_ * kDim,
                                    /*candidate=*/false, /*readOnly=*/true);
     centroids_ = TrackedArray<double>(rt, "centroids", kClusters * kDim,
                                       /*candidate=*/true);
-    membership_ = TrackedArray<std::int32_t>(rt, "membership", kPoints,
+    membership_ = TrackedArray<std::int32_t>(rt, "membership", numPoints_,
                                              /*candidate=*/true);
     accum_ = TrackedArray<double>(rt, "accum", kClusters * (kDim + 1),
                                   /*candidate=*/false);
@@ -57,8 +60,8 @@ class KmeansApp final : public AppBase {
     const double cx[kClusters] = {0.33, 0.5, 0.67};
     const double cy[kClusters] = {0.5, 0.5, 0.5};
     referenceSse_ = 0.0;
-    std::vector<double> pts(kPoints * kDim);
-    for (int i = 0; i < kPoints; ++i) {
+    std::vector<double> pts(static_cast<std::size_t>(numPoints_) * kDim);
+    for (int i = 0; i < numPoints_; ++i) {
       const int c = i % kClusters;
       const double gx = gaussianish(lcg), gy = gaussianish(lcg);
       pts[i * kDim + 0] = cx[c] + 0.14 * gx;
@@ -94,7 +97,7 @@ class KmeansApp final : public AppBase {
     // order of the scalar loop it replaces.
     double pt[kDim];
     double cen[kClusters * kDim];
-    for (int i = 0; i < kPoints; ++i) {
+    for (int i = 0; i < numPoints_; ++i) {
       points_.readRange(static_cast<std::uint64_t>(i) * kDim, kDim, pt);
       centroids_.readRange(0, kClusters * kDim, cen);
       double best = 1.0e300;
@@ -170,8 +173,8 @@ class KmeansApp final : public AppBase {
     AppLcg lcg(1234);
     const double cx[kClusters] = {0.33, 0.5, 0.67};
     const double cy[kClusters] = {0.5, 0.5, 0.5};
-    std::vector<double> pts(kPoints * kDim);
-    for (int i = 0; i < kPoints; ++i) {
+    std::vector<double> pts(static_cast<std::size_t>(numPoints_) * kDim);
+    for (int i = 0; i < numPoints_; ++i) {
       const int c = i % kClusters;
       AppLcg& l = lcg;
       const double gx = gaussianish(l), gy = gaussianish(l);
@@ -183,7 +186,7 @@ class KmeansApp final : public AppBase {
     for (int it = 0; it < 4 * kNominalIterations; ++it) {
       std::vector<double> acc(kClusters * (kDim + 1), 0.0);
       sse = 0.0;
-      for (int i = 0; i < kPoints; ++i) {
+      for (int i = 0; i < numPoints_; ++i) {
         double best = 1.0e300;
         int bestC = 0;
         for (int c = 0; c < kClusters; ++c) {
@@ -217,6 +220,7 @@ class KmeansApp final : public AppBase {
     return referenceSse_;
   }
 
+  const int numPoints_;  ///< point count (kBasePoints * scale)
   TrackedArray<double> points_, centroids_, accum_;
   TrackedArray<std::int32_t> membership_;
   TrackedScalar<double> shift_;
@@ -228,6 +232,10 @@ class KmeansApp final : public AppBase {
 
 runtime::AppFactory makeKmeans() {
   return [] { return std::make_unique<KmeansApp>(); };
+}
+
+runtime::AppFactory makeKmeansScaled(int scale) {
+  return [scale] { return std::make_unique<KmeansApp>(scale); };
 }
 
 }  // namespace easycrash::apps

@@ -22,6 +22,8 @@
 // fully recomputed before use every cycle).
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "easycrash/apps/app_base.hpp"
@@ -36,10 +38,14 @@ using runtime::TrackedArray;
 using runtime::TrackedScalar;
 using runtime::VerifyOutcome;
 
-constexpr int kMgN = 65;           // finest grid (kMgN x kMgN); levels need 2^k+1
-constexpr int kMgLevels = 4;       // 65, 33, 17, 9
+constexpr int kMgBaseN = 65;       // finest grid at --scale 1; levels need 2^k+1
+constexpr int kMgLevels = 4;       // 65, 33, 17, 9 at scale 1
 constexpr int kMgIterations = 10;  // V-cycles (paper: 20)
 constexpr double kMgBandEps = 1.0e-3;  // NPB-style two-sided verify epsilon
+
+/// Finest grid edge at `scale`: 64*scale + 1, so every level keeps the
+/// 2^k+1 structure the restriction/prolongation stencils rely on.
+constexpr int mgEdge(int scale) { return (kMgBaseN - 1) * scale + 1; }
 
 /// All MG numerics, templated over the field type so the tracked run and the
 /// host-side reference replay execute the identical floating-point sequence.
@@ -51,8 +57,9 @@ constexpr double kMgBandEps = 1.0e-3;  // NPB-style two-sided verify epsilon
 template <typename Field>
 class MgKernel {
  public:
-  MgKernel(Field u, Field r, Field v) : u_(u), r_(r), v_(v) {
-    size_[0] = kMgN;
+  MgKernel(Field u, Field r, Field v, int n0 = kMgBaseN)
+      : u_(u), r_(r), v_(v), n0_(n0), row_(static_cast<std::size_t>(5) * n0) {
+    size_[0] = n0_;
     offset_[0] = 0;
     for (int level = 1; level < kMgLevels; ++level) {
       size_[level] = (size_[level - 1] + 1) / 2;
@@ -60,8 +67,8 @@ class MgKernel {
     }
   }
 
-  [[nodiscard]] static constexpr int totalCells() {
-    int total = 0, n = kMgN;
+  [[nodiscard]] static constexpr int totalCells(int n0 = kMgBaseN) {
+    int total = 0, n = n0;
     for (int level = 0; level < kMgLevels; ++level) {
       total += n * n;
       n = (n + 1) / 2;
@@ -73,34 +80,42 @@ class MgKernel {
   /// r row move as bulk ranges; the stencil combines them from stack buffers
   /// in the same per-element order as the scalar loop.
   void fineResidual() {
-    double um[kMgN], uc[kMgN], up[kMgN], vrow[kMgN], rrow[kMgN];
-    for (int j = 1; j < kMgN - 1; ++j) {
-      u_.getRange((j - 1) * kMgN, kMgN, um);
-      u_.getRange(j * kMgN, kMgN, uc);
-      u_.getRange((j + 1) * kMgN, kMgN, up);
-      v_.getRange(j * kMgN + 1, kMgN - 2, vrow);
-      for (int i = 1; i < kMgN - 1; ++i) {
+    const int n = n0_;
+    // Row buffers live in one heap allocation (row_): the edge is a runtime
+    // value now, and at large --scale rows outgrow any sane stack frame.
+    double* um = row_.data();
+    double* uc = um + n;
+    double* up = uc + n;
+    double* vrow = up + n;
+    double* rrow = vrow + n;
+    for (int j = 1; j < n - 1; ++j) {
+      u_.getRange((j - 1) * n, n, um);
+      u_.getRange(j * n, n, uc);
+      u_.getRange((j + 1) * n, n, up);
+      v_.getRange(j * n + 1, n - 2, vrow);
+      for (int i = 1; i < n - 1; ++i) {
         const double lap = uc[i - 1] + uc[i + 1] + um[i] + up[i] - 4.0 * uc[i];
         rrow[i - 1] = vrow[i - 1] - lap;
       }
-      r_.setRange(j * kMgN + 1, kMgN - 2, rrow);
+      r_.setRange(j * n + 1, n - 2, rrow);
     }
   }
 
   [[nodiscard]] double residualNorm() {
+    const int n = n0_;
     double ss = 0.0;
-    double rrow[kMgN];
-    for (int j = 1; j < kMgN - 1; ++j) {
-      r_.getRange(j * kMgN + 1, kMgN - 2, rrow);
-      for (int i = 0; i < kMgN - 2; ++i) ss += rrow[i] * rrow[i];
+    double* rrow = row_.data();
+    for (int j = 1; j < n - 1; ++j) {
+      r_.getRange(j * n + 1, n - 2, rrow);
+      for (int i = 0; i < n - 2; ++i) ss += rrow[i] * rrow[i];
     }
-    return std::sqrt(ss / (kMgN * kMgN));
+    return std::sqrt(ss / (static_cast<double>(n) * n));
   }
 
   /// Solution diagnostics: checksum/extrema/profile sweeps over u, v and r
   /// (read-only — this models MG's periodic solution-output phase).
   [[nodiscard]] double diagnostics() {
-    constexpr int kCells = kMgN * kMgN;
+    const int kCells = n0_ * n0_;
     double a[kDiagChunk], b[kDiagChunk];
     double sum = 0.0, mx = 0.0;
     for (int k = 0; k < kCells; k += kDiagChunk) {
@@ -244,6 +259,8 @@ class MgKernel {
   static constexpr int kDiagChunk = 512;  ///< stack-buffer elements per range op
 
   Field u_, r_, v_;
+  int n0_;
+  std::vector<double> row_;  ///< five row-sized scratch buffers, concatenated
   int size_[kMgLevels] = {};
   int offset_[kMgLevels] = {};
 };
@@ -268,50 +285,58 @@ struct HostField {
   }
 };
 
-void fillRhs(std::vector<double>& v) {
+void fillRhs(std::vector<double>& v, int n) {
   AppLcg lcg(2024);
-  v.assign(kMgN * kMgN, 0.0);
-  for (int i = 0; i < kMgN * kMgN; ++i) {
-    const int x = i % kMgN, y = i / kMgN;
-    const bool boundary = x == 0 || y == 0 || x == kMgN - 1 || y == kMgN - 1;
-    const double sx = std::sin(M_PI * x / (kMgN - 1.0));
-    const double sy = std::sin(2.0 * M_PI * y / (kMgN - 1.0));
+  v.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n * n; ++i) {
+    const int x = i % n, y = i / n;
+    const bool boundary = x == 0 || y == 0 || x == n - 1 || y == n - 1;
+    const double sx = std::sin(M_PI * x / (n - 1.0));
+    const double sy = std::sin(2.0 * M_PI * y / (n - 1.0));
     v[i] = boundary ? 0.0 : sx * sy + 0.05 * (lcg.nextDouble() - 0.5);
   }
 }
 
 /// Reference residual norm after the nominal schedule (computed once per
-/// process; the NPB "verify value" analogue).
-double referenceRnorm() {
-  static const double value = [] {
-    const int total = MgKernel<HostField>::totalCells();
-    std::vector<double> u(total, 0.0), r(total, 0.0), v;
-    fillRhs(v);
-    MgKernel<HostField> kernel{HostField{&u}, HostField{&r}, HostField{&v}};
-    for (int it = 1; it <= kMgIterations; ++it) {
-      kernel.fineResidual();
-      (void)kernel.residualNorm();
-      (void)kernel.diagnostics();
-      kernel.vcycle();
-    }
-    // Final residual of the last committed state (matches the tracked app's
-    // verify(), which recomputes it after the last V-cycle).
+/// process and grid edge; the NPB "verify value" analogue).
+double referenceRnorm(int n0) {
+  static std::mutex mutex;
+  static std::map<int, double> cache;  // keyed by finest edge (--scale)
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(n0);
+  if (it != cache.end()) return it->second;
+  const int total = MgKernel<HostField>::totalCells(n0);
+  std::vector<double> u(total, 0.0), r(total, 0.0), v;
+  fillRhs(v, n0);
+  MgKernel<HostField> kernel{HostField{&u}, HostField{&r}, HostField{&v}, n0};
+  for (int iter = 1; iter <= kMgIterations; ++iter) {
     kernel.fineResidual();
-    return kernel.residualNorm();
-  }();
+    (void)kernel.residualNorm();
+    (void)kernel.diagnostics();
+    kernel.vcycle();
+  }
+  // Final residual of the last committed state (matches the tracked app's
+  // verify(), which recomputes it after the last V-cycle).
+  kernel.fineResidual();
+  const double value = kernel.residualNorm();
+  cache.emplace(n0, value);
   return value;
 }
 
 class MgApp final : public AppBase {
  public:
-  MgApp() : AppBase("mg", "Structured grids") {}
+  /// `scale` multiplies the finest grid edge (64*scale + 1), so the
+  /// footprint grows as scale^2 while the level structure and the verify
+  /// discipline (reference replay of the identical kernel) are unchanged.
+  explicit MgApp(int scale = 1)
+      : AppBase("mg", "Structured grids"), n0_(mgEdge(scale)) {}
 
   void setup(Runtime& rt) override {
     rt.declareRegionCount(4);
-    const int total = MgKernel<TrackedField>::totalCells();
+    const int total = MgKernel<TrackedField>::totalCells(n0_);
     u_ = TrackedArray<double>(rt, "u", total, /*candidate=*/true);
     r_ = TrackedArray<double>(rt, "r", total, /*candidate=*/true);
-    v_ = TrackedArray<double>(rt, "v", kMgN * kMgN, /*candidate=*/false,
+    v_ = TrackedArray<double>(rt, "v", n0_ * n0_, /*candidate=*/false,
                               /*readOnly=*/true);
     rnorm_ = TrackedScalar<double>(rt, "rnorm", /*candidate=*/true);
     diag_ = TrackedScalar<double>(rt, "diag", /*candidate=*/true);
@@ -322,7 +347,7 @@ class MgApp final : public AppBase {
     u_.fill(0.0);
     r_.fill(0.0);
     std::vector<double> v;
-    fillRhs(v);
+    fillRhs(v, n0_);
     v_.writeRange(0, v.size(), v.data());
     rnorm_.set(1.0);
     diag_.set(0.0);
@@ -331,7 +356,7 @@ class MgApp final : public AppBase {
   void iterate(Runtime& rt, int iteration) override {
     (void)iteration;
     MgKernel<TrackedField> kernel{TrackedField{&u_}, TrackedField{&r_},
-                                  TrackedField{&v_}};
+                                  TrackedField{&v_}, n0_};
     {  // R1: fine residual (reads u/v, writes r).
       RegionScope region(rt, 0);
       kernel.fineResidual();
@@ -361,10 +386,10 @@ class MgApp final : public AppBase {
     // NPB-style verification: the residual norm of the final solution must
     // sit inside a relative band around the reference value.
     MgKernel<TrackedField> kernel{TrackedField{&u_}, TrackedField{&r_},
-                                  TrackedField{&v_}};
+                                  TrackedField{&v_}, n0_};
     kernel.fineResidual();
     const double rnorm = kernel.residualNorm();
-    const double ref = referenceRnorm();
+    const double ref = referenceRnorm(n0_);
     VerifyOutcome out;
     out.metric = std::abs(rnorm - ref) / ref;
     out.pass = std::isfinite(out.metric) && out.metric <= kMgBandEps;
@@ -374,6 +399,7 @@ class MgApp final : public AppBase {
   }
 
  private:
+  const int n0_;  ///< finest grid edge
   TrackedArray<double> u_, r_, v_;
   TrackedScalar<double> rnorm_, diag_;
 };
@@ -382,6 +408,10 @@ class MgApp final : public AppBase {
 
 runtime::AppFactory makeMg() {
   return [] { return std::make_unique<MgApp>(); };
+}
+
+runtime::AppFactory makeMgScaled(int scale) {
+  return [scale] { return std::make_unique<MgApp>(scale); };
 }
 
 }  // namespace easycrash::apps

@@ -28,6 +28,16 @@ const BenchmarkEntry& findBenchmark(const std::string& name) {
   throw std::runtime_error("unknown benchmark: " + name);
 }
 
+runtime::AppFactory scaledBenchmarkFactory(const std::string& name, int scale) {
+  if (scale < 1) throw std::runtime_error("--scale must be >= 1");
+  if (scale == 1) return findBenchmark(name).factory;
+  if (name == "cg") return makeCgScaled(scale);
+  if (name == "mg") return makeMgScaled(scale);
+  if (name == "kmeans") return makeKmeansScaled(scale);
+  throw std::runtime_error("--scale > 1 is only supported for cg, mg and "
+                           "kmeans; '" + name + "' has a fixed problem size");
+}
+
 std::vector<std::string> evaluatedBenchmarkNames() {
   std::vector<std::string> names;
   for (const auto& entry : allBenchmarks()) {

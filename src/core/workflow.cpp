@@ -84,6 +84,12 @@ WorkflowResult runEasyCrashWorkflow(const runtime::AppFactory& factory,
   base.numTests = config.testsPerCampaign;
   base.seed = config.seed;
   base.cache = config.cache;
+  base.monitor = config.monitor;
+  // The Equation-5 time model below consumes golden MemEvents from the
+  // baseline and persist-everywhere campaigns, so even under sampled
+  // monitoring the workflow keeps its golden runs fully cache-simulated.
+  // Crashing runs still benefit from the demotion routing.
+  base.monitor.trackedGolden = true;
   base.resilience = config.resilience;
   {
     PhaseSpan phase("baseline_campaign");

@@ -25,6 +25,7 @@
 
 #include "easycrash/common/check.hpp"
 #include "easycrash/common/rng.hpp"
+#include "easycrash/memsim/region_monitor.hpp"
 #include "easycrash/crash/report.hpp"
 #include "easycrash/crash/resilience.hpp"
 #include "easycrash/crash/status.hpp"
@@ -65,6 +66,15 @@ struct CampaignMetrics {
   telemetry::Counter& postmortemBlocksSkipped;
   telemetry::Counter& postmortemBlocksCompared;
   telemetry::Counter& postmortemBytesCompared;
+  /// Adaptive region monitor (sampled mode only; all zero under --monitor
+  /// full, so they never feed equivalence comparisons).
+  telemetry::Counter& regionSamples;
+  telemetry::Counter& regionSplits;
+  telemetry::Counter& regionMerges;
+  telemetry::Counter& monitorRuns;
+  telemetry::Counter& monitorDemotedObjects;
+  telemetry::Counter& monitorDemotedBytes;
+  telemetry::Counter& monitorTrackedObjects;
   telemetry::Counter& trials;
   std::array<telemetry::Counter*, 4> responses;
   telemetry::Histogram& trialUs;
@@ -109,6 +119,13 @@ struct CampaignMetrics {
         reg.counter("memsim.postmortem_blocks_skipped"),
         reg.counter("memsim.postmortem_blocks_compared"),
         reg.counter("memsim.postmortem_bytes_compared"),
+        reg.counter("memsim.region_samples"),
+        reg.counter("memsim.region_splits"),
+        reg.counter("memsim.region_merges"),
+        reg.counter("campaign.monitor_runs"),
+        reg.counter("campaign.monitor_demoted_objects"),
+        reg.counter("campaign.monitor_demoted_bytes"),
+        reg.counter("campaign.monitor_tracked_objects"),
         reg.counter("campaign.trials"),
         {&reg.counter("campaign.responses.s1"), &reg.counter("campaign.responses.s2"),
          &reg.counter("campaign.responses.s3"), &reg.counter("campaign.responses.s4")},
@@ -688,6 +705,14 @@ const char* toString(FaultPlan::Kind kind) {
   return "?";
 }
 
+std::vector<std::string> MonitorSummary::demotedNames() const {
+  std::vector<std::string> names;
+  for (const auto& object : objects) {
+    if (object.demoted) names.push_back(object.name);
+  }
+  return names;
+}
+
 double CampaignResult::recomputability() const {
   if (tests.empty()) return 0.0;
   const auto counts = responseCounts();
@@ -862,15 +887,28 @@ void CampaignRunner::installFault(Runtime& rt) const {
   });
 }
 
-GoldenStats CampaignRunner::goldenRun() const {
+GoldenStats CampaignRunner::goldenRun(memsim::RegionMonitor* monitor) const {
   Runtime rt(config_.cache);
+  // Sampled monitoring folds the golden run and the monitoring pre-pass into
+  // ONE direct-mode run: the monitor samples the access stream, which is
+  // identical whether or not the cache hierarchy simulates it, and every
+  // golden output the campaign depends on (windowAccesses and with it the
+  // pre-drawn crash sequence, finalIteration, verify metric, region shares)
+  // is a function of the access stream and the architectural values — both
+  // routing-independent. Skipping the cache simulation here is the bulk of
+  // the sampled mode's large-footprint win.
+  if (monitor != nullptr && !config_.monitor.trackedGolden) rt.setDirect(true);
   rt.setBulk(config_.bulk);
   rt.setScan(config_.scan);
   rt.setPlan(config_.plan);
   rt.setTraceRun("golden");
+  // Installed before setup so the apps' setup-phase writes are sampled too —
+  // a candidate written only during setup must not look dead.
+  if (monitor != nullptr) rt.setMonitor(monitor);
   armProfile(rt);
   auto app = factory_();
   const auto result = Driver::freshRun(*app, rt);
+  rt.setMonitor(nullptr);
   CampaignMetrics::get().recordRun(rt.events());
   accumulateProfile(rt);
   EC_CHECK_MSG(!result.interrupted, "golden run interrupted: " + result.interruptReason);
@@ -898,6 +936,99 @@ GoldenStats CampaignRunner::goldenRun() const {
   return golden;
 }
 
+void CampaignRunner::buildMonitorSummary(const memsim::RegionMonitor& monitor,
+                                         const GoldenStats& golden) const {
+  // Objects flushed by the persistence plan keep full tracking regardless of
+  // their sampled activity: demoting them would change what the plan's
+  // flush ops write to NVM.
+  std::vector<runtime::ObjectId> planObjects;
+  for (const auto& [point, directive] : config_.plan.points) {
+    planObjects.insert(planObjects.end(), directive.objects.begin(),
+                       directive.objects.end());
+  }
+
+  MonitorSummary summary;
+  summary.active = true;
+  summary.samples = monitor.totalSamples();
+  summary.splits = monitor.totalSplits();
+  summary.merges = monitor.totalMerges();
+  const auto& monitored = monitor.objects();
+  const auto& objects = golden.objects;
+  EC_CHECK_MSG(monitored.size() == objects.size(),
+               "region monitor lost track of the object set");
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const runtime::DataObjectInfo& info = objects[i];
+    const memsim::MonitoredObject& mon = monitored[i];
+    EC_CHECK(mon.id == info.id);
+    MonitorObjectStats stats;
+    stats.id = info.id;
+    stats.name = info.name;
+    stats.bytes = info.bytes;
+    stats.candidate = info.candidate;
+    stats.samples = mon.samples;
+    stats.writes = mon.writes;
+    stats.windowWrites = mon.windowWrites;
+    for (const auto& region : mon.regions) {
+      stats.regions.push_back(
+          {region.base, region.bytes, region.samples, region.writes});
+    }
+    // Demotion policy: large non-candidates leave full value tracking.
+    // Candidates never demote — their crash-time inconsistency rates are
+    // the Spearman selection's input, and with demoted blocks keeping
+    // metadata-only residency (Runtime::setDemotedNames) the tracked
+    // candidates then behave bit-identically to full mode. Small objects
+    // stay too (cheap, and region stats on them carry little signal), as
+    // do plan-flushed objects (their flush ops must keep writing real
+    // payload back to NVM).
+    const bool inPlan = std::find(planObjects.begin(), planObjects.end(),
+                                  info.id) != planObjects.end();
+    stats.demoted =
+        info.bytes > config_.monitor.smallObjectBytes && !inPlan && !info.candidate;
+    if (stats.demoted) {
+      ++summary.demotedObjects;
+      summary.demotedBytes += info.bytes;
+    } else {
+      ++summary.trackedObjects;
+      summary.trackedBytes += info.bytes;
+    }
+    summary.objects.push_back(std::move(stats));
+  }
+  monitorState_ = std::move(summary);
+
+  auto& metrics = CampaignMetrics::get();
+  metrics.monitorRuns.add();
+  metrics.regionSamples.add(monitorState_.samples);
+  metrics.regionSplits.add(monitorState_.splits);
+  metrics.regionMerges.add(monitorState_.merges);
+  metrics.monitorDemotedObjects.add(monitorState_.demotedObjects);
+  metrics.monitorDemotedBytes.add(monitorState_.demotedBytes);
+  metrics.monitorTrackedObjects.add(monitorState_.trackedObjects);
+
+  if (telemetry::tracing()) {
+    for (const auto& stats : monitorState_.objects) {
+      telemetry::TraceEvent("region_snapshot")
+          .field("run", "golden")
+          .field("object", stats.name)
+          .field("bytes", stats.bytes)
+          .field("regions", static_cast<std::uint64_t>(stats.regions.size()))
+          .field("samples", stats.samples)
+          .field("writes", stats.writes)
+          .field("window_writes", stats.windowWrites)
+          .field("demoted", stats.demoted)
+          .emit();
+    }
+  }
+  EC_LOG_INFO("region monitor: " << monitorState_.samples << " samples, "
+                                 << monitorState_.demotedObjects
+                                 << " objects demoted ("
+                                 << monitorState_.demotedBytes << " bytes)");
+}
+
+void CampaignRunner::applyMonitorRouting(Runtime& rt) const {
+  if (!monitorState_.active) return;
+  rt.setDemotedNames(monitorState_.demotedNames());
+}
+
 namespace {
 
 /// Throws unless the resumed journal was drawn for exactly this campaign.
@@ -913,6 +1044,7 @@ void checkHeaderMatches(const JournalHeader& journal, const JournalHeader& ours,
   if (journal.mode != ours.mode) mismatch("snapshot mode");
   if (journal.planFingerprint != ours.planFingerprint) mismatch("persistence plan");
   if (journal.windowAccesses != ours.windowAccesses) mismatch("golden crash window");
+  if (journal.monitor != ours.monitor) mismatch("monitor mode");
 }
 
 }  // namespace
@@ -1040,6 +1172,7 @@ struct ForkChildServer {
     rt.setBulk(config.bulk);
     rt.setScan(config.scan);
     rt.setPlan(config.plan);
+    runner.applyMonitorRouting(rt);
     rt.setTraceRun("sweep");
     runner.armProfile(rt);
     try {
@@ -1145,12 +1278,34 @@ CampaignResult CampaignRunner::run() const {
 
   CampaignResult result;
   result.plannedTests = config_.numTests;
+  monitorState_ = MonitorSummary{};
+
+  // Sampled monitoring: the adaptive region monitor rides the golden run in
+  // the parent, before any crash index is drawn or worker forked — summary
+  // and demotion set are identical at any --threads and --isolation. The
+  // monitor samples the access stream, so windowAccesses — and with it the
+  // whole pre-drawn crash sequence — is identical to a full-monitoring
+  // campaign even when the golden run goes direct (monitor.trackedGolden
+  // unset): the stream does not depend on the cache simulation.
+  std::optional<memsim::RegionMonitor> monitor;
+  if (config_.monitor.mode == MonitorMode::Sampled) {
+    memsim::RegionMonitorConfig monitorConfig;
+    monitorConfig.seed = config_.seed;
+    monitorConfig.sampleInterval = config_.monitor.sampleInterval;
+    monitorConfig.maxRegionsPerObject = config_.monitor.maxRegionsPerObject;
+    monitorConfig.aggregateEvery = config_.monitor.aggregateEvery;
+    monitor.emplace(monitorConfig);
+  }
+
   const auto goldenStart = std::chrono::steady_clock::now();
-  result.golden = goldenRun();
+  result.golden = goldenRun(monitor ? &*monitor : nullptr);
   const auto goldenMs = std::chrono::duration_cast<std::chrono::milliseconds>(
                             std::chrono::steady_clock::now() - goldenStart)
                             .count();
   EC_CHECK_MSG(result.golden.windowAccesses > 0, "empty crash window");
+
+  if (monitor) buildMonitorSummary(*monitor, result.golden);
+  result.monitor = monitorState_;
 
   // Pre-draw every crash point so the campaign is identical regardless of
   // the number of worker threads — and so a resumed campaign re-draws the
@@ -1169,6 +1324,7 @@ CampaignResult CampaignRunner::run() const {
   header.mode = config_.mode == SnapshotMode::NvmImage ? "nvm" : "coherent";
   header.planFingerprint = planFingerprint(config_.plan);
   header.windowAccesses = result.golden.windowAccesses;
+  header.monitor = monitorState_.active ? "sampled" : "";
 
   // Per-index decision slots. A trial is decided once it has a record or a
   // failure; interruption simply leaves the rest unset.
@@ -1302,12 +1458,18 @@ CampaignResult CampaignRunner::run() const {
           "trial watchdog requested but the cancellation poll is compiled out "
           "(EASYCRASH_WATCHDOG=OFF); deadlines are disabled");
     } else {
+      // Under sampled monitoring the golden run is direct-mode and several
+      // times cheaper than the tracked crashing runs the deadline must
+      // cover; scale the base so --timeout-golden-multiple keeps its
+      // tracked-golden meaning.
+      const double timeoutBaseMs =
+          static_cast<double>(goldenMs) *
+          (monitor && !config_.monitor.trackedGolden ? 10.0 : 1.0);
       timeoutMs = res.trialTimeoutMs > 0
                       ? res.trialTimeoutMs
                       : std::max<std::uint64_t>(
                             1000, static_cast<std::uint64_t>(
-                                      static_cast<double>(goldenMs) *
-                                      res.goldenTimeoutMultiple));
+                                      timeoutBaseMs * res.goldenTimeoutMultiple));
       // One slot per restart worker plus, under the sweep, a slot for the
       // producer's crashing run (re-armed at every capture, suspended while
       // parked on restart backpressure).
@@ -1742,6 +1904,7 @@ CampaignResult CampaignRunner::run() const {
     rt.setBulk(config_.bulk);
     rt.setScan(config_.scan);
     rt.setPlan(config_.plan);
+    applyMonitorRouting(rt);
     rt.setTraceRun("sweep");
     armProfile(rt);
     if (watchdog) rt.setCancelFlag(&watchdog->arm(slot));
@@ -2123,6 +2286,7 @@ void CampaignRunner::runOneTest(const GoldenStats& golden, std::uint64_t crashIn
   rt.setBulk(config_.bulk);
   rt.setScan(config_.scan);
   rt.setPlan(config_.plan);
+  applyMonitorRouting(rt);
   rt.setCancelFlag(cancel);
   rt.setTraceRun("crash:" + std::to_string(trial));
   armProfile(rt);

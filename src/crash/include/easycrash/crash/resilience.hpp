@@ -109,6 +109,10 @@ struct JournalHeader {
   std::string mode;  ///< "nvm" | "coherent"
   std::uint64_t planFingerprint = 0;
   std::uint64_t windowAccesses = 0;
+  /// "sampled" when the campaign ran with the region-sampled monitor, empty
+  /// for full monitoring. Serialized only when non-empty, so full-mode
+  /// journals are byte-identical to journals from before the field existed.
+  std::string monitor;
 };
 
 /// FNV-1a over the plan's points/frequencies/objects — cheap identity check

@@ -237,6 +237,12 @@ std::string serializeHeader(const JournalHeader& h) {
   // through the JSON reader's double representation (2^53 mantissa).
   line += ",\"plan_fingerprint\":\"" + std::to_string(h.planFingerprint) + '"';
   line += ",\"window_accesses\":" + std::to_string(h.windowAccesses);
+  // Only sampled campaigns stamp the monitor mode: full-mode journals stay
+  // byte-identical to journals written before the field existed.
+  if (!h.monitor.empty()) {
+    line += ",\"monitor\":";
+    appendQuoted(line, h.monitor);
+  }
   // Declares the append-only segment discipline: records after the base
   // segment may repeat or reorder test indices (last one wins on load).
   // Legacy journals lack the field and stay strictly index-sorted.
@@ -562,6 +568,14 @@ JournalReplay readJournal(const std::string& path) {
           std::stoull(str(*value, "plan_fingerprint"));
       replay.header.windowAccesses =
           static_cast<std::uint64_t>(num(*value, "window_accesses"));
+      // Absent in full-mode and legacy journals (see serializeHeader).
+      const json::Value* monitor = value->find("monitor");
+      if (monitor != nullptr) {
+        if (!monitor->isString()) {
+          throw std::runtime_error("journal: \"monitor\" is not a string");
+        }
+        replay.header.monitor = monitor->string;
+      }
       sawHeader = true;
       continue;
     }

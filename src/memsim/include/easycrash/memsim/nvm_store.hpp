@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -19,8 +20,17 @@ class NvmStore {
 
   /// Read `dst.size()` bytes starting at `addr` (zero-filled if never
   /// written). Reads never grow the materialised image: unbacked bytes are
-  /// served as zeros without allocating backing storage.
-  void read(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+  /// served as zeros without allocating backing storage. Inline fast path:
+  /// direct-mode runs (golden under sampled monitoring, restarts, demoted
+  /// accesses) issue one of these per tracked element, so the fully-backed
+  /// common case must stay a bounds check + memcpy.
+  void read(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+    if (addr <= image_.size() && dst.size() <= image_.size() - addr) [[likely]] {
+      std::memcpy(dst.data(), image_.data() + addr, dst.size());
+      return;
+    }
+    readSlow(addr, dst);
+  }
 
   /// Zero-copy view of one block of the materialised image, or an empty
   /// span when the block is not fully backed (its bytes then read as zeros
@@ -37,7 +47,15 @@ class NvmStore {
 
   /// Direct (uncounted) write used for initial images and test setup. This is
   /// NOT a modelled NVM write; campaigns use it to materialise initial state.
-  void poke(std::uint64_t addr, std::span<const std::uint8_t> src);
+  /// Same inline fast path rationale as read(): direct-mode and demoted
+  /// stores land here once per tracked element.
+  void poke(std::uint64_t addr, std::span<const std::uint8_t> src) {
+    if (addr <= image_.size() && src.size() <= image_.size() - addr) [[likely]] {
+      std::memcpy(image_.data() + addr, src.data(), src.size());
+      return;
+    }
+    pokeSlow(addr, src);
+  }
 
   /// Number of modelled block writes into NVM so far.
   [[nodiscard]] std::uint64_t blockWrites() const { return blockWrites_; }
@@ -67,6 +85,8 @@ class NvmStore {
 
  private:
   void ensure(std::uint64_t endAddr);
+  void readSlow(std::uint64_t addr, std::span<std::uint8_t> dst) const;
+  void pokeSlow(std::uint64_t addr, std::span<const std::uint8_t> src);
 
   std::uint32_t blockSize_;
   std::vector<std::uint8_t> image_;

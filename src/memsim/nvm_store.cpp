@@ -24,7 +24,7 @@ void NvmStore::ensure(std::uint64_t endAddr) {
   }
 }
 
-void NvmStore::read(std::uint64_t addr, std::span<std::uint8_t> dst) const {
+void NvmStore::readSlow(std::uint64_t addr, std::span<std::uint8_t> dst) const {
   if (dst.empty()) return;
   EC_CHECK_MSG(addr + dst.size() > addr, "NvmStore read range overflows");
   // Reads never materialise backing storage: bytes beyond the written image
@@ -57,7 +57,7 @@ void NvmStore::enableWearProfile() {
   if constexpr (telemetry::kTraceCompiledIn) wearEnabled_ = true;
 }
 
-void NvmStore::poke(std::uint64_t addr, std::span<const std::uint8_t> src) {
+void NvmStore::pokeSlow(std::uint64_t addr, std::span<const std::uint8_t> src) {
   if (src.empty()) return;
   EC_CHECK_MSG(addr + src.size() > addr, "NvmStore poke range overflows");
   ensure(addr + src.size());

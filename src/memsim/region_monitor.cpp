@@ -1,0 +1,173 @@
+#include "easycrash/memsim/region_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "easycrash/common/check.hpp"
+
+namespace easycrash::memsim {
+
+RegionMonitor::RegionMonitor(RegionMonitorConfig config) : config_(config) {
+  EC_CHECK_MSG(config_.sampleInterval > 0, "region monitor: zero sample interval");
+  EC_CHECK_MSG(config_.minRegionsPerObject >= 1,
+               "region monitor: minRegionsPerObject must be >= 1");
+  EC_CHECK_MSG(config_.maxRegionsPerObject >= config_.minRegionsPerObject,
+               "region monitor: region bounds inverted");
+  EC_CHECK_MSG(config_.aggregateEvery > 0, "region monitor: zero aggregate cadence");
+  // Seed-deterministic sampling phase: where inside the first interval the
+  // first sample lands (splitmix64 finalizer mix so nearby seeds diverge).
+  std::uint64_t z = config_.seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  untilNext_ = 1 + (z ^ (z >> 31)) % config_.sampleInterval;
+}
+
+void RegionMonitor::attach(std::uint32_t id, std::string name, std::uint64_t addr,
+                           std::uint64_t bytes) {
+  EC_CHECK_MSG(bytes > 0, "region monitor: empty object");
+  EC_CHECK_MSG(objects_.empty() ||
+                   addr >= objects_.back().addr + objects_.back().bytes,
+               "region monitor: objects must attach in ascending address order");
+  MonitoredObject object;
+  object.id = id;
+  object.name = std::move(name);
+  object.addr = addr;
+  object.bytes = bytes;
+  MonitorRegion region;
+  region.base = addr;
+  region.bytes = bytes;
+  object.regions.push_back(region);
+  objects_.push_back(std::move(object));
+}
+
+std::uint64_t RegionMonitor::regionCount() const {
+  std::uint64_t count = 0;
+  for (const auto& object : objects_) {
+    count += object.regions.size();
+  }
+  return count;
+}
+
+MonitoredObject* RegionMonitor::objectAt(std::uint64_t addr) {
+  if (lastObject_ < objects_.size()) {
+    MonitoredObject& hit = objects_[lastObject_];
+    if (addr >= hit.addr && addr < hit.addr + hit.bytes) return &hit;
+  }
+  // First object whose base is beyond addr, then step back one.
+  const auto it = std::upper_bound(
+      objects_.begin(), objects_.end(), addr,
+      [](std::uint64_t a, const MonitoredObject& o) { return a < o.addr; });
+  if (it == objects_.begin()) return nullptr;
+  MonitoredObject& object = *(it - 1);
+  if (addr >= object.addr + object.bytes) return nullptr;  // alignment gap
+  lastObject_ = static_cast<std::size_t>(&object - objects_.data());
+  return &object;
+}
+
+void RegionMonitor::recordSample(std::uint64_t addr, bool write) {
+  ++samples_;
+  ++sinceAggregate_;
+  MonitoredObject* object = objectAt(addr);
+  if (object == nullptr) return;
+  ++object->samples;
+  if (write) ++object->writes;
+  if (window_) {
+    ++object->windowSamples;
+    if (write) ++object->windowWrites;
+  }
+  // Regions partition the object in ascending base order: first region whose
+  // base is beyond addr, step back one.
+  auto& regions = object->regions;
+  auto it = std::upper_bound(
+      regions.begin(), regions.end(), addr,
+      [](std::uint64_t a, const MonitorRegion& r) { return a < r.base; });
+  MonitorRegion& region = *(it - 1);
+  ++region.samples;
+  if (write) ++region.writes;
+  if (addr < region.base + region.bytes / 2) ++region.leftSamples;
+}
+
+void RegionMonitor::onRangeSlow(std::uint64_t addr, std::uint32_t elemSize,
+                                std::uint64_t n, bool write) {
+  // Sample the logical elements at countdown positions within the chunk:
+  // exactly the elements the element-wise path would have sampled.
+  std::uint64_t pos = untilNext_ - 1;
+  while (pos < n) {
+    recordSample(addr + pos * elemSize, write);
+    pos += config_.sampleInterval;
+  }
+  untilNext_ = pos - n + 1;
+  if (sinceAggregate_ >= config_.aggregateEvery) {
+    sinceAggregate_ = 0;
+    aggregate();
+  }
+}
+
+void RegionMonitor::aggregate() {
+  for (auto& object : objects_) {
+    auto& regions = object.regions;
+    // Split pass: a region whose sampled accesses diverge across its halves
+    // is split at the midpoint; the children inherit the observed half
+    // counts and restart with a neutral left/right balance.
+    for (std::size_t i = 0;
+         i < regions.size() && regions.size() < config_.maxRegionsPerObject;
+         ++i) {
+      const MonitorRegion r = regions[i];
+      if (r.bytes < 2 * config_.minRegionBytes) continue;
+      if (r.samples < config_.minSplitSamples) continue;
+      const std::uint64_t right = r.samples - r.leftSamples;
+      const std::uint64_t diff =
+          r.leftSamples > right ? r.leftSamples - right : right - r.leftSamples;
+      if (static_cast<double>(diff) <=
+          config_.splitImbalance * static_cast<double>(r.samples)) {
+        continue;
+      }
+      MonitorRegion left;
+      left.base = r.base;
+      left.bytes = r.bytes / 2;
+      left.samples = r.leftSamples;
+      left.writes = r.samples == 0 ? 0 : r.writes * r.leftSamples / r.samples;
+      left.leftSamples = left.samples / 2;
+      MonitorRegion rightRegion;
+      rightRegion.base = r.base + left.bytes;
+      rightRegion.bytes = r.bytes - left.bytes;
+      rightRegion.samples = right;
+      rightRegion.writes = r.writes - left.writes;
+      rightRegion.leftSamples = rightRegion.samples / 2;
+      regions[i] = left;
+      regions.insert(regions.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     rightRegion);
+      ++splits_;
+      ++i;  // past both children
+    }
+    // Merge pass: adjacent regions whose sample densities converged fold
+    // back into one, down to the minimum region count.
+    for (std::size_t i = 0;
+         i + 1 < regions.size() && regions.size() > config_.minRegionsPerObject;) {
+      const MonitorRegion& a = regions[i];
+      const MonitorRegion& b = regions[i + 1];
+      const double da =
+          static_cast<double>(a.samples) / static_cast<double>(a.bytes);
+      const double db =
+          static_cast<double>(b.samples) / static_cast<double>(b.bytes);
+      const double hi = std::max(da, db);
+      if (hi > 0.0 && std::abs(da - db) > config_.mergeTolerance * hi) {
+        ++i;
+        continue;
+      }
+      MonitorRegion merged;
+      merged.base = a.base;
+      merged.bytes = a.bytes + b.bytes;
+      merged.samples = a.samples + b.samples;
+      merged.writes = a.writes + b.writes;
+      // Neutral balance: the halves of the merged region re-accumulate from
+      // here, so a genuinely skewed merge re-splits on real signal only.
+      merged.leftSamples = merged.samples / 2;
+      regions[i] = merged;
+      regions.erase(regions.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      ++merges_;
+    }
+  }
+}
+
+}  // namespace easycrash::memsim

@@ -128,6 +128,16 @@ int main(int argc, char** argv) {
                 "post-mortem scan fast path: dirty-block index + vectorized "
                 "compare (on|off; off = probe-every-level scalar walk, "
                 "byte-identical results)");
+  cli.addString("monitor", "full",
+                "access monitoring: 'full' tracks every byte's value (the "
+                "default; byte-identical to campaigns before the monitor "
+                "existed) or 'sampled' — a region monitor rides the golden "
+                "run and demotes cold large objects out of value tracking, "
+                "the unlock for large-footprint campaigns "
+                "(docs/INTERNALS.md); results stay byte-identical");
+  cli.addInt("scale", 1,
+             "problem-size multiplier for cg, mg and kmeans (grid edge / "
+             "point count); other apps only accept 1");
   cli.addString("csv-out", "", "write the per-test CSV to this file");
   cli.addString("trace-out", "", "write a JSONL telemetry trace to this file");
   cli.addString("metrics-out", "", "write the final metrics snapshot (JSON)");
@@ -188,10 +198,12 @@ int main(int argc, char** argv) {
     }
 
     const auto& entry = ec::apps::findBenchmark(cli.getString("app"));
+    const int scale = static_cast<int>(cli.getInt("scale"));
+    const auto factory = ec::apps::scaledBenchmarkFactory(entry.name, scale);
 
     // A setup-only runtime resolves object names for the plan spec.
     ec::runtime::Runtime probe;
-    auto probeApp = entry.factory();
+    auto probeApp = factory();
     probeApp->setup(probe);
 
     if (cli.getFlag("list-objects")) {
@@ -207,7 +219,10 @@ int main(int argc, char** argv) {
     config.numTests = static_cast<int>(cli.getInt("tests"));
     config.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     config.plan = ec::crash::parsePlanSpec(cli.getString("plan"), probe);
-    config.appLabel = entry.name;
+    // Scaled instances get their own label: their golden runs (and journals)
+    // are different campaigns from the scale-1 app.
+    config.appLabel =
+        scale == 1 ? entry.name : entry.name + "@s" + std::to_string(scale);
     config.threads = static_cast<int>(cli.getInt("threads"));
     config.progress = !cli.getFlag("no-progress");
     const std::string mode = cli.getString("mode");
@@ -233,6 +248,12 @@ int main(int argc, char** argv) {
       config.scan = false;
     } else if (scan != "on") {
       throw std::runtime_error("--scan must be 'on' or 'off'");
+    }
+    const std::string monitor = cli.getString("monitor");
+    if (monitor == "sampled") {
+      config.monitor.mode = ec::crash::MonitorMode::Sampled;
+    } else if (monitor != "full") {
+      throw std::runtime_error("--monitor must be 'full' or 'sampled'");
     }
     const std::string profile = cli.getString("profile");
     if (profile == "off") {
@@ -312,10 +333,10 @@ int main(int argc, char** argv) {
       sink.openFile(tracePath);
     }
 
-    std::cout << "app: " << entry.name << "  plan: "
+    std::cout << "app: " << config.appLabel << "  plan: "
               << ec::crash::formatPlanSpec(config.plan, probe) << "  mode: " << mode
               << "  tests: " << config.numTests << '\n';
-    const auto campaign = ec::crash::CampaignRunner(entry.factory, config).run();
+    const auto campaign = ec::crash::CampaignRunner(factory, config).run();
     ec::crash::writeCampaignSummary(campaign, std::cout);
 
     // Output files are replaced atomically (temp + fsync + rename), so an
