@@ -40,6 +40,12 @@ void CliParser::addFlag(const std::string& name, std::string help) {
   order_.push_back(name);
 }
 
+void CliParser::addStringList(const std::string& name, std::string help) {
+  EC_CHECK(!options_.contains(name));
+  options_[name] = Option{Kind::List, "", "", std::move(help), {}};
+  order_.push_back(name);
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -71,6 +77,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
       if (i + 1 >= argc) throw std::runtime_error("missing value for --" + arg);
       value = argv[++i];
     }
+    if (opt.kind == Kind::List) {
+      opt.values.push_back(value);
+      continue;
+    }
     opt.value = value;
   }
   return true;
@@ -100,6 +110,11 @@ bool CliParser::getFlag(const std::string& name) const {
   return v == "1" || v == "true" || v == "yes";
 }
 
+const std::vector<std::string>& CliParser::getStringList(
+    const std::string& name) const {
+  return find(name, Kind::List).values;
+}
+
 std::string CliParser::usage() const {
   std::ostringstream os;
   os << description_ << "\n\nOptions:\n";
@@ -108,7 +123,11 @@ std::string CliParser::usage() const {
     os << "  --" << name;
     if (opt.kind != Kind::Flag) os << " <value>";
     os << "\n      " << opt.help;
-    if (opt.kind != Kind::Flag) os << " (default: " << opt.defaultValue << ")";
+    if (opt.kind == Kind::List) {
+      os << " (repeatable)";
+    } else if (opt.kind != Kind::Flag) {
+      os << " (default: " << opt.defaultValue << ")";
+    }
     os << '\n';
   }
   os << "  --help\n      Show this message\n";

@@ -21,6 +21,8 @@ class CliParser {
   void addInt(const std::string& name, std::int64_t defaultValue, std::string help);
   void addDouble(const std::string& name, double defaultValue, std::string help);
   void addFlag(const std::string& name, std::string help);
+  /// Repeatable option: every occurrence appends to the value list.
+  void addStringList(const std::string& name, std::string help);
 
   /// Parse argv. Returns false (after printing usage) if --help was given.
   /// Throws std::runtime_error on unknown options or malformed values.
@@ -30,16 +32,19 @@ class CliParser {
   [[nodiscard]] std::int64_t getInt(const std::string& name) const;
   [[nodiscard]] double getDouble(const std::string& name) const;
   [[nodiscard]] bool getFlag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& getStringList(
+      const std::string& name) const;
 
   [[nodiscard]] std::string usage() const;
 
  private:
-  enum class Kind { String, Int, Double, Flag };
+  enum class Kind { String, Int, Double, Flag, List };
   struct Option {
     Kind kind;
     std::string value;  // textual form; flags use "0"/"1"
     std::string defaultValue;
     std::string help;
+    std::vector<std::string> values;  // Kind::List only
   };
   const Option& find(const std::string& name, Kind kind) const;
 

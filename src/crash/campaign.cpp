@@ -82,6 +82,10 @@ struct CampaignMetrics {
   telemetry::Counter& trialRetries;
   telemetry::Counter& trialTimeouts;
   telemetry::Counter& resumedTrials;
+  /// Sharded campaigns (--shard i/k): trials this shard owns out of the
+  /// campaign's planned N. Zero when unsharded, so it never feeds
+  /// equivalence comparisons.
+  telemetry::Counter& shardOwnedTrials;
   telemetry::Counter& sweepRuns;
   telemetry::Counter& sweepCaptures;
   telemetry::Counter& sweepFallbacks;
@@ -135,6 +139,7 @@ struct CampaignMetrics {
         reg.counter("campaign.trial_retries"),
         reg.counter("campaign.trial_timeouts"),
         reg.counter("campaign.resumed_trials"),
+        reg.counter("campaign.shard_owned_trials"),
         reg.counter("campaign.sweep_runs"),
         reg.counter("campaign.sweep_captures"),
         reg.counter("campaign.sweep_fallbacks"),
@@ -1045,6 +1050,12 @@ void checkHeaderMatches(const JournalHeader& journal, const JournalHeader& ours,
   if (journal.planFingerprint != ours.planFingerprint) mismatch("persistence plan");
   if (journal.windowAccesses != ours.windowAccesses) mismatch("golden crash window");
   if (journal.monitor != ours.monitor) mismatch("monitor mode");
+  // A shard journal resumes only under the same --shard i/k; a merged (or
+  // legacy) journal is unsharded on both sides and passes trivially.
+  if (journal.shardCount != ours.shardCount || journal.shardIndex != ours.shardIndex) {
+    mismatch("shard (" + std::to_string(journal.shardIndex) + "/" +
+             std::to_string(journal.shardCount) + ")");
+  }
 }
 
 }  // namespace
@@ -1256,13 +1267,19 @@ struct ForkChildServer {
 
 CampaignResult CampaignRunner::run() const {
   const ResilienceConfig& res = config_.resilience;
+  EC_CHECK_MSG(config_.shard.count >= 1 && config_.shard.index >= 0 &&
+                   config_.shard.index < config_.shard.count,
+               "shard index outside [0, count)");
   if (telemetry::tracing()) {
-    telemetry::TraceEvent("campaign_begin")
-        .field("tests", config_.numTests)
+    telemetry::TraceEvent event("campaign_begin");
+    event.field("tests", config_.numTests)
         .field("seed", config_.seed)
         .field("mode", config_.mode == SnapshotMode::NvmImage ? "nvm" : "coherent")
-        .field("plan_points", static_cast<std::uint64_t>(config_.plan.points.size()))
-        .emit();
+        .field("plan_points", static_cast<std::uint64_t>(config_.plan.points.size()));
+    if (config_.shard.active()) {
+      event.field("shard", config_.shard.index).field("shards", config_.shard.count);
+    }
+    event.emit();
   }
 
   // Parse any resume journal before spending time on the golden run, so a
@@ -1317,6 +1334,23 @@ CampaignResult CampaignRunner::run() const {
   }
   const std::size_t n = crashIndices.size();
 
+  // Sharding (--shard i/k): everything above — golden run, monitor pre-pass,
+  // the full pre-drawn crash sequence — is identical on every shard; only
+  // the trial execution below is partitioned. Trial t belongs to shard
+  // t % k, so the slices are disjoint and their union is the unsharded set.
+  const ShardConfig& shard = config_.shard;
+  const auto owned = [&shard](std::size_t t) { return shard.owns(t); };
+  std::size_t ownedCount = n;
+  if (shard.active()) {
+    ownedCount = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (owned(t)) ++ownedCount;
+    }
+    CampaignMetrics::get().shardOwnedTrials.add(ownedCount);
+    EC_LOG_INFO("shard " << shard.index << "/" << shard.count << " owns "
+                         << ownedCount << " of " << n << " trials");
+  }
+
   JournalHeader header;
   header.app = config_.appLabel;
   header.seed = config_.seed;
@@ -1325,6 +1359,20 @@ CampaignResult CampaignRunner::run() const {
   header.planFingerprint = planFingerprint(config_.plan);
   header.windowAccesses = result.golden.windowAccesses;
   header.monitor = monitorState_.active ? "sampled" : "";
+  if (shard.active()) {
+    // Self-describing shard journal: coordinates, the campaign fingerprint
+    // over the identity fields, and the candidate list `nvct merge` needs to
+    // rebuild the CSV without re-running the app. Unsharded headers carry
+    // none of this (byte-identical to pre-sharding journals).
+    header.shardIndex = shard.index;
+    header.shardCount = shard.count;
+    header.campaignHash = campaignHash(header);
+    for (const auto& object : result.golden.objects) {
+      if (object.candidate) {
+        header.candidates.push_back(JournalCandidate{object.id, object.name});
+      }
+    }
+  }
 
   // Per-index decision slots. A trial is decided once it has a record or a
   // failure; interruption simply leaves the rest unset.
@@ -1376,9 +1424,12 @@ CampaignResult CampaignRunner::run() const {
     journal->flush();  // always leave a resumable file behind, even header-only
   }
 
+  // Progress, percentage and ETA all count the shard-local slice: a shard
+  // that owns N/k trials is "done" at N/k decided, and its ETA reflects its
+  // own remaining work, not the fleet's.
   telemetry::ProgressMeter meter(
       (config_.appLabel.empty() ? "campaign" : config_.appLabel) + " trials",
-      n, config_.progress ? &std::cerr : nullptr);
+      ownedCount, config_.progress ? &std::cerr : nullptr);
   std::mutex tallyMutex;
   std::array<int, 4> tally{};
   std::size_t done = 0;
@@ -1394,7 +1445,7 @@ CampaignResult CampaignRunner::run() const {
   // Progress is throttled to percentage-point or >=100 ms boundaries: with
   // small trials at high --threads, having every decided trial format a
   // tally string and serialise on the meter is measurable overhead.
-  std::size_t lastPercent = n == 0 ? 0 : done * 100 / n;
+  std::size_t lastPercent = ownedCount == 0 ? 0 : done * 100 / ownedCount;
   auto lastEmit = std::chrono::steady_clock::now();
   const auto recordDecided = [&](const CrashTestRecord* record) {
     std::array<int, 4> counts{};
@@ -1405,9 +1456,9 @@ CampaignResult CampaignRunner::run() const {
       if (record != nullptr) tally[static_cast<int>(record->response)] += 1;
       doneNow = ++done;
       if (config_.progress) {
-        const std::size_t percent = n == 0 ? 100 : doneNow * 100 / n;
+        const std::size_t percent = ownedCount == 0 ? 100 : doneNow * 100 / ownedCount;
         const auto now = std::chrono::steady_clock::now();
-        if (doneNow == n || percent != lastPercent ||
+        if (doneNow == ownedCount || percent != lastPercent ||
             now - lastEmit >= std::chrono::milliseconds(100)) {
           lastPercent = percent;
           lastEmit = now;
@@ -1429,7 +1480,12 @@ CampaignResult CampaignRunner::run() const {
   // crash point) share one capture. Decided (resumed) trials never re-enter.
   std::map<std::uint64_t, std::vector<std::size_t>> sweepPlan;
   if (config_.sweep) {
+    // Sharded: the sweep captures only the crash points this shard's owned
+    // trials drew. Duplicate indices whose trials straddle shards are
+    // captured independently on each shard — the capture is deterministic,
+    // so the decided records still merge byte-identically.
     for (std::size_t t = 0; t < n; ++t) {
+      if (!owned(t)) continue;
       if (!records[t] && !failures[t]) sweepPlan[crashIndices[t]].push_back(t);
     }
   }
@@ -1574,7 +1630,12 @@ CampaignResult CampaignRunner::run() const {
         [&, resumedDone] {
           CampaignStatus s;
           s.app = config_.appLabel;
-          s.plannedTests = static_cast<int>(n);
+          // Shard-local totals: `tests` is this shard's owned slice, so
+          // decided/tests and the ETA describe THIS process's work — a
+          // fleet watcher sums the slices (they partition [0, N)).
+          s.plannedTests = static_cast<int>(ownedCount);
+          s.shardIndex = shard.index;
+          s.shardCount = shard.count;
           {
             std::lock_guard<std::mutex> lock(tallyMutex);
             s.decided = done;
@@ -1597,8 +1658,8 @@ CampaignResult CampaignRunner::run() const {
               s.decided > s.resumed ? s.decided - s.resumed : 0;
           if (s.elapsedS > 0.0 && fresh > 0) {
             s.trialsPerS = static_cast<double>(fresh) / s.elapsedS;
-            if (n >= s.decided) {
-              s.etaS = static_cast<double>(n - s.decided) / s.trialsPerS;
+            if (ownedCount >= s.decided) {
+              s.etaS = static_cast<double>(ownedCount - s.decided) / s.trialsPerS;
             }
           }
           s.interrupted = stopRequested();
@@ -1884,6 +1945,7 @@ CampaignResult CampaignRunner::run() const {
       if (stopRequested() || budgetExceeded.load() || workersAbort.load()) return;
       const std::size_t t = next.fetch_add(1);
       if (t >= n) return;
+      if (!owned(t)) continue;  // another shard's trial (--shard i/k)
       if (records[t] || failures[t]) continue;  // replayed from the journal
       if (!claimed.empty() && claimed[t] != 0) continue;  // owned by the sweep
       runTrial(t, w);
@@ -2219,21 +2281,23 @@ CampaignResult CampaignRunner::run() const {
         (res.journalPath.empty() ? "" : " — journal kept at " + res.journalPath));
   }
 
+  // Only the owned slice owes a decision: an unowned trial left undecided is
+  // another shard's work, not an interruption of this one.
   std::size_t undecided = 0;
   for (std::size_t t = 0; t < n; ++t) {
-    if (!records[t] && !failures[t]) ++undecided;
+    if (owned(t) && !records[t] && !failures[t]) ++undecided;
   }
   result.interrupted = undecided > 0;
   if (result.interrupted) {
-    EC_LOG_WARN("campaign interrupted: " << (n - undecided) << "/" << n
-                                         << " trials decided"
+    EC_LOG_WARN("campaign interrupted: " << (ownedCount - undecided) << "/"
+                                         << ownedCount << " trials decided"
                                          << (stopSignal() != 0
                                                  ? " (signal " +
                                                        std::to_string(stopSignal()) + ")"
                                                  : ""));
     if (telemetry::tracing()) {
       telemetry::TraceEvent("campaign_interrupted")
-          .field("decided", static_cast<std::uint64_t>(n - undecided))
+          .field("decided", static_cast<std::uint64_t>(ownedCount - undecided))
           .field("remaining", static_cast<std::uint64_t>(undecided))
           .field("signal", stopSignal())
           .emit();

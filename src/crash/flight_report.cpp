@@ -233,7 +233,14 @@ std::string campaignProfileJson(const CampaignProfile& profile) {
 }
 
 std::string renderFlightReport(const FlightReportInputs& inputs) {
-  const JournalReplay journal = readJournal(inputs.journalPath);
+  return renderFlightReport(readJournal(inputs.journalPath), inputs.tracePath,
+                            inputs.metricsPath);
+}
+
+std::string renderFlightReport(const JournalReplay& journal,
+                               const std::string& tracePath,
+                               const std::string& metricsPath) {
+  const FlightReportInputs inputs{"", tracePath, metricsPath};
 
   std::ostringstream md;
   md << "# nvct campaign report\n\n";

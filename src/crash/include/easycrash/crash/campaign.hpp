@@ -202,6 +202,24 @@ struct FaultPlan {
 
 [[nodiscard]] const char* toString(FaultPlan::Kind kind);
 
+/// Scale-out sharding (`nvct --shard i/k`, docs/INTERNALS.md "Sharded
+/// campaigns"). A sharded campaign draws the identical golden run, crash
+/// points and seeds as the unsharded one, but executes only the trials it
+/// owns: trial t belongs to shard t % count. Shards share no state, so k
+/// shards on k machines run the campaign ~k× faster; `nvct merge` folds
+/// their journals back into artifacts byte-identical to the unsharded run.
+struct ShardConfig {
+  int index = 0;  ///< this shard's index in [0, count)
+  int count = 1;  ///< total shards; 1 = unsharded (the default)
+
+  [[nodiscard]] bool active() const { return count > 1; }
+  /// True iff this shard executes trial `t`.
+  [[nodiscard]] bool owns(std::size_t t) const {
+    return count <= 1 ||
+           t % static_cast<std::size_t>(count) == static_cast<std::size_t>(index);
+  }
+};
+
 struct CampaignConfig {
   std::uint64_t seed = 1;
   int numTests = 200;
@@ -255,6 +273,9 @@ struct CampaignConfig {
   /// Access monitoring mode: full value tracking (default) or the
   /// region-sampled pre-pass + demotion routing (see MonitorMode).
   MonitorConfig monitor;
+  /// Scale-out sharding: execute only the trials this shard owns (see
+  /// ShardConfig). Defaults to unsharded.
+  ShardConfig shard;
   /// Fault tolerance: trial isolation, watchdog, journal/resume (see above).
   ResilienceConfig resilience;
   /// Deterministic fault injection into every crashing run (see FaultPlan).

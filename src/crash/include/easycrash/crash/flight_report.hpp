@@ -16,6 +16,7 @@
 #include <string>
 
 #include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/resilience.hpp"
 
 namespace easycrash::crash {
 
@@ -28,6 +29,13 @@ struct FlightReportInputs {
 /// Render the markdown report. Throws std::runtime_error when the journal
 /// cannot be read or an optional input exists but is malformed.
 [[nodiscard]] std::string renderFlightReport(const FlightReportInputs& inputs);
+
+/// Render from an already-replayed journal — the entry point `nvct merge`
+/// and the multi-journal `nvct report` use, so a merged decided set renders
+/// the identical bytes an unsharded journal file would.
+[[nodiscard]] std::string renderFlightReport(const JournalReplay& journal,
+                                             const std::string& tracePath,
+                                             const std::string& metricsPath);
 
 /// The campaign profile as a compact JSON value — the "profile" section
 /// nvct splices into --metrics-out (MetricsRegistry::writeJson's

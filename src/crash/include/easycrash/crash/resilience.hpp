@@ -99,6 +99,18 @@ class Watchdog {
 
 // ---- Journal ----------------------------------------------------------------
 
+/// One candidate object's identity, embedded in a shard journal's header so
+/// `nvct merge` can rebuild the per-test CSV (rate_<name> columns, candidate
+/// order) without re-running the application.
+struct JournalCandidate {
+  runtime::ObjectId id = 0;
+  std::string name;
+
+  friend bool operator==(const JournalCandidate& a, const JournalCandidate& b) {
+    return a.id == b.id && a.name == b.name;
+  }
+};
+
 /// First line of every journal: identifies the campaign so --resume can
 /// refuse a journal drawn for different work. windowAccesses pins the golden
 /// run (and therefore the whole pre-drawn crash-point sequence).
@@ -113,7 +125,26 @@ struct JournalHeader {
   /// for full monitoring. Serialized only when non-empty, so full-mode
   /// journals are byte-identical to journals from before the field existed.
   std::string monitor;
+  /// Shard header segment (docs/INTERNALS.md "Sharded campaigns"): the
+  /// shard's coordinates, the campaign fingerprint over the identity fields
+  /// above (campaignHash; the shard coordinates are deliberately excluded,
+  /// so every shard of one campaign — and its unsharded run — hash alike),
+  /// and the candidate objects for CSV reconstruction. Serialized only when
+  /// shardCount > 1: unsharded journals stay byte-identical to journals from
+  /// before sharding existed, which is what makes a merged journal byte-
+  /// comparable against an unsharded run's.
+  int shardIndex = 0;
+  int shardCount = 1;
+  std::uint64_t campaignHash = 0;  ///< stamped value; 0 = not stamped
+  std::vector<JournalCandidate> candidates;
 };
+
+/// FNV-1a campaign fingerprint over the header's identity fields (app, seed,
+/// tests, mode, plan fingerprint, window accesses, monitor) — NOT the shard
+/// coordinates, so the k shard journals of one campaign and the unsharded
+/// journal all agree. `nvct merge` recomputes it and rejects a shard journal
+/// whose stamped hash disagrees (a tampered or mis-labelled journal).
+[[nodiscard]] std::uint64_t campaignHash(const JournalHeader& header);
 
 /// FNV-1a over the plan's points/frequencies/objects — cheap identity check
 /// for the journal header (full plan round-tripping is not needed: any
@@ -184,6 +215,11 @@ struct JournalReplay {
 /// byte-identity guarantee.
 [[nodiscard]] std::string serializeTrialRecord(std::size_t trial,
                                                const CrashTestRecord& record);
+/// The journal's exact header/failure line formats, exposed so the shard
+/// merge core can emit a canonical merged journal byte-identical to what an
+/// unsharded TrialJournal leaves behind on close.
+[[nodiscard]] std::string serializeJournalHeader(const JournalHeader& header);
+[[nodiscard]] std::string serializeFailureRecord(const TrialFailure& failure);
 /// Inverse of serializeTrialRecord. Throws std::runtime_error on malformed
 /// input (a worker that died mid-write never produces a frame, but a wild
 /// write may corrupt one — the campaign maps the throw to a protocol death).

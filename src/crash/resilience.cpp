@@ -243,6 +243,25 @@ std::string serializeHeader(const JournalHeader& h) {
     line += ",\"monitor\":";
     appendQuoted(line, h.monitor);
   }
+  // Shard header segment, only when sharded: unsharded journals keep the
+  // exact legacy bytes, so a merged journal (whose header is unsharded) is
+  // byte-comparable against a single-machine run's journal.
+  if (h.shardCount > 1) {
+    line += ",\"shard\":" + std::to_string(h.shardIndex);
+    line += ",\"shards\":" + std::to_string(h.shardCount);
+    // Quoted for the same 2^53-mantissa reason as plan_fingerprint.
+    line += ",\"campaign_hash\":\"" + std::to_string(h.campaignHash) + '"';
+    line += ",\"objects\":[";
+    bool first = true;
+    for (const JournalCandidate& candidate : h.candidates) {
+      if (!first) line += ',';
+      first = false;
+      line += "{\"id\":" + std::to_string(candidate.id) + ",\"name\":";
+      appendQuoted(line, candidate.name);
+      line += '}';
+    }
+    line += ']';
+  }
   // Declares the append-only segment discipline: records after the base
   // segment may repeat or reorder test indices (last one wins on load).
   // Legacy journals lack the field and stay strictly index-sorted.
@@ -381,6 +400,41 @@ TrialFailure parseFailure(const json::Value& obj) {
 
 std::string serializeTrialRecord(std::size_t trial, const CrashTestRecord& record) {
   return serializeTrial(trial, record);
+}
+
+std::string serializeJournalHeader(const JournalHeader& header) {
+  return serializeHeader(header);
+}
+
+std::string serializeFailureRecord(const TrialFailure& failure) {
+  return serializeFailure(failure);
+}
+
+std::uint64_t campaignHash(const JournalHeader& header) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mixByte = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  const auto mix = [&mixByte](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      mixByte(static_cast<std::uint8_t>((v >> (byte * 8)) & 0xff));
+    }
+  };
+  const auto mixString = [&](const std::string& s) {
+    mix(s.size());
+    for (const char c : s) mixByte(static_cast<std::uint8_t>(c));
+  };
+  // Identity fields only — never the shard coordinates or the candidate
+  // list, so all k shards of one campaign (and its unsharded run) agree.
+  mixString(header.app);
+  mix(header.seed);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(header.tests)));
+  mixString(header.mode);
+  mix(header.planFingerprint);
+  mix(header.windowAccesses);
+  mixString(header.monitor);
+  return h;
 }
 
 CrashTestRecord parseTrialRecord(const std::string& line, std::size_t* trial) {
@@ -575,6 +629,38 @@ JournalReplay readJournal(const std::string& path) {
           throw std::runtime_error("journal: \"monitor\" is not a string");
         }
         replay.header.monitor = monitor->string;
+      }
+      // Shard header segment — absent in unsharded journals.
+      const json::Value* shards = value->find("shards");
+      if (shards != nullptr) {
+        if (!shards->isNumber() || shards->number < 2) {
+          throw std::runtime_error("journal: \"shards\" must be >= 2");
+        }
+        replay.header.shardCount = static_cast<int>(shards->number);
+        replay.header.shardIndex = static_cast<int>(num(*value, "shard"));
+        if (replay.header.shardIndex < 0 ||
+            replay.header.shardIndex >= replay.header.shardCount) {
+          throw std::runtime_error("journal: \"shard\" outside [0, shards)");
+        }
+        try {
+          replay.header.campaignHash = std::stoull(str(*value, "campaign_hash"));
+        } catch (const std::exception&) {
+          throw std::runtime_error(
+              "journal: \"campaign_hash\" is not a 64-bit decimal");
+        }
+        const json::Value& objects = member(*value, "objects");
+        if (objects.kind != json::Value::Kind::Array) {
+          throw std::runtime_error("journal: \"objects\" is not an array");
+        }
+        for (const auto& object : objects.array) {
+          if (!object.isObject()) {
+            throw std::runtime_error("journal: bad \"objects\" entry");
+          }
+          JournalCandidate candidate;
+          candidate.id = static_cast<runtime::ObjectId>(num(object, "id"));
+          candidate.name = str(object, "name");
+          replay.header.candidates.push_back(std::move(candidate));
+        }
       }
       sawHeader = true;
       continue;

@@ -1,0 +1,387 @@
+// Tests for sharded campaign execution and `nvct merge` (docs/INTERNALS.md
+// "Sharded campaigns"): the trial partition is exact, every shard draws the
+// same campaign, and merging the shard journals reproduces the unsharded
+// run's journal/CSV byte-for-byte — in any merge order, idempotently, and
+// across sweep/thread settings. Mismatched campaigns are rejected loudly.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "easycrash/crash/campaign.hpp"
+#include "easycrash/crash/report.hpp"
+#include "easycrash/crash/resilience.hpp"
+#include "easycrash/crash/shard.hpp"
+#include "easycrash/crash/status.hpp"
+#include "easycrash/runtime/runtime.hpp"
+#include "easycrash/runtime/tracked.hpp"
+
+namespace rt = easycrash::runtime;
+namespace cr = easycrash::crash;
+namespace ms = easycrash::memsim;
+
+namespace {
+
+/// Minimal two-region accumulator app (campaign_test's ProbeApp shape):
+/// enough structure for S1-S4 outcomes without being slow.
+class ShardProbeApp final : public rt::IApp {
+ public:
+  [[nodiscard]] const rt::AppInfo& info() const override { return info_; }
+
+  void setup(rt::Runtime& runtime) override {
+    runtime.declareRegionCount(2);
+    data_ = rt::TrackedArray<std::int64_t>(runtime, "data", kCells, true);
+    sum_ = rt::TrackedScalar<std::int64_t>(runtime, "sum", true);
+  }
+
+  void initialize(rt::Runtime& runtime) override {
+    (void)runtime;
+    for (int i = 0; i < kCells; ++i) data_.set(i, 0);
+    sum_.set(0);
+  }
+
+  void iterate(rt::Runtime& runtime, int iteration) override {
+    (void)iteration;
+    {
+      rt::RegionScope region(runtime, 0);
+      for (int i = 0; i < kCells; ++i) data_.set(i, data_.get(i) + 1);
+      region.iterationEnd();
+    }
+    {
+      rt::RegionScope region(runtime, 1);
+      std::int64_t total = 0;
+      for (int i = 0; i < kCells; ++i) total += data_.get(i);
+      sum_.set(total);
+      region.iterationEnd();
+    }
+  }
+
+  [[nodiscard]] int nominalIterations() const override { return kIterations; }
+
+  [[nodiscard]] bool converged(rt::Runtime& runtime, int iteration) override {
+    (void)runtime;
+    return iteration >= kIterations;
+  }
+
+  [[nodiscard]] rt::VerifyOutcome verify(rt::Runtime& runtime) override {
+    (void)runtime;
+    rt::VerifyOutcome out;
+    std::int64_t total = 0;
+    for (int i = 0; i < kCells; ++i) total += data_.peek(i);
+    out.metric = static_cast<double>(total);
+    out.pass = total == static_cast<std::int64_t>(kIterations) * kCells;
+    return out;
+  }
+
+ private:
+  static constexpr int kCells = 256;
+  static constexpr int kIterations = 6;
+  rt::AppInfo info_{"shard-probe", "sharding test app"};
+  rt::TrackedArray<std::int64_t> data_;
+  rt::TrackedScalar<std::int64_t> sum_;
+};
+
+rt::AppFactory probeFactory() {
+  return [] { return std::make_unique<ShardProbeApp>(); };
+}
+
+cr::CampaignConfig tinyConfig(int tests) {
+  cr::CampaignConfig config;
+  config.numTests = tests;
+  config.cache = ms::CacheConfig::tiny();
+  return config;
+}
+
+std::string tempPath(const char* name) { return testing::TempDir() + name; }
+
+std::string readFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << "cannot open " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Run one shard (or the unsharded campaign when count == 1) of the probe
+/// campaign, journaling to `path`. Returns the in-process result.
+cr::CampaignResult runShard(const std::string& path, int tests, int index,
+                            int count, bool sweep = true, int threads = 1) {
+  std::remove(path.c_str());
+  auto config = tinyConfig(tests);
+  config.sweep = sweep;
+  config.threads = threads;
+  config.shard.index = index;
+  config.shard.count = count;
+  config.resilience.isolate = true;
+  config.resilience.journalPath = path;
+  return cr::CampaignRunner(probeFactory(), config).run();
+}
+
+struct StopFlagGuard {
+  StopFlagGuard() { cr::clearStopFlag(); }
+  ~StopFlagGuard() { cr::clearStopFlag(); }
+};
+
+}  // namespace
+
+// ---- Partition function -----------------------------------------------------
+
+TEST(ShardTest, PartitionAssignsEveryTrialToExactlyOneShard) {
+  for (const int count : {1, 2, 3, 4, 7}) {
+    for (std::size_t t = 0; t < 100; ++t) {
+      int owners = 0;
+      for (int index = 0; index < count; ++index) {
+        cr::ShardConfig shard;
+        shard.index = index;
+        shard.count = count;
+        if (shard.owns(t)) ++owners;
+      }
+      EXPECT_EQ(owners, 1) << "trial " << t << " with k=" << count;
+    }
+  }
+}
+
+TEST(ShardTest, UnshardedConfigOwnsEverything) {
+  const cr::ShardConfig shard;  // defaults: 0/1
+  EXPECT_FALSE(shard.active());
+  for (std::size_t t = 0; t < 50; ++t) EXPECT_TRUE(shard.owns(t));
+}
+
+TEST(ShardTest, CampaignHashIgnoresShardCoordinates) {
+  cr::JournalHeader a;
+  a.app = "probe";
+  a.seed = 7;
+  a.tests = 40;
+  a.planFingerprint = 1234;
+  a.windowAccesses = 9999;
+  cr::JournalHeader b = a;
+  b.shardIndex = 2;
+  b.shardCount = 4;
+  EXPECT_EQ(cr::campaignHash(a), cr::campaignHash(b));
+  b.seed = 8;
+  EXPECT_NE(cr::campaignHash(a), cr::campaignHash(b));
+}
+
+// ---- Byte-identity ----------------------------------------------------------
+
+TEST(ShardTest, MergedShardJournalsMatchUnshardedRunByteForByte) {
+  const std::string ref = tempPath("shard_ref.jsonl");
+  const auto fresh = runShard(ref, 30, 0, 1);
+  const std::string refBytes = readFile(ref);
+
+  // The partition must hold whichever evaluator/thread mix each shard used.
+  struct Mix {
+    bool sweep;
+    int threads;
+  };
+  const Mix mixes[] = {{true, 1}, {false, 2}};
+  for (const auto& mix : mixes) {
+    std::vector<std::string> paths;
+    for (int index = 0; index < 2; ++index) {
+      const std::string path =
+          tempPath(("shard_half" + std::to_string(index) + ".jsonl").c_str());
+      const auto part = runShard(path, 30, index, 2, mix.sweep, mix.threads);
+      EXPECT_EQ(part.tests.size(), 15u);
+      paths.push_back(path);
+    }
+    const auto merge = cr::mergeShardJournals(paths);
+    EXPECT_TRUE(merge.complete());
+    EXPECT_EQ(merge.shardsSeen.size(), 2u);
+    EXPECT_EQ(cr::renderMergedJournal(merge), refBytes)
+        << "sweep=" << mix.sweep << " threads=" << mix.threads;
+
+    std::ostringstream csv;
+    cr::writeCampaignCsv(fresh, csv);
+    EXPECT_EQ(cr::renderMergedCsv(merge), csv.str());
+    for (const auto& path : paths) std::remove(path.c_str());
+  }
+  std::remove(ref.c_str());
+}
+
+TEST(ShardTest, MergeIsCommutativeAndIdempotent) {
+  std::vector<std::string> paths;
+  for (int index = 0; index < 3; ++index) {
+    const std::string path =
+        tempPath(("shard_ci" + std::to_string(index) + ".jsonl").c_str());
+    runShard(path, 21, index, 3);
+    paths.push_back(path);
+  }
+  const std::string forward =
+      cr::renderMergedJournal(cr::mergeShardJournals(paths));
+  const std::string reversed = cr::renderMergedJournal(
+      cr::mergeShardJournals({paths[2], paths[0], paths[1]}));
+  EXPECT_EQ(forward, reversed);
+
+  // Feeding a journal twice changes nothing (last-wins over a disjoint set).
+  const std::string doubled = cr::renderMergedJournal(
+      cr::mergeShardJournals({paths[0], paths[1], paths[1], paths[2]}));
+  EXPECT_EQ(forward, doubled);
+
+  // Merging the merged (now unsharded) journal is the k=1 identity.
+  const std::string mergedPath = tempPath("shard_ci_merged.jsonl");
+  cr::atomicWriteFile(mergedPath, forward);
+  const auto again = cr::mergeShardJournals({mergedPath});
+  EXPECT_EQ(cr::renderMergedJournal(again), forward);
+  EXPECT_EQ(again.shardCount, 1);
+
+  // The deterministic metrics projection is also layout-independent: the
+  // k=3 merge and the k=1 re-merge project byte-identical JSON.
+  EXPECT_EQ(cr::renderMergedMetrics(cr::mergeShardJournals(paths)),
+            cr::renderMergedMetrics(again));
+
+  for (const auto& path : paths) std::remove(path.c_str());
+  std::remove(mergedPath.c_str());
+}
+
+// ---- Rejection --------------------------------------------------------------
+
+TEST(ShardTest, MergeRejectsJournalsFromDifferentCampaigns) {
+  const std::string a = tempPath("shard_seed1.jsonl");
+  const std::string b = tempPath("shard_seed2.jsonl");
+  runShard(a, 20, 0, 2);
+  {
+    std::remove(b.c_str());
+    auto config = tinyConfig(20);
+    config.seed = 99;  // different campaign
+    config.shard.index = 1;
+    config.shard.count = 2;
+    config.resilience.isolate = true;
+    config.resilience.journalPath = b;
+    (void)cr::CampaignRunner(probeFactory(), config).run();
+  }
+  EXPECT_THROW(
+      {
+        try {
+          (void)cr::mergeShardJournals({a, b});
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ShardTest, MergeRejectsTamperedCampaignFingerprint) {
+  const std::string path = tempPath("shard_tamper.jsonl");
+  runShard(path, 20, 0, 2);
+  std::string bytes = readFile(path);
+  const auto pos = bytes.find("\"campaign_hash\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  // Flip the last fingerprint digit downward: a different value with the
+  // same digit count, so it still parses as a 64-bit decimal and reaches
+  // the fingerprint recomputation.
+  const auto digit = bytes.find('"', pos + std::string("\"campaign_hash\":\"").size()) - 1;
+  bytes[digit] = bytes[digit] == '0' ? '5' : static_cast<char>(bytes[digit] - 1);
+  cr::atomicWriteFile(path, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          (void)cr::mergeShardJournals({path});
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ShardTest, MergeRejectsForeignTrialsAndMixedShardCounts) {
+  const std::string s0 = tempPath("shard_mix0.jsonl");
+  const std::string s1 = tempPath("shard_mix1.jsonl");
+  const std::string unsharded = tempPath("shard_mix_ref.jsonl");
+  runShard(s0, 20, 0, 2);
+  runShard(s1, 20, 1, 2);
+  runShard(unsharded, 20, 0, 1);
+
+  // A sharded and an unsharded journal never merge.
+  EXPECT_THROW((void)cr::mergeShardJournals({s0, unsharded}), std::runtime_error);
+
+  // Relabel shard 1's journal as shard 0: its trials (odd indices) are not
+  // owned by shard 0, so the ownership check fires. The campaign fingerprint
+  // deliberately ignores shard coordinates — this is exactly the mis-copied
+  // journal it cannot catch, and the ownership check must.
+  std::string bytes = readFile(s1);
+  const auto pos = bytes.find("\"shard\":1");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + std::string("\"shard\":").size()] = '0';
+  cr::atomicWriteFile(s1, bytes);
+  EXPECT_THROW(
+      {
+        try {
+          (void)cr::mergeShardJournals({s0, s1});
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("not owned"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+
+  std::remove(s0.c_str());
+  std::remove(s1.c_str());
+  std::remove(unsharded.c_str());
+}
+
+// ---- Cross-shard resume -----------------------------------------------------
+
+TEST(ShardTest, InterruptedShardResumesAndMergesByteIdentical) {
+  StopFlagGuard guard;
+  const std::string ref = tempPath("shard_resume_ref.jsonl");
+  const std::string s0 = tempPath("shard_resume0.jsonl");
+  const std::string s1 = tempPath("shard_resume1.jsonl");
+  runShard(ref, 30, 0, 1);
+  runShard(s1, 30, 1, 2);
+
+  // Interrupt shard 0 mid-flight; the partial journal must merge (decided
+  // counts only), then the resumed shard must complete the identical bytes.
+  std::remove(s0.c_str());
+  auto config = tinyConfig(30);
+  config.shard.index = 0;
+  config.shard.count = 2;
+  config.resilience.isolate = true;
+  config.resilience.journalPath = s0;
+  config.resilience.journalFlushEvery = 2;
+  config.resilience.stopAfterTrials = 5;
+  const auto partial = cr::CampaignRunner(probeFactory(), config).run();
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_LT(partial.tests.size(), 15u);
+
+  const auto partialMerge = cr::mergeShardJournals({s0, s1});
+  EXPECT_FALSE(partialMerge.complete());
+  EXPECT_LT(partialMerge.trials.size() + partialMerge.failures.size(), 30u);
+
+  cr::clearStopFlag();
+  config.resilience.stopAfterTrials = 0;
+  config.resilience.resumePath = s0;
+  const auto resumed = cr::CampaignRunner(probeFactory(), config).run();
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.tests.size(), 15u);
+
+  const auto merge = cr::mergeShardJournals({s0, s1});
+  EXPECT_TRUE(merge.complete());
+  EXPECT_EQ(cr::renderMergedJournal(merge), readFile(ref));
+
+  std::remove(ref.c_str());
+  std::remove(s0.c_str());
+  std::remove(s1.c_str());
+}
+
+// ---- Status -----------------------------------------------------------------
+
+TEST(ShardTest, StatusSnapshotCarriesShardCoordinates) {
+  cr::CampaignStatus status;
+  status.app = "probe";
+  EXPECT_NE(cr::serializeStatus(status).find("\"shard\":\"0/1\""),
+            std::string::npos);
+  status.shardIndex = 2;
+  status.shardCount = 4;
+  EXPECT_NE(cr::serializeStatus(status).find("\"shard\":\"2/4\""),
+            std::string::npos);
+}

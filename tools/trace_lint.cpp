@@ -295,6 +295,26 @@ int lintStatus(const std::string& path) {
   if (app == nullptr || !app->isString() || app->string.empty()) {
     return fail("missing \"app\"");
   }
+  // Shard coordinates ("i/k", "0/1" unsharded): every snapshot carries them,
+  // and the remaining tallies are shard-local, so a fan-out driver can lint
+  // each shard's status file against the same schema.
+  const json::Value* shard = value->find("shard");
+  if (shard == nullptr || !shard->isString()) {
+    return fail("missing \"shard\" (\"i/k\")");
+  }
+  {
+    const std::string& s = shard->string;
+    const auto slash = s.find('/');
+    bool ok = slash != std::string::npos && slash > 0 && slash + 1 < s.size() &&
+              s.find_first_not_of("0123456789") == slash &&
+              s.find_first_not_of("0123456789", slash + 1) == std::string::npos;
+    if (ok) {
+      const long index = std::stol(s.substr(0, slash));
+      const long count = std::stol(s.substr(slash + 1));
+      ok = count >= 1 && index >= 0 && index < count;
+    }
+    if (!ok) return fail("\"shard\" must be 'i/k' with 0 <= i < k");
+  }
   std::map<std::string, double> fields;
   for (const char* name : {"tests", "decided", "resumed", "s1", "s2", "s3", "s4",
                            "failures", "retries", "timeouts", "queue_depth",
@@ -427,6 +447,44 @@ int lintJournal(const std::string& path,
           return fail("header \"format\" must be \"segments\" when present");
         }
         segments = true;
+      }
+      // Shard journals (--shard i/k, docs/INTERNALS.md "Sharded campaigns")
+      // carry the shard coordinates, the recomputable campaign fingerprint,
+      // and the candidate list the merge needs to rebuild the CSV. The four
+      // fields travel together; an unsharded header carries none of them.
+      const json::Value* shards = value->find("shards");
+      if (shards != nullptr) {
+        double shardCount = 0;
+        double shardIndex = -1;
+        if (!shards->isNumber() || shards->number < 2) {
+          return fail("header \"shards\" must be a shard count >= 2");
+        }
+        shardCount = shards->number;
+        if (!numberField(*value, "shard", &shardIndex) || shardIndex < 0 ||
+            shardIndex >= shardCount) {
+          return fail("header \"shard\" must be in [0, shards)");
+        }
+        const json::Value* hash = value->find("campaign_hash");
+        if (hash == nullptr || !hash->isString() || hash->string.empty() ||
+            hash->string.find_first_not_of("0123456789") != std::string::npos) {
+          return fail("header \"campaign_hash\" must be a decimal string");
+        }
+        const json::Value* objects = value->find("objects");
+        if (objects == nullptr || objects->kind != json::Value::Kind::Array) {
+          return fail("shard header missing \"objects\" array");
+        }
+        for (const json::Value& object : objects->array) {
+          if (!object.isObject() || !numberField(object, "id")) {
+            return fail("shard header \"objects\" entry missing numeric \"id\"");
+          }
+          const json::Value* name = object.find("name");
+          if (name == nullptr || !name->isString() || name->string.empty()) {
+            return fail("shard header \"objects\" entry missing \"name\"");
+          }
+        }
+      } else if (value->find("shard") != nullptr ||
+                 value->find("campaign_hash") != nullptr) {
+        return fail("header \"shard\"/\"campaign_hash\" require \"shards\"");
       }
       continue;
     }
